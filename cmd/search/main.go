@@ -1,0 +1,85 @@
+// Command search builds a Chosen Path similarity search index over a
+// dataset file and answers point queries: for each query set, the ids of
+// indexed sets with Jaccard similarity at least the threshold.
+//
+// Queries are read from -queries (same one-set-per-line format) or, if
+// omitted, from standard input, one set per line. Output: one line per
+// query with "queryIdx: id1:sim1 id2:sim2 ..." (empty after the colon if
+// nothing was found).
+//
+// Usage:
+//
+//	search -input catalogue.txt -threshold 0.6 [-queries q.txt] [-all] [-trees 10]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	ssjoin "repro"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "catalogue dataset file (required)")
+		queries   = flag.String("queries", "", "query dataset file (default: stdin)")
+		threshold = flag.Float64("threshold", 0.5, "Jaccard similarity threshold in (0,1)")
+		all       = flag.Bool("all", false, "report all matches per query instead of the best one")
+		trees     = flag.Int("trees", 0, "number of index trees (0 = default 10)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "search: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		fatalf("threshold %v out of (0,1)", *threshold)
+	}
+
+	catalogue, err := ssjoin.LoadSets(*input)
+	if err != nil {
+		fatalf("loading %s: %v", *input, err)
+	}
+	index := ssjoin.NewSearchIndex(catalogue, *threshold, &ssjoin.SearchOptions{
+		Trees: *trees,
+		Seed:  *seed,
+	})
+	fmt.Fprintf(os.Stderr, "search: indexed %d sets\n", len(catalogue))
+
+	var qsets [][]uint32
+	if *queries != "" {
+		qsets, err = ssjoin.LoadSets(*queries)
+		if err != nil {
+			fatalf("loading %s: %v", *queries, err)
+		}
+	} else {
+		qsets, err = ssjoin.ReadSets(os.Stdin)
+		if err != nil {
+			fatalf("reading queries: %v", err)
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for qi, q := range qsets {
+		fmt.Fprintf(w, "%d:", qi)
+		if *all {
+			for _, id := range index.QueryAll(q) {
+				fmt.Fprintf(w, " %d:%.3f", id, ssjoin.Jaccard(q, catalogue[id]))
+			}
+		} else if id, sim, ok := index.Query(q); ok {
+			fmt.Fprintf(w, " %d:%.3f", id, sim)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "search: "+format+"\n", args...)
+	os.Exit(1)
+}

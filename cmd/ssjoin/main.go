@@ -1,0 +1,149 @@
+// Command ssjoin runs a set similarity self-join over a dataset file.
+//
+// The input format is one set per line of whitespace-separated integer
+// tokens (the format of the Mann et al. benchmark suite). Results are
+// written one pair per line as "i j similarity" using 0-based line indices
+// of the (cleaned) input.
+//
+// Usage:
+//
+//	ssjoin -input sets.txt -threshold 0.5 [-algorithm cpsjoin] [-seed 42]
+//	       [-repetitions 10] [-stats] [-output pairs.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	ssjoin "repro"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "input dataset file (required)")
+		input2     = flag.String("input2", "", "second dataset for an R-S join (R = -input, S = -input2; algorithms: cpsjoin, allpairs)")
+		output     = flag.String("output", "", "output file (default stdout)")
+		threshold  = flag.Float64("threshold", 0.5, "Jaccard similarity threshold in (0,1)")
+		algorithm  = flag.String("algorithm", "cpsjoin", "join algorithm: cpsjoin, allpairs, ppjoin, minhash, bayeslsh, bruteforce")
+		seed       = flag.Uint64("seed", 42, "random seed for approximate algorithms")
+		reps       = flag.Int("repetitions", 0, "CPSJoin repetitions (0 = default 10)")
+		recall     = flag.Float64("recall", 0, "target recall for minhash/bayeslsh (0 = default)")
+		noClean    = flag.Bool("no-clean", false, "skip duplicate/singleton removal")
+		printStats = flag.Bool("stats", false, "print candidate statistics to stderr")
+		saveIndex  = flag.String("save-index", "", "after preprocessing, persist the index to this file")
+		loadIndex  = flag.String("load-index", "", "load a persisted index instead of -input (cpsjoin only)")
+	)
+	flag.Parse()
+
+	if *input == "" && *loadIndex == "" {
+		fmt.Fprintln(os.Stderr, "ssjoin: -input (or -load-index) is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		fatalf("threshold %v out of (0,1)", *threshold)
+	}
+
+	var (
+		sets [][]uint32
+		ix   *ssjoin.Index
+		err  error
+	)
+	opts0 := &ssjoin.Options{Seed: *seed}
+	switch {
+	case *loadIndex != "":
+		ix, err = ssjoin.LoadIndex(*loadIndex)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sets = ix.Sets()
+		fmt.Fprintf(os.Stderr, "ssjoin: loaded index with %d sets\n", len(sets))
+	default:
+		sets, err = ssjoin.LoadSets(*input)
+		if err != nil {
+			fatalf("loading %s: %v", *input, err)
+		}
+		if !*noClean {
+			before := len(sets)
+			sets = ssjoin.CleanSets(sets)
+			if removed := before - len(sets); removed > 0 {
+				fmt.Fprintf(os.Stderr, "ssjoin: removed %d duplicate/singleton sets\n", removed)
+			}
+		}
+	}
+	if *saveIndex != "" {
+		if ix == nil {
+			ix = ssjoin.NewIndex(sets, opts0)
+		}
+		if err := ix.Save(*saveIndex); err != nil {
+			fatalf("saving index: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ssjoin: index saved to %s\n", *saveIndex)
+	}
+
+	opts := &ssjoin.Options{Seed: *seed, Repetitions: *reps, TargetRecall: *recall}
+
+	var (
+		pairs []ssjoin.Pair
+		stats ssjoin.Stats
+		sets2 [][]uint32
+	)
+	if *input2 != "" {
+		sets2, err = ssjoin.LoadSets(*input2)
+		if err != nil {
+			fatalf("loading %s: %v", *input2, err)
+		}
+		if !*noClean {
+			sets2 = ssjoin.CleanSets(sets2)
+		}
+		switch *algorithm {
+		case "cpsjoin":
+			pairs, stats = ssjoin.CPSJoinRS(sets, sets2, *threshold, opts)
+		case "allpairs":
+			pairs, stats = ssjoin.AllPairsRS(sets, sets2, *threshold)
+		default:
+			fatalf("R-S joins support cpsjoin and allpairs, not %q", *algorithm)
+		}
+	} else if ix != nil && ssjoin.Algorithm(*algorithm) == ssjoin.AlgCPSJoin {
+		// Reuse the loaded/saved preprocessing.
+		pairs, stats = ix.CPSJoin(*threshold, opts)
+	} else {
+		pairs, stats, err = ssjoin.Join(sets, *threshold, ssjoin.Algorithm(*algorithm), opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	out := os.Stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	for _, p := range pairs {
+		b := sets[p.B]
+		if sets2 != nil {
+			b = sets2[p.B]
+		}
+		fmt.Fprintf(w, "%d %d %.4f\n", p.A, p.B, ssjoin.Jaccard(sets[p.A], b))
+	}
+	if err := w.Flush(); err != nil {
+		fatalf("writing output: %v", err)
+	}
+
+	if *printStats {
+		fmt.Fprintf(os.Stderr, "ssjoin: %d pairs, %d pre-candidates, %d candidates verified\n",
+			stats.Results, stats.PreCandidates, stats.Candidates)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ssjoin: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package ssjoin_test
+
+import (
+	"fmt"
+
+	ssjoin "repro"
+)
+
+// The simplest use: join a small collection and print verified pairs.
+func ExampleCPSJoin() {
+	sets := [][]uint32{
+		{1, 2, 3, 4},     // 0
+		{1, 2, 3, 5},     // 1: J(0,1) = 3/5 = 0.6
+		{10, 11, 12},     // 2
+		{10, 11, 12},     // 3: J(2,3) = 1
+		{20, 21, 22, 23}, // 4: similar to nothing
+	}
+	pairs, _ := ssjoin.CPSJoin(sets, 0.6, &ssjoin.Options{Seed: 1})
+	for _, p := range pairs {
+		fmt.Printf("%d-%d J=%.1f\n", p.A, p.B, ssjoin.Jaccard(sets[p.A], sets[p.B]))
+	}
+	// Unordered output:
+	// 0-1 J=0.6
+	// 2-3 J=1.0
+}
+
+// Exact joins are available as ground truth or when 100% recall matters.
+func ExampleAllPairs() {
+	sets := [][]uint32{
+		{1, 2, 3, 4},
+		{1, 2, 3, 5},
+		{7, 8},
+	}
+	pairs, _ := ssjoin.AllPairs(sets, 0.5)
+	fmt.Println(len(pairs), "pair(s)")
+	// Output:
+	// 1 pair(s)
+}
+
+// An R-S join reports only cross pairs between two collections.
+func ExampleCPSJoinRS() {
+	queries := [][]uint32{{1, 2, 3, 4}}
+	catalog := [][]uint32{{5, 6, 7}, {1, 2, 3, 9}}
+	pairs, _ := ssjoin.CPSJoinRS(queries, catalog, 0.5, &ssjoin.Options{Seed: 2, Repetitions: 20})
+	for _, p := range pairs {
+		fmt.Printf("query %d matches catalog %d\n", p.A, p.B)
+	}
+	// Output:
+	// query 0 matches catalog 1
+}
+
+// NormalizeSet builds a valid set from arbitrary tokens.
+func ExampleNormalizeSet() {
+	s := ssjoin.NormalizeSet([]uint32{5, 1, 5, 3})
+	fmt.Println(s)
+	// Output:
+	// [1 3 5]
+}
+
+// Preprocess once, join at several thresholds.
+func ExampleNewIndex() {
+	sets := ssjoin.GenerateUniform(500, 12, 4000, 7)
+	sets, _ = ssjoin.PlantSimilarPairs(sets, 10, 0.9, 8)
+	ix := ssjoin.NewIndex(sets, &ssjoin.Options{Seed: 9})
+	for _, lambda := range []float64{0.5, 0.9} {
+		pairs, _ := ix.CPSJoin(lambda, &ssjoin.Options{Seed: 9})
+		exact, _ := ssjoin.AllPairs(sets, lambda)
+		fmt.Printf("λ=%.1f recall >= 0.9: %v\n", lambda, ssjoin.Recall(pairs, exact) >= 0.9)
+	}
+	// Output:
+	// λ=0.5 recall >= 0.9: true
+	// λ=0.9 recall >= 0.9: true
+}

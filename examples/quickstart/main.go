@@ -1,0 +1,48 @@
+// Quickstart: generate a small collection, run CPSJoin, and compare
+// against the exact result.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssjoin "repro"
+)
+
+func main() {
+	// A workload of 2000 random sets with 60 planted near-duplicate pairs.
+	sets := ssjoin.GenerateUniform(2000, 15, 20000, 1)
+	sets, planted := ssjoin.PlantSimilarPairs(sets, 60, 0.8, 2)
+	fmt.Printf("collection: %d sets, %d planted near-duplicate pairs\n", len(sets), len(planted))
+
+	const lambda = 0.6
+
+	// Approximate join: every pair with J >= 0.6 is reported with high
+	// probability; nothing below 0.6 is ever reported.
+	pairs, stats := ssjoin.CPSJoin(sets, lambda, &ssjoin.Options{Seed: 42})
+	fmt.Printf("CPSJoin found %d pairs (verified %d of %d pre-candidates)\n",
+		len(pairs), stats.Candidates, stats.PreCandidates)
+
+	// Exact ground truth for comparison.
+	truth := ssjoin.BruteForce(sets, lambda)
+	fmt.Printf("exact join has %d pairs\n", len(truth))
+	fmt.Printf("recall   = %.3f\n", ssjoin.Recall(pairs, truth))
+	fmt.Printf("precision = %.3f (always 1: results are exact-verified)\n",
+		ssjoin.Precision(pairs, truth))
+
+	// Inspect a few results.
+	for i, p := range pairs {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  sets %d and %d: J = %.3f\n", p.A, p.B, ssjoin.Jaccard(sets[p.A], sets[p.B]))
+	}
+
+	if ssjoin.Recall(pairs, truth) < 0.9 {
+		log.Fatal("quickstart: recall below 90% — this should not happen with default options")
+	}
+}

@@ -1,0 +1,126 @@
+package ssjoin
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIndexJoinsMatchDirectJoins(t *testing.T) {
+	sets := workload(400, 20)
+	ix := NewIndex(sets, &Options{Seed: 9})
+	for _, lambda := range []float64{0.5, 0.7} {
+		direct, _ := CPSJoin(sets, lambda, &Options{Seed: 9})
+		indexed, _ := ix.CPSJoin(lambda, &Options{Seed: 9})
+		// Same seed, same preprocessing parameters: identical output.
+		asSet := func(ps []Pair) map[Pair]bool {
+			m := make(map[Pair]bool, len(ps))
+			for _, p := range ps {
+				m[p] = true
+			}
+			return m
+		}
+		d, i := asSet(direct), asSet(indexed)
+		if len(d) != len(i) {
+			t.Fatalf("λ=%v: direct %d pairs, indexed %d", lambda, len(d), len(i))
+		}
+		for p := range d {
+			if !i[p] {
+				t.Fatalf("λ=%v: indexed join missing pair %v", lambda, p)
+			}
+		}
+	}
+}
+
+func TestIndexReuseAcrossThresholds(t *testing.T) {
+	sets := workload(400, 21)
+	ix := NewIndex(sets, &Options{Seed: 3})
+	truth05 := BruteForce(sets, 0.5)
+	truth09 := BruteForce(sets, 0.9)
+	p05, _ := ix.CPSJoin(0.5, &Options{Seed: 3})
+	p09, _ := ix.CPSJoin(0.9, &Options{Seed: 3})
+	if r := Recall(p05, truth05); r < 0.9 {
+		t.Errorf("λ=0.5 recall %v", r)
+	}
+	if r := Recall(p09, truth09); r < 0.9 {
+		t.Errorf("λ=0.9 recall %v", r)
+	}
+	// Higher thresholds are subsets of the ground truth relationship.
+	if len(p09) > len(p05) {
+		t.Errorf("more results at λ=0.9 (%d) than 0.5 (%d)", len(p09), len(p05))
+	}
+}
+
+func TestIndexMinHashAndBayes(t *testing.T) {
+	sets := workload(400, 22)
+	ix := NewIndex(sets, &Options{Seed: 4})
+	truth := BruteForce(sets, 0.5)
+	mh, _ := ix.MinHashJoin(0.5, &Options{Seed: 4})
+	if r := Recall(mh, truth); r < 0.85 {
+		t.Errorf("indexed MinHash recall %v", r)
+	}
+	by, _ := ix.BayesLSHJoin(0.5, &Options{Seed: 4})
+	if r := Recall(by, truth); r < 0.75 {
+		t.Errorf("indexed BayesLSH recall %v", r)
+	}
+	for _, p := range append(mh, by...) {
+		if Jaccard(sets[p.A], sets[p.B]) < 0.5 {
+			t.Fatal("false positive from indexed join")
+		}
+	}
+}
+
+func TestIndexConcurrentJoins(t *testing.T) {
+	sets := workload(300, 23)
+	ix := NewIndex(sets, &Options{Seed: 5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lambda := []float64{0.5, 0.6, 0.7, 0.8}[i%4]
+			pairs, _ := ix.CPSJoin(lambda, &Options{Seed: uint64(i)})
+			for _, p := range pairs {
+				if Jaccard(sets[p.A], sets[p.B]) < lambda {
+					t.Errorf("false positive in concurrent join")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestIndexSaveLoadJoin(t *testing.T) {
+	sets := workload(300, 25)
+	ix := NewIndex(sets, &Options{Seed: 6})
+	path := t.TempDir() + "/ix.cpsidx"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ix.CPSJoin(0.5, &Options{Seed: 6})
+	got, _ := loaded.CPSJoin(0.5, &Options{Seed: 6})
+	if len(want) != len(got) {
+		t.Fatalf("loaded index join: %d pairs, want %d", len(got), len(want))
+	}
+	seen := make(map[Pair]bool, len(want))
+	for _, p := range want {
+		seen[p] = true
+	}
+	for _, p := range got {
+		if !seen[p] {
+			t.Fatalf("loaded index produced different pair %v", p)
+		}
+	}
+}
+
+func TestIndexSets(t *testing.T) {
+	sets := workload(50, 24)
+	ix := NewIndex(sets, nil)
+	if len(ix.Sets()) != len(sets) {
+		t.Fatal("Sets() length mismatch")
+	}
+}

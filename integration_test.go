@@ -1,0 +1,195 @@
+package ssjoin
+
+// Integration tests: every join algorithm run over a grid of workload
+// shapes and thresholds, checking the global invariants of the system:
+//
+//  1. 100% precision for every algorithm on every input (never report a
+//     below-threshold pair).
+//  2. Exact algorithms (allpairs, ppjoin, bruteforce) return identical
+//     pair sets.
+//  3. Approximate algorithms reach their recall contract.
+//  4. Results are duplicate-free and normalized.
+
+import (
+	"fmt"
+	"testing"
+)
+
+type gridWorkload struct {
+	name string
+	sets [][]uint32
+}
+
+func integrationGrid() []gridWorkload {
+	var grid []gridWorkload
+
+	// Uniform background with planted near-duplicates (the common case).
+	u := GenerateUniform(400, 15, 6000, 100)
+	u, _ = PlantSimilarPairs(u, 25, 0.7, 101)
+	grid = append(grid, gridWorkload{"uniform+planted", u})
+
+	// Zipf-skewed (rare tokens, prefix filtering's home turf).
+	z := GenerateZipf(400, 15, 2000, 1.0, 102)
+	z, _ = PlantSimilarPairs(z, 25, 0.7, 103)
+	grid = append(grid, gridWorkload{"zipf+planted", z})
+
+	// TOKENS-style dense data (no rare tokens at all).
+	tk, _ := GenerateTokens(80, 104)
+	grid = append(grid, gridWorkload{"tokens", tk})
+
+	// Heavy duplication: many identical and near-identical sets.
+	var dup [][]uint32
+	base := NormalizeSet([]uint32{1, 2, 3, 4, 5, 6, 7, 8})
+	for i := 0; i < 120; i++ {
+		dup = append(dup, base)
+	}
+	dup = append(dup, GenerateUniform(200, 8, 4000, 105)...)
+	grid = append(grid, gridWorkload{"duplicates", dup})
+
+	// Extreme size variance.
+	var varied [][]uint32
+	big := make([]uint32, 400)
+	for i := range big {
+		big[i] = uint32(i)
+	}
+	varied = append(varied, big, big[:350], big[:60])
+	varied = append(varied, GenerateUniform(200, 10, 4000, 106)...)
+	grid = append(grid, gridWorkload{"size-variance", varied})
+	return grid
+}
+
+func TestIntegrationGrid(t *testing.T) {
+	for _, w := range integrationGrid() {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			for _, lambda := range []float64{0.5, 0.7, 0.9} {
+				truth := BruteForce(w.sets, lambda)
+				truthSet := make(map[Pair]bool, len(truth))
+				for _, p := range truth {
+					truthSet[p] = true
+				}
+				for _, alg := range Algorithms() {
+					got, _, err := Join(w.sets, lambda, alg, &Options{Seed: 7})
+					if err != nil {
+						t.Fatalf("%s: %v", alg, err)
+					}
+					seen := make(map[Pair]bool, len(got))
+					for _, p := range got {
+						if p.A >= p.B {
+							t.Fatalf("%s λ=%v: unnormalized pair %v", alg, lambda, p)
+						}
+						if seen[p] {
+							t.Fatalf("%s λ=%v: duplicate pair %v", alg, lambda, p)
+						}
+						seen[p] = true
+						if !truthSet[p] {
+							t.Fatalf("%s λ=%v: false positive %v (J=%v)",
+								alg, lambda, p, Jaccard(w.sets[p.A], w.sets[p.B]))
+						}
+					}
+					switch alg {
+					case AlgAllPairs, AlgPPJoin, AlgBruteForce:
+						if len(got) != len(truth) {
+							t.Fatalf("%s λ=%v: %d pairs, exact is %d",
+								alg, lambda, len(got), len(truth))
+						}
+					case AlgCPSJoin:
+						if r := Recall(got, truth); r < 0.9 && len(truth) >= 10 {
+							t.Errorf("%s λ=%v: recall %v < 0.9 (%d/%d)",
+								alg, lambda, r, len(got), len(truth))
+						}
+					case AlgMinHash:
+						if r := Recall(got, truth); r < 0.8 && len(truth) >= 10 {
+							t.Errorf("%s λ=%v: recall %v < 0.8", alg, lambda, r)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationRSConsistency: the approximate R-S join's results are a
+// subset of the exact R-S join's, with high recall.
+func TestIntegrationRSConsistency(t *testing.T) {
+	r := GenerateUniform(250, 15, 5000, 110)
+	s := GenerateUniform(250, 15, 5000, 111)
+	// Make some R sets similar to some S sets by cross-planting: copy a
+	// few records over with perturbation via PlantSimilarPairs on the
+	// concatenation, then split back.
+	all := append(append([][]uint32{}, r...), s...)
+	all, planted := PlantSimilarPairs(all, 20, 0.8, 112)
+	// Planted pairs append two sets each; distribute one to each side.
+	for _, p := range planted {
+		r = append(r, all[p[0]])
+		s = append(s, all[p[1]])
+	}
+
+	exact, _ := AllPairsRS(r, s, 0.6)
+	exactSet := make(map[Pair]bool, len(exact))
+	for _, p := range exact {
+		exactSet[p] = true
+	}
+	approx, _ := CPSJoinRS(r, s, 0.6, &Options{Seed: 113})
+	for _, p := range approx {
+		if !exactSet[p] {
+			t.Fatalf("approximate R-S pair %v not in exact result (J=%v)",
+				p, Jaccard(r[p.A], s[p.B]))
+		}
+	}
+	if len(exact) >= 10 {
+		hits := 0
+		for _, p := range approx {
+			if exactSet[p] {
+				hits++
+			}
+		}
+		if float64(hits) < 0.85*float64(len(exact)) {
+			t.Errorf("R-S recall %d/%d", hits, len(exact))
+		}
+	}
+}
+
+// TestIntegrationThresholdMonotonicity: raising the threshold can only
+// shrink the exact result.
+func TestIntegrationThresholdMonotonicity(t *testing.T) {
+	sets := GenerateUniform(300, 12, 2000, 120)
+	sets, _ = PlantSimilarPairs(sets, 30, 0.75, 121)
+	prev := -1
+	for _, lambda := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		got, _ := AllPairs(sets, lambda)
+		if prev >= 0 && len(got) > prev {
+			t.Fatalf("result grew when threshold rose: %d -> %d at λ=%v",
+				prev, len(got), lambda)
+		}
+		prev = len(got)
+	}
+}
+
+// TestIntegrationSeedIndependence: different seeds give different
+// randomness but the same correctness contract.
+func TestIntegrationSeedIndependence(t *testing.T) {
+	sets := GenerateUniform(300, 15, 5000, 130)
+	sets, _ = PlantSimilarPairs(sets, 20, 0.8, 131)
+	truth := BruteForce(sets, 0.6)
+	if len(truth) < 10 {
+		t.Skip("too little ground truth")
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		got, _ := CPSJoin(sets, 0.6, &Options{Seed: seed})
+		if r := Recall(got, truth); r < 0.9 {
+			t.Errorf("seed %d: recall %v", seed, r)
+		}
+	}
+}
+
+func ExampleJoin_dispatch() {
+	sets := [][]uint32{{1, 2, 3}, {1, 2, 4}, {9, 10}}
+	for _, alg := range []Algorithm{AlgBruteForce, AlgAllPairs} {
+		pairs, _, _ := Join(sets, 0.5, alg, nil)
+		fmt.Println(alg, len(pairs))
+	}
+	// Output:
+	// bruteforce 1
+	// allpairs 1
+}

@@ -1,0 +1,134 @@
+package allpairs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/intset"
+	"repro/internal/stats"
+	"repro/internal/verify"
+)
+
+func randomSets(seed int64, n, maxLen, universe int) [][]uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]uint32, n)
+	for i := range sets {
+		m := 2 + rng.Intn(maxLen-1)
+		s := make([]uint32, 0, m)
+		for j := 0; j < m; j++ {
+			s = append(s, uint32(rng.Intn(universe)))
+		}
+		s = intset.Normalize(s)
+		for len(s) < 2 {
+			s = intset.Normalize(append(s, uint32(rng.Intn(universe))))
+		}
+		sets[i] = s
+	}
+	return sets
+}
+
+func TestExactAgainstBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		seed              int64
+		n, maxLen, domain int
+	}{
+		{1, 150, 12, 30},  // small dense sets: many results
+		{2, 200, 20, 200}, // sparser
+		{3, 100, 40, 60},  // large sets, tiny universe: extreme density
+		{4, 300, 8, 2000}, // rare tokens: prefix filter's home turf
+	} {
+		sets := randomSets(tc.seed, tc.n, tc.maxLen, tc.domain)
+		for _, lambda := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+			want := verify.BruteForceJoin(sets, lambda)
+			got, counters := Join(sets, lambda)
+			if !stats.EqualPairSets(got, want) {
+				t.Fatalf("seed=%d λ=%v: AllPairs %d pairs, brute force %d; missing=%v",
+					tc.seed, lambda, len(got), len(want),
+					stats.Missing(got, want))
+			}
+			if counters.Results != int64(len(got)) {
+				t.Errorf("Results counter %d != %d pairs", counters.Results, len(got))
+			}
+			if counters.Candidates > counters.PreCandidates {
+				t.Errorf("candidates %d > pre-candidates %d",
+					counters.Candidates, counters.PreCandidates)
+			}
+		}
+	}
+}
+
+func TestIdenticalSets(t *testing.T) {
+	sets := [][]uint32{
+		{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {4, 5, 6},
+	}
+	got, _ := Join(sets, 0.9)
+	if len(got) != 3 { // three identical pairs
+		t.Fatalf("got %d pairs, want 3: %v", len(got), got)
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	if got, _ := Join(nil, 0.5); got != nil {
+		t.Errorf("Join(nil) = %v", got)
+	}
+	if got, _ := Join([][]uint32{{1, 2}}, 0.5); got != nil {
+		t.Errorf("Join(single) = %v", got)
+	}
+	got, _ := Join([][]uint32{{1, 2}, {1, 2}}, 0.5)
+	if len(got) != 1 {
+		t.Errorf("Join(two identical) = %v", got)
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	sets := [][]uint32{{5, 9, 11}, {5, 9, 12}, {1, 2}}
+	orig := make([][]uint32, len(sets))
+	for i := range sets {
+		orig[i] = append([]uint32(nil), sets[i]...)
+	}
+	Join(sets, 0.5)
+	for i := range sets {
+		if !intset.Equal(sets[i], orig[i]) {
+			t.Fatalf("input set %d modified: %v -> %v", i, orig[i], sets[i])
+		}
+	}
+}
+
+func TestPrefixLengths(t *testing.T) {
+	// probePrefix: a set of size 10 at λ=0.5 needs overlap >= 5 with the
+	// smallest partner, so 10-5+1 = 6 prefix tokens suffice.
+	if got := probePrefix(10, 0.5); got != 6 {
+		t.Errorf("probePrefix(10, 0.5) = %d, want 6", got)
+	}
+	// indexPrefix: equal-size partner needs overlap >= ceil(2*0.5/1.5*10)=7.
+	if got := indexPrefix(10, 0.5); got != 4 {
+		t.Errorf("indexPrefix(10, 0.5) = %d, want 4", got)
+	}
+	// High threshold: prefixes shrink.
+	if got := probePrefix(10, 0.9); got != 2 {
+		t.Errorf("probePrefix(10, 0.9) = %d, want 2", got)
+	}
+}
+
+func TestOnGeneratedWorkloads(t *testing.T) {
+	uniform := datagen.Uniform(400, 10, 100, 17)
+	zipf := datagen.Zipf(400, 10, 500, 1.0, 18)
+	for name, ds := range map[string][][]uint32{"uniform": uniform.Sets, "zipf": zipf.Sets} {
+		for _, lambda := range []float64{0.5, 0.7} {
+			want := verify.BruteForceJoin(ds, lambda)
+			got, _ := Join(ds, lambda)
+			if !stats.EqualPairSets(got, want) {
+				t.Fatalf("%s λ=%v: got %d pairs, want %d", name, lambda, len(got), len(want))
+			}
+		}
+	}
+}
+
+func BenchmarkAllPairsUniform(b *testing.B) {
+	ds := datagen.Uniform(2000, 10, 300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(ds.Sets, 0.5)
+	}
+}

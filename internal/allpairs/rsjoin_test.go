@@ -1,0 +1,100 @@
+package allpairs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/intset"
+	"repro/internal/verify"
+)
+
+// bruteForceRS is the quadratic reference for the R-S join.
+func bruteForceRS(r, s [][]uint32, lambda float64) map[verify.Pair]bool {
+	out := make(map[verify.Pair]bool)
+	for i, x := range r {
+		for j, y := range s {
+			if intset.Jaccard(x, y) >= lambda {
+				out[verify.Pair{A: uint32(i), B: uint32(j)}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestJoinRSExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 4; trial++ {
+		r := randomSets(rng.Int63(), 120, 15, 80)
+		s := randomSets(rng.Int63(), 150, 15, 80)
+		for _, lambda := range []float64{0.5, 0.7, 0.9} {
+			want := bruteForceRS(r, s, lambda)
+			got, counters := JoinRS(r, s, lambda)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d λ=%v: got %d pairs, want %d", trial, lambda, len(got), len(want))
+			}
+			for _, p := range got {
+				if !want[p] {
+					t.Fatalf("unexpected pair %v", p)
+				}
+			}
+			if counters.Results != int64(len(got)) {
+				t.Errorf("Results counter mismatch")
+			}
+		}
+	}
+}
+
+func TestJoinRSDisjointCollections(t *testing.T) {
+	r := [][]uint32{{1, 2, 3}}
+	s := [][]uint32{{4, 5, 6}}
+	if got, _ := JoinRS(r, s, 0.5); len(got) != 0 {
+		t.Fatalf("disjoint collections matched: %v", got)
+	}
+}
+
+func TestJoinRSIdentity(t *testing.T) {
+	sets := randomSets(61, 50, 10, 40)
+	got, _ := JoinRS(sets, sets, 0.99)
+	// Every set matches itself (J=1); identical duplicates add more.
+	if len(got) < len(sets) {
+		t.Fatalf("self-identity pairs missing: %d < %d", len(got), len(sets))
+	}
+	found := make(map[uint32]bool)
+	for _, p := range got {
+		if p.A == p.B {
+			found[p.A] = true
+		}
+	}
+	if len(found) != len(sets) {
+		t.Fatalf("only %d/%d identity pairs", len(found), len(sets))
+	}
+}
+
+func TestJoinRSEmpty(t *testing.T) {
+	if got, _ := JoinRS(nil, [][]uint32{{1}}, 0.5); got != nil {
+		t.Error("JoinRS(nil, s) returned pairs")
+	}
+	if got, _ := JoinRS([][]uint32{{1}}, nil, 0.5); got != nil {
+		t.Error("JoinRS(r, nil) returned pairs")
+	}
+}
+
+func TestJoinRSInputsNotModified(t *testing.T) {
+	r := [][]uint32{{9, 20, 31}}
+	s := [][]uint32{{9, 20, 40}}
+	JoinRS(r, s, 0.5)
+	if !intset.Equal(r[0], []uint32{9, 20, 31}) || !intset.Equal(s[0], []uint32{9, 20, 40}) {
+		t.Fatal("inputs modified")
+	}
+}
+
+func TestJoinRSOnGenerated(t *testing.T) {
+	dr := datagen.Zipf(200, 12, 300, 0.8, 62)
+	ds := datagen.Zipf(250, 12, 300, 0.8, 63)
+	want := bruteForceRS(dr.Sets, ds.Sets, 0.6)
+	got, _ := JoinRS(dr.Sets, ds.Sets, 0.6)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+}

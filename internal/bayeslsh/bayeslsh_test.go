@@ -1,0 +1,118 @@
+package bayeslsh
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/intset"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+	"repro/internal/verify"
+)
+
+func testWorkload(seed uint64) [][]uint32 {
+	ds := datagen.Uniform(600, 20, 4000, seed)
+	datagen.PlantPairs(ds, 30, 0.6, seed+1)
+	datagen.PlantPairs(ds, 30, 0.8, seed+2)
+	return ds.Sets
+}
+
+func TestPrecisionIsPerfect(t *testing.T) {
+	sets := testWorkload(1)
+	got, _ := Join(sets, 0.5, &Options{Seed: 2})
+	for _, p := range got {
+		if j := intset.Jaccard(sets[p.A], sets[p.B]); j < 0.5 {
+			t.Fatalf("false positive (%d,%d) J=%v", p.A, p.B, j)
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	sets := testWorkload(3)
+	for _, lambda := range []float64{0.5, 0.7} {
+		truth := verify.BruteForceJoin(sets, lambda)
+		if len(truth) == 0 {
+			t.Fatalf("no ground truth at λ=%v", lambda)
+		}
+		got, _ := Join(sets, lambda, &Options{Seed: 4})
+		if r := stats.Recall(got, truth); r < 0.8 {
+			t.Errorf("λ=%v recall %v (%d/%d); paper reports ~90%% for BayesLSH",
+				lambda, r, len(got), len(truth))
+		}
+	}
+}
+
+func TestPrunerMonotoneSlack(t *testing.T) {
+	p := NewPruner(8, 0.5, 0.05)
+	for w := 2; w <= 8; w++ {
+		if p.slack[w] >= p.slack[w-1] {
+			t.Fatalf("slack not shrinking: slack[%d]=%v >= slack[%d]=%v",
+				w, p.slack[w], w-1, p.slack[w-1])
+		}
+	}
+}
+
+func TestPrunerAcceptsIdentical(t *testing.T) {
+	p := NewPruner(8, 0.9, 0.05)
+	s := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if !p.Survives(s, s) {
+		t.Fatal("identical sketches pruned")
+	}
+}
+
+func TestPrunerRejectsOpposite(t *testing.T) {
+	p := NewPruner(8, 0.5, 0.05)
+	a := make([]uint64, 8)
+	b := make([]uint64, 8)
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if p.Survives(a, b) {
+		t.Fatal("fully disagreeing sketches survived")
+	}
+}
+
+// TestPrunerRarelyDropsTruePairs: pairs at the threshold should survive
+// pruning with probability ~ 1 - gamma.
+func TestPrunerRarelyDropsTruePairs(t *testing.T) {
+	const lambda, gamma = 0.6, 0.05
+	p := NewPruner(8, lambda, gamma)
+	maker := sketch.NewMaker(8, 7)
+	drops, trials := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		// Build a pair at similarity just above lambda by planting.
+		ds := datagen.Uniform(1, 60, 100000, uint64(1000+trial))
+		datagen.PlantPairs(ds, 1, lambda+0.1, uint64(trial))
+		a, b := ds.Sets[len(ds.Sets)-2], ds.Sets[len(ds.Sets)-1]
+		if intset.Jaccard(a, b) < lambda {
+			continue
+		}
+		trials++
+		if !p.Survives(maker.Sketch(a), maker.Sketch(b)) {
+			drops++
+		}
+	}
+	if trials < 100 {
+		t.Fatalf("too few trials: %d", trials)
+	}
+	if rate := float64(drops) / float64(trials); rate > gamma+0.05 {
+		t.Errorf("pruner drops %v of true pairs (budget %v)", rate, gamma)
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	if got, _ := Join(nil, 0.5, nil); got != nil {
+		t.Error("Join(nil) returned pairs")
+	}
+}
+
+func TestCountersSane(t *testing.T) {
+	sets := testWorkload(5)
+	got, c := Join(sets, 0.5, &Options{Seed: 6})
+	if c.Results != int64(len(got)) {
+		t.Errorf("Results %d != %d", c.Results, len(got))
+	}
+	if c.Candidates > c.PreCandidates {
+		t.Errorf("candidates %d > pre-candidates %d", c.Candidates, c.PreCandidates)
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/csv"
+
+	"io"
+	"strconv"
+)
+
+// CSV writers for every experiment's row type, so results can be loaded
+// into plotting tools to regenerate the paper's figures graphically.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', 6, 64) }
+func itoa(i int64) string   { return strconv.FormatInt(i, 10) }
+
+// CSVTable1 writes Table I rows as CSV.
+func CSVTable1(w io.Writer, rows []Table1Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Dataset, itoa(int64(r.NumSets)), ftoa(r.AvgSetSize), ftoa(r.SetsPerToken)})
+	}
+	return writeCSV(w, []string{"dataset", "num_sets", "avg_set_size", "sets_per_token"}, out)
+}
+
+// CSVTable2 writes Table II cells as CSV.
+func CSVTable2(w io.Writer, cells []Table2Cell) error {
+	out := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, []string{
+			c.Dataset, ftoa(c.Threshold),
+			ftoa(c.CP.Seconds()), ftoa(c.MH.Seconds()), ftoa(c.ALL.Seconds()),
+			ftoa(c.CPRecall), ftoa(c.MHRecall), itoa(int64(c.Results)),
+		})
+	}
+	return writeCSV(w, []string{
+		"dataset", "threshold", "cp_seconds", "mh_seconds", "all_seconds",
+		"cp_recall", "mh_recall", "results",
+	}, out)
+}
+
+// CSVFig2 writes Figure 2 points as CSV.
+func CSVFig2(w io.Writer, points []Fig2Point) error {
+	out := make([][]string, 0, len(points))
+	for _, p := range points {
+		out = append(out, []string{p.Dataset, ftoa(p.Threshold), ftoa(p.Speedup)})
+	}
+	return writeCSV(w, []string{"dataset", "threshold", "speedup"}, out)
+}
+
+// CSVFig3 writes Figure 3 points as CSV.
+func CSVFig3(w io.Writer, points []Fig3Point) error {
+	out := make([][]string, 0, len(points))
+	for _, p := range points {
+		out = append(out, []string{
+			p.Dataset, p.Param, ftoa(p.Value), ftoa(p.Time.Seconds()), ftoa(p.Relative),
+		})
+	}
+	return writeCSV(w, []string{"dataset", "param", "value", "seconds", "relative"}, out)
+}
+
+// CSVTable4 writes Table IV rows as CSV.
+func CSVTable4(w io.Writer, rows []Table4Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, ftoa(r.Threshold), r.Algorithm,
+			itoa(r.PreCandidates), itoa(r.Candidates), itoa(r.Results),
+		})
+	}
+	return writeCSV(w, []string{
+		"dataset", "threshold", "algorithm", "pre_candidates", "candidates", "results",
+	}, out)
+}
+
+// CSVAblation writes stopping-strategy rows as CSV.
+func CSVAblation(w io.Writer, rows []AblationRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Dataset, r.Strategy, ftoa(r.Time.Seconds()), ftoa(r.Recall)})
+	}
+	return writeCSV(w, []string{"dataset", "strategy", "seconds", "recall"}, out)
+}
+
+// CSVTheory writes recursion-bound rows as CSV.
+func CSVTheory(w io.Writer, rows []TheoryRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, itoa(int64(r.N)), itoa(int64(r.MaxDepth)), ftoa(r.DepthBound),
+			itoa(r.PeakLiveMass), itoa(r.NodeMass), itoa(r.Points), itoa(r.Nodes),
+		})
+	}
+	return writeCSV(w, []string{
+		"dataset", "n", "max_depth", "depth_bound", "peak_live_mass",
+		"node_mass", "bruteforced_points", "nodes",
+	}, out)
+}
+
+// CSVBayes writes BayesLSH comparison rows as CSV.
+func CSVBayes(w io.Writer, rows []BayesRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, ftoa(r.Threshold), ftoa(r.Bayes.Seconds()), ftoa(r.CP.Seconds()), ftoa(r.Recall),
+		})
+	}
+	return writeCSV(w, []string{"dataset", "threshold", "bayes_seconds", "cp_seconds", "recall"}, out)
+}

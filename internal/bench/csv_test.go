@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestCSVTable1(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSVTable1(&buf, []Table1Row{
+		{Dataset: "X", NumSets: 10, AvgSetSize: 2.5, SetsPerToken: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 2 || rows[1][0] != "X" || rows[1][1] != "10" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCSVTable2(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSVTable2(&buf, []Table2Cell{{
+		Dataset: "Y", Threshold: 0.5,
+		CP: 100 * time.Millisecond, MH: time.Second, ALL: 2 * time.Second,
+		CPRecall: 0.95, MHRecall: 0.91, Results: 42,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 2 || rows[1][2] != "0.1" || rows[1][7] != "42" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCSVWritersProduceHeaders(t *testing.T) {
+	cases := map[string]func(*bytes.Buffer) error{
+		"fig2": func(b *bytes.Buffer) error {
+			return CSVFig2(b, []Fig2Point{{Dataset: "A", Threshold: 0.5, Speedup: 3}})
+		},
+		"fig3": func(b *bytes.Buffer) error {
+			return CSVFig3(b, []Fig3Point{{Dataset: "A", Param: "limit", Value: 250}})
+		},
+		"table4": func(b *bytes.Buffer) error {
+			return CSVTable4(b, []Table4Row{{Dataset: "A", Threshold: 0.5, Algorithm: "CP"}})
+		},
+		"ablation": func(b *bytes.Buffer) error {
+			return CSVAblation(b, []AblationRow{{Dataset: "A", Strategy: "adaptive"}})
+		},
+		"theory": func(b *bytes.Buffer) error {
+			return CSVTheory(b, []TheoryRow{{Dataset: "A", N: 5}})
+		},
+		"bayes": func(b *bytes.Buffer) error {
+			return CSVBayes(b, []BayesRow{{Dataset: "A", Threshold: 0.5}})
+		},
+	}
+	for name, write := range cases {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("%s: %d lines, want header + 1 row", name, len(lines))
+		}
+		if !strings.Contains(lines[0], "dataset") {
+			t.Errorf("%s: header missing dataset column: %q", name, lines[0])
+		}
+	}
+}
+
+func TestRunTheorySmall(t *testing.T) {
+	ws := []Workload{mustWorkload(t, "TOKENS10K")}
+	rows := RunTheory(ws, DefaultConfig(), nil)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	// A workload below the brute-force limit is finished at the root
+	// (depth 0, one node per repetition); only the mass accounting is
+	// unconditional.
+	if r.Nodes == 0 || r.PeakLiveMass < int64(r.N) {
+		t.Errorf("implausible theory row: %+v", r)
+	}
+	var buf bytes.Buffer
+	PrintTheory(&buf, rows)
+	if !strings.Contains(buf.String(), "TOKENS10K") {
+		t.Error("theory output missing dataset")
+	}
+}

@@ -1,0 +1,631 @@
+// Package core implements CPSJoin — the Chosen Path Similarity Join of
+// Christiani, Pagh and Sivertsen (ICDE 2018) — the primary contribution of
+// the paper this repository reproduces.
+//
+// CPSJoin solves the (λ, ϕ)-set similarity join: every pair with Jaccard
+// similarity at least λ is reported with probability at least ϕ, at 100%
+// precision. The algorithm recursively splits the collection along sampled
+// MinHash positions (the Chosen Path Tree), so that the probability of a
+// pair meeting in a subproblem grows with its similarity; an adaptive
+// brute-force rule removes a point from the branching process exactly when
+// continuing would cost more comparisons than finishing it directly
+// (Algorithm 2 of the paper), which is what makes the method parameter-free
+// and robust on data without rare tokens.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prep"
+	"repro/internal/sketch"
+	"repro/internal/tabhash"
+	"repro/internal/verify"
+)
+
+// Stopping selects the strategy that decides when a point leaves the
+// branching process and is compared directly (Section IV-C.5).
+type Stopping int
+
+const (
+	// StopAdaptive removes a point when the expected number of comparisons
+	// is non-decreasing in the tree depth — the paper's contribution and
+	// the default.
+	StopAdaptive Stopping = iota
+	// StopGlobal recurses to a fixed depth k for every point, then brute
+	// forces each node (classic LSH-style parameterization).
+	StopGlobal
+	// StopIndividual fixes a per-point depth k_x estimated from sampled
+	// similarities (Ahle et al. SODA 2017 style).
+	StopIndividual
+)
+
+// Options configures CPSJoin. The zero value selects the paper's final
+// parameters (Table III): t=128, limit=250, ε=0.1, ℓ=8 words, δ=0.05,
+// 10 repetitions, adaptive stopping.
+type Options struct {
+	// T is the MinHash signature length (embedded set size).
+	T int
+	// Limit is the brute-force size threshold of Algorithm 2.
+	Limit int
+	// Epsilon is the brute-force aggressiveness of Algorithm 2.
+	// It is only consulted when EpsilonSet is true, so that ε=0.0 (a value
+	// the paper's Figure 3(b) sweeps) is expressible.
+	Epsilon    float64
+	EpsilonSet bool
+	// SketchWords is the 1-bit minwise sketch width in 64-bit words;
+	// negative disables the sketch filter entirely.
+	SketchWords int
+	// Delta is the sketch false-negative probability.
+	Delta float64
+	// Repetitions is the number of independent runs (the paper fixes 10,
+	// which achieved >90% recall on all datasets and thresholds).
+	Repetitions int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Stopping selects the stopping strategy (ablation of Section IV-C.5).
+	Stopping Stopping
+	// GlobalDepth is the fixed depth for StopGlobal; 0 derives
+	// k = ln(n)/ln(1/λ), the value balancing tree size against node count.
+	GlobalDepth int
+	// StrictBruteForce uses the literal Algorithm 2 (exact token counts,
+	// recomputed after every removal) instead of the sampled node-sketch
+	// heuristic of Section V-A.4. Exponentially slower; for tests and
+	// ablations.
+	StrictBruteForce bool
+	// MaxDepth caps recursion depth as a safety net; 0 derives a bound
+	// from n and ε following Lemma 4.
+	MaxDepth int
+	// GroundTruth, when non-nil together with StopAtRecall > 0, enables
+	// the paper's experimental procedure (Section VI-2): repetitions stop
+	// as soon as recall against the known exact result reaches
+	// StopAtRecall. Repetitions remains the upper bound.
+	GroundTruth  []verify.Pair
+	StopAtRecall float64
+	// Metrics, when non-nil, receives recursion statistics (explored tree
+	// depth, node counts, peak live node mass) for validating the
+	// theoretical bounds of Section IV (Lemma 4, Lemma 8, Remark 9).
+	Metrics *Metrics
+}
+
+// Metrics instruments the Chosen Path recursion.
+type Metrics struct {
+	// MaxDepth is the deepest node explored across all repetitions;
+	// Lemma 4 bounds it by O(log(n)/ε) with high probability.
+	MaxDepth int
+	// Nodes is the number of recursion nodes visited.
+	Nodes int64
+	// NodeMass is the sum of node sizes over all visited nodes — the
+	// total splitting work.
+	NodeMass int64
+	// PeakLiveMass is the maximum, over the depth-first traversal, of the
+	// total size of nodes on the recursion stack: the working-space
+	// measure of Lemma 8 and the O(n) conjecture of Remark 9.
+	PeakLiveMass int64
+	// BruteForcedPoints counts points removed by the adaptive rule
+	// (BRUTEFORCEPOINT calls); BruteForcedNodes counts nodes finished by
+	// BRUTEFORCEPAIRS.
+	BruteForcedPoints int64
+	BruteForcedNodes  int64
+}
+
+func (o *Options) withDefaults() Options {
+	opt := Options{}
+	if o != nil {
+		opt = *o
+	}
+	if opt.T <= 0 {
+		opt.T = 128
+	}
+	if opt.Limit <= 0 {
+		opt.Limit = 250
+	}
+	if !opt.EpsilonSet {
+		opt.Epsilon = 0.1
+	}
+	if opt.SketchWords == 0 {
+		opt.SketchWords = 8
+	}
+	if opt.Delta <= 0 || opt.Delta >= 1 {
+		opt.Delta = 0.05
+	}
+	if opt.Repetitions <= 0 {
+		opt.Repetitions = 10
+	}
+	return opt
+}
+
+// Join computes an approximate self-join at Jaccard threshold lambda.
+// Returned pairs are deduplicated, exact-verified (100% precision), and in
+// input indices.
+func Join(sets [][]uint32, lambda float64, o *Options) ([]verify.Pair, verify.Counters) {
+	j := newJoiner(sets, nil, lambda, o, nil)
+	if j == nil {
+		return nil, verify.Counters{}
+	}
+	j.run()
+	return j.res.Pairs(), j.counters
+}
+
+// Preprocess builds the reusable index (signatures and sketches) for a
+// collection with the given options. Joins at any threshold can then run
+// against it without repeating the embedding work, which is how the
+// paper's experiments measure join time.
+func Preprocess(sets [][]uint32, o *Options) *prep.Index {
+	opt := o.withDefaults()
+	words := opt.SketchWords
+	if words < 0 {
+		words = 0
+	}
+	return prep.Build(sets, opt.T, words, opt.Seed)
+}
+
+// JoinIndexed runs a self-join against a prebuilt index. The index
+// determines the signature length and sketch width; other options apply
+// unchanged.
+func JoinIndexed(ix *prep.Index, lambda float64, o *Options) ([]verify.Pair, verify.Counters) {
+	j := newJoiner(ix.Sets, nil, lambda, o, ix)
+	if j == nil {
+		return nil, verify.Counters{}
+	}
+	j.run()
+	return j.res.Pairs(), j.counters
+}
+
+// JoinRS computes an approximate R-S join: pairs (i, k) with
+// J(r[i], s[k]) >= lambda, reported as Pair{A: i, B: k} where A indexes r
+// and B indexes s. Implemented, as in Section IV of the paper, by a
+// self-join over R ∪ S restricted to cross pairs.
+func JoinRS(r, s [][]uint32, lambda float64, o *Options) ([]verify.Pair, verify.Counters) {
+	all := make([][]uint32, 0, len(r)+len(s))
+	all = append(all, r...)
+	all = append(all, s...)
+	owners := make([]uint8, len(all))
+	for i := len(r); i < len(all); i++ {
+		owners[i] = 1
+	}
+	j := newJoiner(all, owners, lambda, o, nil)
+	if j == nil {
+		return nil, verify.Counters{}
+	}
+	j.run()
+	nR := uint32(len(r))
+	pairs := j.res.Pairs()
+	out := make([]verify.Pair, 0, len(pairs))
+	for _, p := range pairs {
+		// Normalized pairs have A < B; cross pairs have exactly one side
+		// >= nR, and since all R ids precede S ids, A is the R side.
+		out = append(out, verify.Pair{A: p.A, B: p.B - nR})
+	}
+	j.counters.Results = int64(len(out))
+	return out, j.counters
+}
+
+type joiner struct {
+	sets   [][]uint32
+	owners []uint8 // nil for self-join
+	lambda float64
+	opt    Options
+
+	t        int
+	sigs     []uint32 // flattened n × t signatures
+	w        int      // sketch words; 0 if disabled
+	sketches []uint64 // flattened n × w sketches
+	filter   *sketch.Filter
+
+	verifier *verify.Verifier
+	res      *verify.ResultSet
+	counters verify.Counters
+
+	rng       *tabhash.SplitMix64
+	splitProb float64
+	maxDepth  int
+	kx        []int // per-point stopping depth for StopIndividual
+
+	scratchNode []uint64 // node sketch buffer
+	liveMass    int64    // total size of nodes on the recursion stack
+}
+
+func newJoiner(sets [][]uint32, owners []uint8, lambda float64, o *Options, ix *prep.Index) *joiner {
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("core: lambda %v out of (0,1)", lambda))
+	}
+	if len(sets) < 2 {
+		return nil
+	}
+	opt := o.withDefaults()
+	if ix != nil {
+		// A prebuilt index fixes the embedding parameters.
+		opt.T = ix.T
+		if ix.Words > 0 && opt.SketchWords > 0 {
+			opt.SketchWords = ix.Words
+		} else {
+			opt.SketchWords = -1
+		}
+	}
+	j := &joiner{
+		sets:   sets,
+		owners: owners,
+		lambda: lambda,
+		opt:    opt,
+		t:      opt.T,
+	}
+	if ix == nil {
+		words := opt.SketchWords
+		if words < 0 {
+			words = 0
+		}
+		ix = prep.Build(sets, opt.T, words, opt.Seed)
+	}
+	j.sigs = ix.Sigs
+	if opt.SketchWords > 0 {
+		j.w = ix.Words
+		j.sketches = ix.Sketches
+		j.filter = sketch.NewFilter(j.w, lambda, opt.Delta)
+		j.scratchNode = make([]uint64, j.w)
+	}
+	j.verifier = verify.NewVerifier(sets, lambda, nil)
+	j.res = verify.NewResultSet()
+	j.splitProb = 1 / (lambda * float64(opt.T))
+	j.maxDepth = opt.MaxDepth
+	if j.maxDepth <= 0 {
+		// Lemma 4: explored depth is O(log n / ε) w.h.p.; use a generous
+		// constant and treat ε=0 as ε=0.05 for the bound only.
+		eps := opt.Epsilon
+		if eps < 0.05 {
+			eps = 0.05
+		}
+		j.maxDepth = int(4*math.Log(float64(len(sets)+1))/eps) + 8
+	}
+	return j
+}
+
+func (j *joiner) run() {
+	reps := make([]int, j.opt.Repetitions)
+	for i := range reps {
+		reps[i] = i
+	}
+	j.runReps(reps)
+}
+
+// runReps executes the given repetition indices. Repetition seeds depend
+// only on the index, so partitioning indices across workers yields the
+// same tree ensemble as a sequential run.
+func (j *joiner) runReps(reps []int) {
+	n := len(j.sets)
+	if j.opt.Stopping == StopIndividual {
+		j.computeIndividualDepths()
+	}
+	for _, rep := range reps {
+		j.rng = tabhash.NewSplitMix64(tabhash.Mix64(j.opt.Seed + uint64(rep)*0x9d5))
+		root := make([]uint32, n)
+		for i := range root {
+			root[i] = uint32(i)
+		}
+		j.recurse(root, 0)
+		if j.recallReached() {
+			break
+		}
+	}
+	j.counters.Results = int64(j.res.Len())
+}
+
+// recallReached reports whether the recall-targeted stopping rule applies
+// and has been satisfied.
+func (j *joiner) recallReached() bool {
+	if j.opt.StopAtRecall <= 0 || j.opt.GroundTruth == nil {
+		return false
+	}
+	if len(j.opt.GroundTruth) == 0 {
+		return true
+	}
+	hit := 0
+	for _, p := range j.opt.GroundTruth {
+		if j.res.Contains(p.A, p.B) {
+			hit++
+		}
+	}
+	return float64(hit)/float64(len(j.opt.GroundTruth)) >= j.opt.StopAtRecall
+}
+
+// recurse processes one node of the Chosen Path Tree (Algorithm 1).
+func (j *joiner) recurse(node []uint32, depth int) {
+	if m := j.opt.Metrics; m != nil {
+		if depth > m.MaxDepth {
+			m.MaxDepth = depth
+		}
+		m.Nodes++
+		// Capture the entry size: node is reassigned below when the
+		// brute-force step removes points, and the deferred decrement must
+		// mirror the increment exactly.
+		size := int64(len(node))
+		m.NodeMass += size
+		j.liveMass += size
+		if j.liveMass > m.PeakLiveMass {
+			m.PeakLiveMass = j.liveMass
+		}
+		defer func() { j.liveMass -= size }()
+	}
+	switch j.opt.Stopping {
+	case StopGlobal:
+		gd := j.opt.GlobalDepth
+		if gd <= 0 {
+			gd = j.defaultGlobalDepth()
+		}
+		if depth >= gd || len(node) <= 2 {
+			j.bruteForcePairs(node)
+			return
+		}
+	case StopIndividual:
+		node = j.individualStep(node, depth)
+		if len(node) < 2 {
+			return
+		}
+		if depth >= j.maxDepth {
+			j.bruteForcePairs(node)
+			return
+		}
+	default: // StopAdaptive
+		if j.opt.StrictBruteForce {
+			node = j.bruteForceStrict(node)
+		} else {
+			node = j.bruteForceStep(node)
+		}
+		if len(node) < 2 {
+			return
+		}
+		if depth >= j.maxDepth {
+			j.bruteForcePairs(node)
+			return
+		}
+	}
+
+	// Splitting step: sample each signature position with probability
+	// 1/(λt) (expected 1/λ positions) and split the node by the minhash
+	// value at each sampled position (Section V-A.3).
+	for pos := 0; pos < j.t; pos++ {
+		if j.rng.Float64() >= j.splitProb {
+			continue
+		}
+		buckets := make(map[uint32][]uint32, len(node)/2+1)
+		for _, id := range node {
+			v := j.sigs[int(id)*j.t+pos]
+			buckets[v] = append(buckets[v], id)
+		}
+		for _, child := range buckets {
+			if len(child) >= 2 {
+				j.recurse(child, depth+1)
+			}
+		}
+	}
+}
+
+func (j *joiner) defaultGlobalDepth() int {
+	// Balance n(1/λ)^k tree cost against within-node comparisons:
+	// k = ln(n)/ln(1/λ).
+	k := int(math.Ceil(math.Log(float64(len(j.sets))) / math.Log(1/j.lambda)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// bruteForceStep is the implementation heuristic of Section V-A.4: a
+// single pass that estimates, via a sampled node sketch, each point's
+// average similarity to the node, brute-forces every point above
+// (1-ε)λ, and returns the remainder.
+func (j *joiner) bruteForceStep(node []uint32) []uint32 {
+	if len(node) <= j.opt.Limit {
+		j.bruteForcePairs(node)
+		return nil
+	}
+	if j.w == 0 {
+		// No sketches: fall back to the exact count-based rule.
+		return j.bruteForceStrict(node)
+	}
+
+	// Node sketch ŝ: bit i is bit i of the sketch of a uniformly sampled
+	// member, so agreement between x̂ and ŝ estimates the average
+	// similarity of x to the node.
+	nodeSketch := j.scratchNode
+	for wd := 0; wd < j.w; wd++ {
+		var word uint64
+		for b := 0; b < 64; b++ {
+			member := node[j.rng.Intn(len(node))]
+			bit := (j.sketches[int(member)*j.w+wd] >> uint(b)) & 1
+			word |= bit << uint(b)
+		}
+		nodeSketch[wd] = word
+	}
+
+	threshold := (1 - j.opt.Epsilon) * j.lambda
+	var marked, rest []uint32
+	for _, id := range node {
+		xs := j.sketches[int(id)*j.w : (int(id)+1)*j.w]
+		if sketch.EstimateJaccard(xs, nodeSketch) > threshold {
+			marked = append(marked, id)
+		} else {
+			rest = append(rest, id)
+		}
+	}
+	if len(marked) == 0 {
+		return node
+	}
+	if m := j.opt.Metrics; m != nil {
+		m.BruteForcedPoints += int64(len(marked))
+	}
+	// Marked points are compared against everything in the node exactly
+	// once: each against the survivors, plus all pairs among themselves.
+	for _, id := range marked {
+		j.bruteForcePoint(id, rest)
+	}
+	j.bruteForcePairs(marked)
+	return rest
+}
+
+// bruteForceStrict is the literal Algorithm 2: exact average Braun-Blanquet
+// similarity from token counts over the embedded sets, recomputed after
+// every removal. Used with StrictBruteForce and when sketches are disabled.
+func (j *joiner) bruteForceStrict(node []uint32) []uint32 {
+	for {
+		if len(node) <= j.opt.Limit {
+			j.bruteForcePairs(node)
+			return nil
+		}
+		counts := make(map[uint64]int32, len(node)*j.t/4)
+		for _, id := range node {
+			sig := j.sigs[int(id)*j.t : (int(id)+1)*j.t]
+			for pos, v := range sig {
+				counts[uint64(pos)<<32|uint64(v)]++
+			}
+		}
+		threshold := (1 - j.opt.Epsilon) * j.lambda
+		removed := false
+		for idx, id := range node {
+			sig := j.sigs[int(id)*j.t : (int(id)+1)*j.t]
+			sum := int64(0)
+			for pos, v := range sig {
+				sum += int64(counts[uint64(pos)<<32|uint64(v)] - 1)
+			}
+			avg := float64(sum) / (float64(j.t) * float64(len(node)-1))
+			if avg > threshold {
+				j.bruteForcePoint(id, node[:idx])
+				j.bruteForcePoint(id, node[idx+1:])
+				node = append(append([]uint32{}, node[:idx]...), node[idx+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return node
+		}
+	}
+}
+
+// individualStep removes points whose precomputed stopping depth has been
+// reached, comparing them against the whole node.
+func (j *joiner) individualStep(node []uint32, depth int) []uint32 {
+	if len(node) <= 2 {
+		j.bruteForcePairs(node)
+		return nil
+	}
+	var marked, rest []uint32
+	for _, id := range node {
+		if depth >= j.kx[id] {
+			marked = append(marked, id)
+		} else {
+			rest = append(rest, id)
+		}
+	}
+	if len(marked) == 0 {
+		return node
+	}
+	for _, id := range marked {
+		j.bruteForcePoint(id, rest)
+	}
+	j.bruteForcePairs(marked)
+	return rest
+}
+
+// computeIndividualDepths estimates, for every point, the depth k_x
+// minimizing (1/λ)^k + Σ_y (sim(x,y)/λ)^k, with the sum estimated from a
+// sample of sketch similarities (the individual strategy of Ahle et al.).
+func (j *joiner) computeIndividualDepths() {
+	n := len(j.sets)
+	j.kx = make([]int, n)
+	if j.w == 0 {
+		for i := range j.kx {
+			j.kx[i] = j.defaultGlobalDepth()
+		}
+		return
+	}
+	rng := tabhash.NewSplitMix64(j.opt.Seed + 0xdead)
+	sample := 32
+	if sample > n-1 {
+		sample = n - 1
+	}
+	kMax := j.defaultGlobalDepth() + 4
+	sims := make([]float64, 0, sample)
+	for x := 0; x < n; x++ {
+		sims = sims[:0]
+		xs := j.sketches[x*j.w : (x+1)*j.w]
+		for s := 0; s < sample; s++ {
+			y := rng.Intn(n)
+			if y == x {
+				continue
+			}
+			ys := j.sketches[y*j.w : (y+1)*j.w]
+			sims = append(sims, sketch.EstimateJaccard(xs, ys))
+		}
+		scale := float64(n-1) / float64(max(len(sims), 1))
+		bestK, bestCost := 1, math.Inf(1)
+		for k := 1; k <= kMax; k++ {
+			cost := math.Pow(1/j.lambda, float64(k))
+			for _, s := range sims {
+				cost += scale * math.Pow(s/j.lambda, float64(k))
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestK = k
+			}
+		}
+		j.kx[x] = bestK
+	}
+}
+
+// crossPair reports whether the pair should be emitted given ownership
+// (always true for self-joins).
+func (j *joiner) crossPair(a, b uint32) bool {
+	return j.owners == nil || j.owners[a] != j.owners[b]
+}
+
+// checkPair runs the candidate pipeline on one pair: ownership, size
+// filter, sketch filter, dedup, exact verification. The cheap constant-time
+// filters run before the dedup map lookup because the overwhelming
+// majority of pre-candidates die in them.
+func (j *joiner) checkPair(a, b uint32) {
+	j.counters.PreCandidates++
+	if !j.crossPair(a, b) {
+		return
+	}
+	if !j.verifier.SizeCompatible(len(j.sets[a]), len(j.sets[b])) {
+		return
+	}
+	if j.filter != nil {
+		sa := j.sketches[int(a)*j.w : (int(a)+1)*j.w]
+		sb := j.sketches[int(b)*j.w : (int(b)+1)*j.w]
+		if !j.filter.Accept(sa, sb) {
+			return
+		}
+	}
+	if j.res.Contains(a, b) {
+		return
+	}
+	j.counters.Candidates++
+	if j.verifier.Verify(a, b) {
+		j.res.Add(a, b)
+	}
+}
+
+// bruteForcePairs reports all qualifying pairs within the node
+// (BRUTEFORCEPAIRS in Algorithm 2).
+func (j *joiner) bruteForcePairs(node []uint32) {
+	if m := j.opt.Metrics; m != nil && len(node) > 1 {
+		m.BruteForcedNodes++
+	}
+	for i := 0; i < len(node); i++ {
+		for k := i + 1; k < len(node); k++ {
+			j.checkPair(node[i], node[k])
+		}
+	}
+}
+
+// bruteForcePoint compares one point against a list of others
+// (BRUTEFORCEPOINT in Algorithm 2).
+func (j *joiner) bruteForcePoint(id uint32, others []uint32) {
+	for _, other := range others {
+		if other != id {
+			j.checkPair(id, other)
+		}
+	}
+}

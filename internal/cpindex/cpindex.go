@@ -1,0 +1,223 @@
+// Package cpindex implements the Chosen Path similarity search index of
+// Christiani and Pagh (STOC 2017) — reference [5] of the CPSJoin paper
+// and the data structure the join algorithm is derived from.
+//
+// The index answers approximate similarity search: given a query set q,
+// return some indexed set y with J(q, y) >= λ if one exists, with
+// probability at least ϕ. It materializes the same random splitting trees
+// that CPSJoin traverses on the fly (Section IV-B of the paper discusses
+// the trade-off: the index stores the trees and supports online queries at
+// the cost of O(n^(1+ρ)) space, while CPSJoin streams them in near-linear
+// space). Having both makes the relationship concrete and testable.
+package cpindex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/intset"
+	"repro/internal/minhash"
+	"repro/internal/tabhash"
+)
+
+// Options configures index construction.
+type Options struct {
+	// T is the MinHash signature length (default 128).
+	T int
+	// LeafSize stops splitting when a node is at most this large
+	// (default 32).
+	LeafSize int
+	// MaxDepth caps tree depth (default ln(n)/ln(1/λ) + 4, the classic
+	// worst-case parameterization).
+	MaxDepth int
+	// Trees is the number of independent trees (repetitions); more trees
+	// increase recall (default 10).
+	Trees int
+	// Seed makes construction reproducible.
+	Seed uint64
+}
+
+func (o *Options) withDefaults() Options {
+	opt := Options{}
+	if o != nil {
+		opt = *o
+	}
+	if opt.T <= 0 {
+		opt.T = 128
+	}
+	if opt.LeafSize <= 0 {
+		opt.LeafSize = 32
+	}
+	if opt.Trees <= 0 {
+		opt.Trees = 10
+	}
+	return opt
+}
+
+// Index is a built Chosen Path search structure over a collection.
+type Index struct {
+	sets   [][]uint32
+	lambda float64
+	opt    Options
+
+	signer *minhash.Signer
+	sigs   []uint32
+	trees  []*node
+
+	// Stats describe the built structure.
+	Nodes  int
+	Leaves int
+}
+
+// node is one vertex of a Chosen Path tree. Leaves hold record ids;
+// internal nodes hold, for each sampled signature position, a bucket map
+// from minhash value to child.
+type node struct {
+	leaf      []uint32
+	positions []int
+	children  []map[uint32]*node
+}
+
+// Build constructs the index for similarity threshold lambda.
+func Build(sets [][]uint32, lambda float64, o *Options) *Index {
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("cpindex: lambda %v out of (0,1)", lambda))
+	}
+	opt := o.withDefaults()
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = int(math.Ceil(math.Log(float64(len(sets)+1))/math.Log(1/lambda))) + 4
+	}
+	ix := &Index{
+		sets:   sets,
+		lambda: lambda,
+		opt:    opt,
+		signer: minhash.NewSigner(opt.T, opt.Seed),
+	}
+	ix.sigs = ix.signer.SignAll(sets)
+
+	all := make([]uint32, len(sets))
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	splitProb := 1 / (lambda * float64(opt.T))
+	for tr := 0; tr < opt.Trees; tr++ {
+		rng := tabhash.NewSplitMix64(tabhash.Mix64(opt.Seed + uint64(tr)*0xc9f1))
+		ix.trees = append(ix.trees, ix.build(all, 0, rng, splitProb))
+	}
+	return ix
+}
+
+func (ix *Index) build(ids []uint32, depth int, rng *tabhash.SplitMix64, splitProb float64) *node {
+	ix.Nodes++
+	if len(ids) <= ix.opt.LeafSize || depth >= ix.opt.MaxDepth {
+		ix.Leaves++
+		return &node{leaf: ids}
+	}
+	n := &node{}
+	for pos := 0; pos < ix.opt.T; pos++ {
+		if rng.Float64() >= splitProb {
+			continue
+		}
+		buckets := make(map[uint32][]uint32)
+		for _, id := range ids {
+			v := ix.sigs[int(id)*ix.opt.T+pos]
+			buckets[v] = append(buckets[v], id)
+		}
+		childMap := make(map[uint32]*node, len(buckets))
+		for v, bucket := range buckets {
+			childMap[v] = ix.build(bucket, depth+1, rng, splitProb)
+		}
+		n.positions = append(n.positions, pos)
+		n.children = append(n.children, childMap)
+	}
+	if len(n.positions) == 0 {
+		// No position sampled: the node dies in the branching process;
+		// keep its points reachable as a leaf so recall only improves.
+		ix.Leaves++
+		return &node{leaf: ids}
+	}
+	return n
+}
+
+// Query returns an indexed set with J(q, result) >= lambda if the search
+// finds one: the id, its exact similarity, and whether one was found. The
+// query set must be normalized. Each true near neighbor is found with
+// constant probability per tree, so with the default 10 trees recall is
+// high; misses (ok = false despite a neighbor existing) happen with the
+// (λ, ϕ) guarantee's residual probability.
+func (ix *Index) Query(q []uint32) (int, float64, bool) {
+	best := -1
+	bestSim := 0.0
+	if len(q) == 0 {
+		return best, bestSim, false
+	}
+	qsig := ix.signer.Sign(q)
+	seen := make(map[uint32]bool)
+	for _, tree := range ix.trees {
+		ix.search(tree, q, qsig, seen, &best, &bestSim)
+		if best >= 0 {
+			// Any verified neighbor satisfies the contract; returning the
+			// best found so far keeps latency low like the original
+			// structure (first hit wins). We finish the current tree for
+			// a better candidate but do not scan remaining trees.
+			break
+		}
+	}
+	return best, bestSim, best >= 0
+}
+
+// QueryAll returns every distinct indexed set with J(q, y) >= lambda
+// reachable through the trees (recall grows with Trees).
+func (ix *Index) QueryAll(q []uint32) []int {
+	if len(q) == 0 {
+		return nil
+	}
+	qsig := ix.signer.Sign(q)
+	seen := make(map[uint32]bool)
+	var out []int
+	for _, tree := range ix.trees {
+		ix.collect(tree, q, qsig, seen, &out)
+	}
+	return out
+}
+
+func (ix *Index) search(n *node, q []uint32, qsig []uint32, seen map[uint32]bool, best *int, bestSim *float64) {
+	if n.leaf != nil {
+		for _, id := range n.leaf {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if sim := intset.Jaccard(q, ix.sets[id]); sim >= ix.lambda && sim > *bestSim {
+				*best = int(id)
+				*bestSim = sim
+			}
+		}
+		return
+	}
+	for i, pos := range n.positions {
+		if child, ok := n.children[i][qsig[pos]]; ok {
+			ix.search(child, q, qsig, seen, best, bestSim)
+		}
+	}
+}
+
+func (ix *Index) collect(n *node, q []uint32, qsig []uint32, seen map[uint32]bool, out *[]int) {
+	if n.leaf != nil {
+		for _, id := range n.leaf {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if intset.Jaccard(q, ix.sets[id]) >= ix.lambda {
+				*out = append(*out, int(id))
+			}
+		}
+		return
+	}
+	for i, pos := range n.positions {
+		if child, ok := n.children[i][qsig[pos]]; ok {
+			ix.collect(child, q, qsig, seen, out)
+		}
+	}
+}

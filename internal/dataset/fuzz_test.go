@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, and that anything it
+// accepts round-trips through Write/Parse unchanged.
+func FuzzParse(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("")
+	f.Add("0\n")
+	f.Add("4294967295 0\n")
+	f.Add("1,2,3\r\n")
+	f.Add("   \n\t\n")
+	f.Add("1 1 1 1\n")
+	f.Add("x\n")
+	f.Add("99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := dsValidateLoose(ds); err != nil {
+			t.Fatalf("parsed dataset invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ds.Write(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if len(back.Sets) != len(ds.Sets) {
+			t.Fatalf("round trip changed set count %d -> %d", len(ds.Sets), len(back.Sets))
+		}
+		for i := range ds.Sets {
+			if len(back.Sets[i]) != len(ds.Sets[i]) {
+				t.Fatalf("set %d changed length", i)
+			}
+			for j := range ds.Sets[i] {
+				if back.Sets[i][j] != ds.Sets[i][j] {
+					t.Fatalf("set %d token %d changed", i, j)
+				}
+			}
+		}
+	})
+}
+
+// dsValidateLoose allows empty sets (Parse skips blank lines but a line
+// of separators yields nothing and is skipped too) while still requiring
+// sortedness.
+func dsValidateLoose(d *Dataset) error {
+	for _, set := range d.Sets {
+		for i := 1; i < len(set); i++ {
+			if set[i] <= set[i-1] {
+				return errNotSorted
+			}
+		}
+	}
+	return nil
+}
+
+var errNotSorted = ErrBadToken

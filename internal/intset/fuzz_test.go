@@ -1,0 +1,40 @@
+package intset
+
+import "testing"
+
+// FuzzIntersect cross-checks the optimized intersection paths against the
+// map-based reference on arbitrary byte-derived sets.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{255, 255, 1}, []byte{1})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := fromBytes(rawA)
+		b := fromBytes(rawB)
+		want := refIntersectSize(a, b)
+		if got := IntersectSize(a, b); got != want {
+			t.Fatalf("IntersectSize = %d, want %d (a=%v b=%v)", got, want, a, b)
+		}
+		// Early-termination variant must agree for every bound.
+		for req := 0; req <= want+2; req++ {
+			if _, ok := IntersectSizeAtLeast(a, b, req); ok != (want >= req) {
+				t.Fatalf("IntersectSizeAtLeast(req=%d) = %v, |∩|=%d", req, ok, want)
+			}
+		}
+		// Jaccard stays in range and is symmetric.
+		j1, j2 := Jaccard(a, b), Jaccard(b, a)
+		if j1 != j2 || j1 < 0 || j1 > 1 {
+			t.Fatalf("Jaccard broken: %v vs %v", j1, j2)
+		}
+	})
+}
+
+// fromBytes widens bytes (with position salt so duplicates spread) and
+// normalizes into a set.
+func fromBytes(raw []byte) []uint32 {
+	s := make([]uint32, 0, len(raw))
+	for i, v := range raw {
+		s = append(s, uint32(v)+uint32(i%7)*64)
+	}
+	return Normalize(s)
+}

@@ -1,0 +1,230 @@
+// Package intset provides primitives on sets represented as strictly
+// increasing slices of uint32 tokens.
+//
+// Every set similarity join in this repository ultimately reduces to
+// computing (or bounding) intersection sizes of such sets, so these
+// functions are the innermost loops of the whole system. They are written
+// for predictable branch behaviour and zero allocation.
+package intset
+
+import (
+	"math"
+	"sort"
+)
+
+// IsSet reports whether s is strictly increasing (sorted, duplicate-free).
+func IsSet(s []uint32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize sorts s and removes duplicates in place, returning the
+// normalized slice. The input slice's backing array is reused.
+func Normalize(s []uint32) []uint32 {
+	if IsSet(s) {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Contains reports whether set s contains token x, by binary search.
+func Contains(s []uint32, x uint32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}
+
+// Equal reports whether a and b are identical sets.
+func Equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectSize returns |a ∩ b| using a linear merge, switching to a
+// galloping search when the sizes are very unbalanced.
+func IntersectSize(a, b []uint32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	// Galloping pays off when one list is much longer than the other.
+	if len(b) >= 32*len(a) {
+		return gallopIntersectSize(a, b)
+	}
+	return mergeIntersectSize(a, b)
+}
+
+func mergeIntersectSize(a, b []uint32) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i], b[j]
+		if ai == bj {
+			n++
+			i++
+			j++
+		} else if ai < bj {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// gallopIntersectSize intersects a short list a against a long list b by
+// exponential search.
+func gallopIntersectSize(a, b []uint32) int {
+	n := 0
+	lo := 0
+	for _, x := range a {
+		// Exponential probe from lo.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < x {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search in (lo-1, hi].
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if b[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(b) && b[lo] == x {
+			n++
+			lo++
+		}
+		if lo >= len(b) {
+			break
+		}
+	}
+	return n
+}
+
+// IntersectSizeAtLeast reports whether |a ∩ b| >= required, terminating
+// early as soon as the bound can no longer be reached (or as soon as it has
+// been reached). It returns the exact intersection size if it finished the
+// scan, or a value >= required / < required suitable only for threshold
+// comparison otherwise. The boolean result is the authoritative answer.
+func IntersectSizeAtLeast(a, b []uint32, required int) (int, bool) {
+	if required <= 0 {
+		return 0, true
+	}
+	if len(a) < required || len(b) < required {
+		return 0, false
+	}
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Remaining elements cannot reach the bound: bail out.
+		if n+min(len(a)-i, len(b)-j) < required {
+			return n, false
+		}
+		ai, bj := a[i], b[j]
+		if ai == bj {
+			n++
+			if n >= required {
+				return n, true
+			}
+			i++
+			j++
+		} else if ai < bj {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n, n >= required
+}
+
+// UnionSize returns |a ∪ b|.
+func UnionSize(a, b []uint32) int {
+	return len(a) + len(b) - IntersectSize(a, b)
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b|, with Jaccard(∅, ∅) defined as 0.
+func Jaccard(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	in := IntersectSize(a, b)
+	return float64(in) / float64(len(a)+len(b)-in)
+}
+
+// BraunBlanquet returns |a ∩ b| / max(|a|, |b|), with BB(∅, ∅) = 0.
+func BraunBlanquet(a, b []uint32) float64 {
+	m := max(len(a), len(b))
+	if m == 0 {
+		return 0
+	}
+	return float64(IntersectSize(a, b)) / float64(m)
+}
+
+// CosineSet returns the cosine similarity of two sets viewed as binary
+// vectors: |a ∩ b| / sqrt(|a| · |b|).
+func CosineSet(a, b []uint32) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return float64(IntersectSize(a, b)) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// JaccardOverlapBound returns the minimum intersection size two sets of the
+// given sizes must have so that their Jaccard similarity can reach lambda:
+// ceil(lambda/(1+lambda) * (la+lb)).
+func JaccardOverlapBound(la, lb int, lambda float64) int {
+	t := lambda / (1 + lambda) * float64(la+lb)
+	o := int(t)
+	if float64(o) < t {
+		o++
+	}
+	if o < 1 {
+		o = 1
+	}
+	return o
+}
+
+// JaccardFromOverlap returns the Jaccard similarity implied by an exact
+// intersection size.
+func JaccardFromOverlap(la, lb, inter int) float64 {
+	u := la + lb - inter
+	if u == 0 {
+		return 0
+	}
+	return float64(inter) / float64(u)
+}

@@ -1,0 +1,300 @@
+package intset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refIntersectSize is the obvious map-based reference implementation.
+func refIntersectSize(a, b []uint32) int {
+	m := make(map[uint32]bool, len(a))
+	for _, x := range a {
+		m[x] = true
+	}
+	n := 0
+	for _, x := range b {
+		if m[x] {
+			n++
+		}
+	}
+	return n
+}
+
+func randomSet(rng *rand.Rand, maxLen, universe int) []uint32 {
+	n := rng.Intn(maxLen + 1)
+	s := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, uint32(rng.Intn(universe)))
+	}
+	return Normalize(s)
+}
+
+func TestIsSet(t *testing.T) {
+	cases := []struct {
+		in   []uint32
+		want bool
+	}{
+		{nil, true},
+		{[]uint32{1}, true},
+		{[]uint32{1, 2, 3}, true},
+		{[]uint32{1, 1}, false},
+		{[]uint32{2, 1}, false},
+		{[]uint32{0, 5, 5, 9}, false},
+	}
+	for _, c := range cases {
+		if got := IsSet(c.in); got != c.want {
+			t.Errorf("IsSet(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]uint32{5, 1, 5, 3, 1})
+	want := []uint32{1, 3, 5}
+	if !Equal(got, want) {
+		t.Errorf("Normalize = %v, want %v", got, want)
+	}
+	if !IsSet(got) {
+		t.Errorf("Normalize output not a set: %v", got)
+	}
+	// Already-normalized input is returned unchanged.
+	in := []uint32{2, 4, 6}
+	if out := Normalize(in); &out[0] != &in[0] || !Equal(out, in) {
+		t.Errorf("Normalize of sorted input changed it: %v", out)
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s := Normalize(append([]uint32(nil), raw...))
+		if !IsSet(s) {
+			return false
+		}
+		// Every input element is present, and nothing else.
+		for _, x := range raw {
+			if !Contains(s, x) {
+				return false
+			}
+		}
+		for _, x := range s {
+			found := false
+			for _, y := range raw {
+				if x == y {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := []uint32{2, 5, 9, 100, 4000}
+	for _, x := range s {
+		if !Contains(s, x) {
+			t.Errorf("Contains(%v, %d) = false, want true", s, x)
+		}
+	}
+	for _, x := range []uint32{0, 1, 3, 10, 99, 101, 5000} {
+		if Contains(s, x) {
+			t.Errorf("Contains(%v, %d) = true, want false", s, x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains(nil, 1) = true")
+	}
+}
+
+func TestIntersectSizeAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := randomSet(rng, 60, 120)
+		b := randomSet(rng, 60, 120)
+		want := refIntersectSize(a, b)
+		if got := IntersectSize(a, b); got != want {
+			t.Fatalf("IntersectSize(%v, %v) = %d, want %d", a, b, got, want)
+		}
+		if got := IntersectSize(b, a); got != want {
+			t.Fatalf("IntersectSize not symmetric on %v, %v", a, b)
+		}
+	}
+}
+
+func TestGallopIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		small := randomSet(rng, 5, 100000)
+		big := randomSet(rng, 4000, 100000)
+		want := refIntersectSize(small, big)
+		if got := IntersectSize(small, big); got != want {
+			t.Fatalf("galloping IntersectSize = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestIntersectSizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := randomSet(rng, 40, 60)
+		b := randomSet(rng, 40, 60)
+		exact := refIntersectSize(a, b)
+		for req := 0; req <= 12; req++ {
+			_, ok := IntersectSizeAtLeast(a, b, req)
+			if want := exact >= req; ok != want {
+				t.Fatalf("IntersectSizeAtLeast(|∩|=%d, req=%d) = %v, want %v",
+					exact, req, ok, want)
+			}
+		}
+	}
+}
+
+func TestIntersectBoundNeverExceedsMin(t *testing.T) {
+	f := func(rawA, rawB []uint32) bool {
+		a := Normalize(append([]uint32(nil), rawA...))
+		b := Normalize(append([]uint32(nil), rawB...))
+		in := IntersectSize(a, b)
+		return in <= len(a) && in <= len(b) && in >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}, 1},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 0.5},
+		{[]uint32{1, 2}, []uint32{3, 4}, 0},
+		{[]uint32{1, 2, 3}, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); got != c.want {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		a := randomSet(rng, 30, 50)
+		b := randomSet(rng, 30, 50)
+		ab, ba := Jaccard(a, b), Jaccard(b, a)
+		if ab != ba {
+			t.Fatalf("Jaccard not symmetric: %v vs %v", ab, ba)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("Jaccard out of range: %v", ab)
+		}
+		if len(a) > 0 && Jaccard(a, a) != 1 {
+			t.Fatalf("Jaccard(a, a) != 1 for %v", a)
+		}
+	}
+}
+
+func TestSimilarityMeasureOrdering(t *testing.T) {
+	// For any pair, Jaccard <= CosineSet <= BraunBlanquet is false in
+	// general; but Jaccard <= Cosine and BraunBlanquet <= Cosine hold:
+	// J = i/(a+b-i) <= i/sqrt(ab) (AM-GM on union), BB = i/max <= i/sqrt(ab).
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		a := randomSet(rng, 30, 40)
+		b := randomSet(rng, 30, 40)
+		if len(a) == 0 || len(b) == 0 {
+			continue
+		}
+		j, c, bb := Jaccard(a, b), CosineSet(a, b), BraunBlanquet(a, b)
+		const eps = 1e-12
+		if j > c+eps {
+			t.Fatalf("J=%v > cosine=%v for %v %v", j, c, a, b)
+		}
+		if bb > c+eps {
+			t.Fatalf("BB=%v > cosine=%v for %v %v", bb, c, a, b)
+		}
+	}
+}
+
+func TestJaccardOverlapBound(t *testing.T) {
+	// The bound must be tight: overlap >= bound iff J can be >= lambda.
+	for _, lambda := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		for la := 1; la <= 30; la++ {
+			for lb := 1; lb <= 30; lb++ {
+				bound := JaccardOverlapBound(la, lb, lambda)
+				maxInter := min(la, lb)
+				for o := 0; o <= maxInter; o++ {
+					j := JaccardFromOverlap(la, lb, o)
+					if j >= lambda && o < bound {
+						t.Fatalf("bound too high: la=%d lb=%d o=%d j=%v bound=%d",
+							la, lb, o, j, bound)
+					}
+				}
+				if bound <= maxInter {
+					// At exactly the bound the similarity must reach lambda.
+					if j := JaccardFromOverlap(la, lb, bound); j < lambda-1e-9 {
+						t.Fatalf("bound too low: la=%d lb=%d bound=%d j=%v",
+							la, lb, bound, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnionSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		a := randomSet(rng, 30, 50)
+		b := randomSet(rng, 30, 50)
+		union := make(map[uint32]bool)
+		for _, x := range a {
+			union[x] = true
+		}
+		for _, x := range b {
+			union[x] = true
+		}
+		if got := UnionSize(a, b); got != len(union) {
+			t.Fatalf("UnionSize = %d, want %d", got, len(union))
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(nil, nil) || !Equal([]uint32{1}, []uint32{1}) {
+		t.Error("Equal false negative")
+	}
+	if Equal([]uint32{1}, []uint32{2}) || Equal([]uint32{1}, []uint32{1, 2}) {
+		t.Error("Equal false positive")
+	}
+}
+
+func BenchmarkIntersectMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randomSet(rng, 200, 10000)
+	y := randomSet(rng, 200, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectSize(x, y)
+	}
+}
+
+func BenchmarkIntersectGallop(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randomSet(rng, 8, 1000000)
+	y := randomSet(rng, 20000, 1000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectSize(x, y)
+	}
+}

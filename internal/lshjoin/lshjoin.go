@@ -1,0 +1,268 @@
+// Package lshjoin implements the MINHASH locality-sensitive hashing
+// similarity join of Algorithm 3 in the CPSJoin paper: L independent
+// repetitions of bucketing on k concatenated MinHash values, followed by
+// brute-force verification within buckets, sharing the 1-bit minwise
+// sketch pre-filter with the CPSJoin implementation.
+//
+// The number of concatenated hash functions k is chosen per dataset and
+// threshold by estimating the combined cost of bucket lookups and bucket
+// pair verification for k in {2, ..., 10}, as sketched by Cohen et al. and
+// described in Section V-B of the paper. The repetition count follows from
+// the target recall: a pair at similarity λ collides with probability λᵏ
+// per repetition, so L = ceil(ln(1/(1-ϕ)) / λᵏ).
+package lshjoin
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prep"
+	"repro/internal/sketch"
+	"repro/internal/tabhash"
+	"repro/internal/verify"
+)
+
+// Options configures the MinHash LSH join.
+type Options struct {
+	// K is the number of concatenated MinHash values per bucket key.
+	// 0 selects K automatically by cost estimation over {2..10}.
+	K int
+	// L is the number of repetitions. 0 derives L from TargetRecall and K.
+	L int
+	// MaxL caps the derived repetition count (guards against tiny λᵏ).
+	MaxL int
+	// TargetRecall is the per-pair recall probability ϕ (default 0.9).
+	TargetRecall float64
+	// T is the signature length used as the pool of MinHash values
+	// (default 128, as in the paper's implementation).
+	T int
+	// SketchWords is the 1-bit minwise sketch width in 64-bit words
+	// (default 8). 0 keeps the default; negative disables the filter.
+	SketchWords int
+	// Delta is the sketch false-negative probability (default 0.05).
+	Delta float64
+	// Seed makes runs reproducible.
+	Seed uint64
+	// GroundTruth, when non-nil together with StopAtRecall > 0, stops
+	// repetitions as soon as recall against the known exact result reaches
+	// StopAtRecall (the paper's experimental procedure, Section VI-2).
+	GroundTruth  []verify.Pair
+	StopAtRecall float64
+}
+
+func (o *Options) withDefaults() Options {
+	opt := Options{}
+	if o != nil {
+		opt = *o
+	}
+	if opt.TargetRecall <= 0 || opt.TargetRecall >= 1 {
+		opt.TargetRecall = 0.9
+	}
+	if opt.T <= 0 {
+		opt.T = 128
+	}
+	if opt.SketchWords == 0 {
+		opt.SketchWords = 8
+	}
+	if opt.Delta <= 0 || opt.Delta >= 1 {
+		opt.Delta = 0.05
+	}
+	if opt.MaxL <= 0 {
+		opt.MaxL = 512
+	}
+	return opt
+}
+
+// Join computes an approximate self-join at Jaccard threshold lambda,
+// reporting each true result pair with probability at least TargetRecall.
+// Returned pairs are deduplicated and exact-verified (100% precision).
+func Join(sets [][]uint32, lambda float64, o *Options) ([]verify.Pair, verify.Counters) {
+	opt := o.withDefaults()
+	words := opt.SketchWords
+	if words < 0 {
+		words = 0
+	}
+	if len(sets) < 2 {
+		return nil, verify.Counters{}
+	}
+	return JoinIndexed(prep.Build(sets, opt.T, words, opt.Seed), lambda, o)
+}
+
+// JoinIndexed runs the join against a prebuilt index (signatures and
+// sketches), excluding preprocessing from the join work, as in the paper's
+// measurements. The index fixes T and the sketch width.
+func JoinIndexed(ix *prep.Index, lambda float64, o *Options) ([]verify.Pair, verify.Counters) {
+	opt := o.withDefaults()
+	opt.T = ix.T
+	sets := ix.Sets
+	var counters verify.Counters
+	if len(sets) < 2 {
+		return nil, counters
+	}
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("lshjoin: lambda %v out of (0,1)", lambda))
+	}
+
+	sigs := ix.Sigs
+
+	var sketches []uint64
+	var filter *sketch.Filter
+	if opt.SketchWords > 0 && ix.Words > 0 {
+		opt.SketchWords = ix.Words
+		sketches = ix.Sketches
+		filter = sketch.NewFilter(opt.SketchWords, lambda, opt.Delta)
+	}
+
+	rng := tabhash.NewSplitMix64(opt.Seed + 0x1f1f)
+
+	k := opt.K
+	if k <= 0 {
+		k = chooseK(sets, sigs, opt.T, lambda, opt.TargetRecall, rng)
+	}
+	l := opt.L
+	if l <= 0 {
+		l = Repetitions(lambda, k, opt.TargetRecall)
+		if l > opt.MaxL {
+			l = opt.MaxL
+		}
+	}
+
+	res := verify.NewResultSet()
+	v := verify.NewVerifier(sets, lambda, nil)
+	positions := make([]int, k)
+	hasher := tabhash.NewTable64(opt.Seed + 0x7e7e)
+
+	for rep := 0; rep < l; rep++ {
+		samplePositions(rng, positions, opt.T)
+		buckets := bucketize(sets, sigs, opt.T, positions, hasher)
+		for _, bucket := range buckets {
+			bruteForceBucket(bucket, sets, sketches, filter, opt.SketchWords, v, res, &counters)
+		}
+		if recallReached(res, opt.GroundTruth, opt.StopAtRecall) {
+			break
+		}
+	}
+	counters.Results = int64(res.Len())
+	return res.Pairs(), counters
+}
+
+// recallReached reports whether the recall-targeted stopping rule applies
+// and is satisfied.
+func recallReached(res *verify.ResultSet, truth []verify.Pair, target float64) bool {
+	if target <= 0 || truth == nil {
+		return false
+	}
+	if len(truth) == 0 {
+		return true
+	}
+	hit := 0
+	for _, p := range truth {
+		if res.Contains(p.A, p.B) {
+			hit++
+		}
+	}
+	return float64(hit)/float64(len(truth)) >= target
+}
+
+// Repetitions returns the repetition count needed for per-pair recall phi
+// at bucket collision probability lambda^k.
+func Repetitions(lambda float64, k int, phi float64) int {
+	p := math.Pow(lambda, float64(k))
+	l := int(math.Ceil(math.Log(1/(1-phi)) / p))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// samplePositions fills pos with k distinct indices from [t].
+func samplePositions(rng *tabhash.SplitMix64, pos []int, t int) {
+	seen := make(map[int]bool, len(pos))
+	for i := range pos {
+		for {
+			p := rng.Intn(t)
+			if !seen[p] {
+				seen[p] = true
+				pos[i] = p
+				break
+			}
+		}
+	}
+}
+
+// bucketize groups set ids by the hash of their signature values at the
+// sampled positions.
+func bucketize(sets [][]uint32, sigs []uint32, t int, positions []int, hasher *tabhash.Table64) map[uint64][]uint32 {
+	buckets := make(map[uint64][]uint32, len(sets)/2)
+	for id := range sets {
+		sig := sigs[id*t : (id+1)*t]
+		key := uint64(0x9e3779b97f4a7c15)
+		for _, p := range positions {
+			key = hasher.Hash(key ^ uint64(sig[p]))
+		}
+		buckets[key] = append(buckets[key], uint32(id))
+	}
+	return buckets
+}
+
+// bruteForceBucket verifies all pairs within a bucket, applying the size
+// filter and the sketch filter before exact verification.
+func bruteForceBucket(bucket []uint32, sets [][]uint32, sketches []uint64, filter *sketch.Filter, words int, v *verify.Verifier, res *verify.ResultSet, counters *verify.Counters) {
+	if len(bucket) < 2 {
+		return
+	}
+	for i := 0; i < len(bucket); i++ {
+		for j := i + 1; j < len(bucket); j++ {
+			a, b := bucket[i], bucket[j]
+			counters.PreCandidates++
+			if res.Contains(a, b) {
+				continue // already reported in an earlier repetition
+			}
+			if !v.SizeCompatible(len(sets[a]), len(sets[b])) {
+				continue
+			}
+			if filter != nil {
+				sa := sketches[int(a)*words : (int(a)+1)*words]
+				sb := sketches[int(b)*words : (int(b)+1)*words]
+				if !filter.Accept(sa, sb) {
+					continue
+				}
+			}
+			counters.Candidates++
+			if v.Verify(a, b) {
+				res.Add(a, b)
+			}
+		}
+	}
+}
+
+// chooseK estimates, for each k in {2..10}, the total cost of the splitting
+// step (bucket construction) plus within-bucket comparisons across the
+// L(k) repetitions required for the target recall, by performing one
+// trial split per k and counting bucket sizes. It returns the k with the
+// lowest estimate (Section V-B of the paper).
+func chooseK(sets [][]uint32, sigs []uint32, t int, lambda, phi float64, rng *tabhash.SplitMix64) int {
+	const (
+		costLookup  = 1.0 // relative cost of placing one set in a bucket
+		costCompare = 0.4 // relative cost of one sketch comparison
+	)
+	hasher := tabhash.NewTable64(rng.Next())
+	bestK, bestCost := 2, math.Inf(1)
+	for k := 2; k <= 10; k++ {
+		positions := make([]int, k)
+		samplePositions(rng, positions, t)
+		buckets := bucketize(sets, sigs, t, positions, hasher)
+		pairs := 0.0
+		for _, b := range buckets {
+			n := float64(len(b))
+			pairs += n * (n - 1) / 2
+		}
+		l := float64(Repetitions(lambda, k, phi))
+		cost := l * (costLookup*float64(len(sets)) + costCompare*pairs)
+		if cost < bestCost {
+			bestCost = cost
+			bestK = k
+		}
+	}
+	return bestK
+}

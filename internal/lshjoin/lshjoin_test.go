@@ -1,0 +1,148 @@
+package lshjoin
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/intset"
+	"repro/internal/stats"
+	"repro/internal/tabhash"
+	"repro/internal/verify"
+)
+
+// testWorkload builds a dataset with known similar pairs.
+func testWorkload(seed uint64) [][]uint32 {
+	ds := datagen.Uniform(800, 20, 4000, seed)
+	datagen.PlantPairs(ds, 40, 0.6, seed+1)
+	datagen.PlantPairs(ds, 40, 0.8, seed+2)
+	return ds.Sets
+}
+
+func TestPrecisionIsPerfect(t *testing.T) {
+	sets := testWorkload(1)
+	got, _ := Join(sets, 0.5, &Options{Seed: 7})
+	for _, p := range got {
+		if j := intset.Jaccard(sets[p.A], sets[p.B]); j < 0.5 {
+			t.Fatalf("false positive (%d,%d) with J=%v", p.A, p.B, j)
+		}
+	}
+}
+
+func TestRecallMeetsTarget(t *testing.T) {
+	sets := testWorkload(2)
+	for _, lambda := range []float64{0.5, 0.7} {
+		truth := verify.BruteForceJoin(sets, lambda)
+		if len(truth) == 0 {
+			t.Fatalf("workload has no results at λ=%v", lambda)
+		}
+		got, _ := Join(sets, lambda, &Options{Seed: 11, TargetRecall: 0.9})
+		r := stats.Recall(got, truth)
+		if r < 0.85 { // small slack: per-pair guarantee, finite sample
+			t.Errorf("λ=%v: recall %v < 0.85 (%d/%d pairs)", lambda, r, len(got), len(truth))
+		}
+	}
+}
+
+func TestNoDuplicatePairs(t *testing.T) {
+	sets := testWorkload(3)
+	got, _ := Join(sets, 0.5, &Options{Seed: 3})
+	seen := make(map[uint64]bool)
+	for _, p := range got {
+		if p.A >= p.B {
+			t.Fatalf("unnormalized pair %v", p)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestRepetitions(t *testing.T) {
+	// L = ceil(ln(1/(1-phi)) / lambda^k).
+	if got := Repetitions(0.5, 2, 0.9); got != 10 {
+		t.Errorf("Repetitions(0.5, 2, 0.9) = %d, want 10", got)
+	}
+	if got := Repetitions(0.9, 1, 0.5); got != 1 {
+		t.Errorf("Repetitions(0.9, 1, 0.5) = %d, want 1", got)
+	}
+	// More hashes -> more repetitions needed.
+	if Repetitions(0.5, 6, 0.9) <= Repetitions(0.5, 3, 0.9) {
+		t.Error("Repetitions not increasing in k")
+	}
+}
+
+func TestSamplePositionsDistinct(t *testing.T) {
+	rng := tabhash.NewSplitMix64(1)
+	pos := make([]int, 10)
+	for trial := 0; trial < 100; trial++ {
+		samplePositions(rng, pos, 128)
+		seen := make(map[int]bool)
+		for _, p := range pos {
+			if p < 0 || p >= 128 {
+				t.Fatalf("position %d out of range", p)
+			}
+			if seen[p] {
+				t.Fatal("duplicate position sampled")
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestExplicitKAndL(t *testing.T) {
+	sets := testWorkload(4)
+	got, _ := Join(sets, 0.6, &Options{K: 4, L: 30, Seed: 5})
+	for _, p := range got {
+		if intset.Jaccard(sets[p.A], sets[p.B]) < 0.6 {
+			t.Fatal("false positive with explicit k")
+		}
+	}
+}
+
+func TestSketchFilterDisabled(t *testing.T) {
+	sets := testWorkload(5)
+	truth := verify.BruteForceJoin(sets, 0.7)
+	got, _ := Join(sets, 0.7, &Options{Seed: 6, SketchWords: -1})
+	if r := stats.Recall(got, truth); r < 0.85 {
+		t.Errorf("recall without sketches %v", r)
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	if got, _ := Join(nil, 0.5, nil); got != nil {
+		t.Error("Join(nil) returned pairs")
+	}
+	if got, _ := Join([][]uint32{{1, 2}}, 0.5, nil); got != nil {
+		t.Error("Join(single) returned pairs")
+	}
+}
+
+func TestInvalidLambdaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("lambda=1.5 did not panic")
+		}
+	}()
+	Join([][]uint32{{1, 2}, {3, 4}}, 1.5, nil)
+}
+
+func TestCountersSane(t *testing.T) {
+	sets := testWorkload(8)
+	got, c := Join(sets, 0.5, &Options{Seed: 9})
+	if c.Results != int64(len(got)) {
+		t.Errorf("Results counter %d, pairs %d", c.Results, len(got))
+	}
+	if c.Candidates > c.PreCandidates {
+		t.Errorf("candidates %d > pre-candidates %d", c.Candidates, c.PreCandidates)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	sets := testWorkload(10)
+	a, _ := Join(sets, 0.6, &Options{Seed: 42})
+	b, _ := Join(sets, 0.6, &Options{Seed: 42})
+	if !stats.EqualPairSets(a, b) {
+		t.Error("same seed produced different results")
+	}
+}

@@ -1,0 +1,161 @@
+// Package minhash implements minwise hashing signatures and the randomized
+// embedding of Section II-A of the CPSJoin paper.
+//
+// A MinHash function h is sampled by drawing a random tabulation hash
+// g: [d] -> [2^64] and letting h(x) = argmin_{j in x} g(j). For two sets
+// Pr[h(x) = h(y)] = J(x, y), so the number of agreeing positions in two
+// t-dimensional signatures is a binomially concentrated estimator of the
+// Jaccard similarity.
+//
+// The embedding f(x) = {(i, h_i(x)) : i = 1..t} maps an arbitrary set to a
+// set of exactly t tokens such that the Braun-Blanquet similarity
+// |f(x) ∩ f(y)| / t estimates J(x, y); this is what makes CPSJoin
+// applicable to any LSHable similarity measure.
+package minhash
+
+import (
+	"fmt"
+
+	"repro/internal/tabhash"
+)
+
+// Signer computes t-dimensional MinHash signatures.
+type Signer struct {
+	t      int
+	tables []*tabhash.Table32
+}
+
+// NewSigner returns a Signer with t independent MinHash functions derived
+// from seed. It panics if t <= 0.
+func NewSigner(t int, seed uint64) *Signer {
+	if t <= 0 {
+		panic(fmt.Sprintf("minhash: invalid signature length %d", t))
+	}
+	s := &Signer{t: t, tables: make([]*tabhash.Table32, t)}
+	for i := range s.tables {
+		s.tables[i] = tabhash.NewTable32(tabhash.Mix64(seed + uint64(i)))
+	}
+	return s
+}
+
+// T returns the signature length.
+func (s *Signer) T() int { return s.t }
+
+// Sign computes the signature of set: for each of the t hash functions, the
+// token of set minimizing the hash value. The result has length t. Sign
+// panics on an empty set (a MinHash of nothing is undefined).
+func (s *Signer) Sign(set []uint32) []uint32 {
+	sig := make([]uint32, s.t)
+	s.SignInto(set, sig)
+	return sig
+}
+
+// SignInto computes the signature of set into sig, which must have length t.
+func (s *Signer) SignInto(set []uint32, sig []uint32) {
+	if len(set) == 0 {
+		panic("minhash: cannot sign an empty set")
+	}
+	if len(sig) != s.t {
+		panic(fmt.Sprintf("minhash: sig length %d, want %d", len(sig), s.t))
+	}
+	for i, table := range s.tables {
+		best := set[0]
+		bestHash := table.Hash(set[0])
+		for _, tok := range set[1:] {
+			if h := table.Hash(tok); h < bestHash {
+				bestHash = h
+				best = tok
+			}
+		}
+		sig[i] = best
+	}
+}
+
+// SignAll computes signatures for every set, returned as a single flattened
+// slice of length len(sets)*t; the signature of set i occupies
+// [i*t, (i+1)*t). A flattened layout keeps the per-record overhead at one
+// slice header for the whole collection and gives sequential memory access
+// in the join inner loops.
+func (s *Signer) SignAll(sets [][]uint32) []uint32 {
+	flat := make([]uint32, len(sets)*s.t)
+	for i, set := range sets {
+		s.SignInto(set, flat[i*s.t:(i+1)*s.t])
+	}
+	return flat
+}
+
+// Estimate returns the fraction of agreeing positions of two signatures,
+// an unbiased estimator of the Jaccard similarity of the underlying sets.
+func Estimate(a, b []uint32) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("minhash: signature length mismatch")
+	}
+	agree := 0
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(a))
+}
+
+// Embedding is the result of embedding a collection of sets: each input set
+// becomes a set of exactly T tokens over a fresh dense universe, where
+// matching tokens correspond to agreeing MinHash positions. Braun-Blanquet
+// similarity of two embedded sets (intersection divided by T) estimates the
+// Jaccard similarity of the originals.
+type Embedding struct {
+	T        int
+	Sets     [][]uint32
+	Universe int
+}
+
+// Embed embeds every input set into a t-token set. Token ids are assigned
+// densely per (position, minhash value) pair, so there are no collisions:
+// two embedded sets share a token exactly when their MinHash signatures
+// agree at that position.
+func Embed(sets [][]uint32, t int, seed uint64) *Embedding {
+	signer := NewSigner(t, seed)
+	flat := signer.SignAll(sets)
+	type pv struct {
+		pos uint32
+		val uint32
+	}
+	dict := make(map[pv]uint32)
+	emb := &Embedding{T: t, Sets: make([][]uint32, len(sets))}
+	for i := range sets {
+		sig := flat[i*t : (i+1)*t]
+		out := make([]uint32, t)
+		for p, v := range sig {
+			key := pv{uint32(p), v}
+			id, ok := dict[key]
+			if !ok {
+				id = uint32(len(dict))
+				dict[key] = id
+			}
+			out[p] = id
+		}
+		// Tokens at different positions get distinct ids, and within one
+		// signature each position yields one token, so out has t distinct
+		// values; sort for the set invariant.
+		sortUint32(out)
+		emb.Sets[i] = out
+	}
+	emb.Universe = len(dict)
+	return emb
+}
+
+func sortUint32(s []uint32) {
+	// Insertion sort: t is small (64-256) and signatures are nearly random,
+	// but more importantly this avoids a sort.Slice closure allocation in a
+	// loop over the whole collection.
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

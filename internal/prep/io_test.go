@@ -1,0 +1,147 @@
+package prep
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func buildTestIndex(t *testing.T) *Index {
+	t.Helper()
+	sets := datagen.Uniform(80, 12, 2000, 5).Sets
+	return Build(sets, 32, 4, 99)
+}
+
+func indexesEqual(a, b *Index) bool {
+	if a.T != b.T || a.Words != b.Words || a.Seed != b.Seed || len(a.Sets) != len(b.Sets) {
+		return false
+	}
+	for i := range a.Sets {
+		if len(a.Sets[i]) != len(b.Sets[i]) {
+			return false
+		}
+		for j := range a.Sets[i] {
+			if a.Sets[i][j] != b.Sets[i][j] {
+				return false
+			}
+		}
+	}
+	if len(a.Sigs) != len(b.Sigs) || len(a.Sketches) != len(b.Sketches) {
+		return false
+	}
+	for i := range a.Sigs {
+		if a.Sigs[i] != b.Sigs[i] {
+			return false
+		}
+	}
+	for i := range a.Sketches {
+		if a.Sketches[i] != b.Sketches[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexesEqual(ix, back) {
+		t.Fatal("round trip changed the index")
+	}
+}
+
+func TestIndexRoundTripNoSketches(t *testing.T) {
+	sets := datagen.Uniform(40, 10, 1000, 6).Sets
+	ix := Build(sets, 16, 0, 7)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Words != 0 || back.Sketches != nil {
+		t.Fatal("sketchless index grew sketches on load")
+	}
+	if !indexesEqual(ix, back) {
+		t.Fatal("round trip changed the index")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ix := buildTestIndex(t)
+	path := filepath.Join(t.TempDir(), "test.cpsidx")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexesEqual(ix, back) {
+		t.Fatal("file round trip changed the index")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one payload byte: checksum (or set invariant) must catch it.
+	for _, pos := range []int{40, len(raw) / 2, len(raw) - 10} {
+		mutated := append([]byte(nil), raw...)
+		mutated[pos] ^= 0xff
+		if _, err := ReadFrom(bytes.NewReader(mutated)); err == nil {
+			t.Errorf("corruption at byte %d not detected", pos)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := ReadFrom(bytes.NewReader([]byte("NOTANIDX........................")))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic error = %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{5, 30, len(raw) / 2, len(raw) - 2} {
+		if _, err := ReadFrom(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestImplausibleHeaderRejected(t *testing.T) {
+	// Craft a header claiming an absurd t.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write(make([]byte, 8))                // seed
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0}) // n = 1
+	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // t huge
+	buf.Write([]byte{0, 0, 0, 0})             // words
+	if _, err := ReadFrom(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("implausible header accepted: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package prep builds the shared preprocessing state of the approximate
+// join algorithms: MinHash signatures and 1-bit minwise sketches.
+//
+// The paper's experiments do not count preprocessing towards join time,
+// because the embedding and sketches of a collection are computed once and
+// reused across joins at different thresholds (Section VI: "the
+// preprocessing step of the approximate methods only has to be performed
+// once for each set and similarity measure"). This package makes that
+// factoring explicit: build an Index once, run many joins against it.
+package prep
+
+import (
+	"fmt"
+
+	"repro/internal/minhash"
+	"repro/internal/sketch"
+)
+
+// Index is the preprocessed form of a collection.
+type Index struct {
+	// Sets is the underlying collection (not copied).
+	Sets [][]uint32
+	// T is the MinHash signature length; Sigs is the flattened n×T
+	// signature matrix.
+	T    int
+	Sigs []uint32
+	// Words is the sketch width in 64-bit words (0 = no sketches);
+	// Sketches is the flattened n×Words sketch matrix.
+	Words    int
+	Sketches []uint64
+	// Seed is the randomness the index was built with.
+	Seed uint64
+}
+
+// Build preprocesses a collection: t-dimensional MinHash signatures and,
+// if words > 0, 1-bit minwise sketches of the given width.
+func Build(sets [][]uint32, t, words int, seed uint64) *Index {
+	if t <= 0 {
+		panic(fmt.Sprintf("prep: invalid signature length %d", t))
+	}
+	ix := &Index{Sets: sets, T: t, Seed: seed}
+	signer := minhash.NewSigner(t, seed)
+	ix.Sigs = signer.SignAll(sets)
+	if words > 0 {
+		ix.Words = words
+		maker := sketch.NewMaker(words, seed+0x51ee7c)
+		ix.Sketches = maker.SketchAll(sets)
+	}
+	return ix
+}
+
+// Sig returns the signature of set i.
+func (ix *Index) Sig(i int) []uint32 {
+	return ix.Sigs[i*ix.T : (i+1)*ix.T]
+}
+
+// Sketch returns the sketch of set i; it panics if sketches are disabled.
+func (ix *Index) Sketch(i int) []uint64 {
+	if ix.Words == 0 {
+		panic("prep: index built without sketches")
+	}
+	return ix.Sketches[i*ix.Words : (i+1)*ix.Words]
+}

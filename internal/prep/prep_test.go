@@ -1,0 +1,60 @@
+package prep
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestBuildShape(t *testing.T) {
+	sets := datagen.Uniform(50, 10, 500, 1).Sets
+	ix := Build(sets, 64, 4, 7)
+	if len(ix.Sigs) != 50*64 {
+		t.Fatalf("sigs length %d", len(ix.Sigs))
+	}
+	if len(ix.Sketches) != 50*4 {
+		t.Fatalf("sketches length %d", len(ix.Sketches))
+	}
+	if len(ix.Sig(3)) != 64 || len(ix.Sketch(3)) != 4 {
+		t.Fatal("accessor lengths wrong")
+	}
+}
+
+func TestBuildWithoutSketches(t *testing.T) {
+	sets := datagen.Uniform(20, 10, 500, 2).Sets
+	ix := Build(sets, 32, 0, 7)
+	if ix.Words != 0 || ix.Sketches != nil {
+		t.Fatal("sketches built despite words=0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sketch() on sketchless index did not panic")
+		}
+	}()
+	ix.Sketch(0)
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	sets := datagen.Uniform(30, 10, 500, 3).Sets
+	a := Build(sets, 16, 2, 9)
+	b := Build(sets, 16, 2, 9)
+	for i := range a.Sigs {
+		if a.Sigs[i] != b.Sigs[i] {
+			t.Fatal("non-deterministic signatures")
+		}
+	}
+	for i := range a.Sketches {
+		if a.Sketches[i] != b.Sketches[i] {
+			t.Fatal("non-deterministic sketches")
+		}
+	}
+}
+
+func TestBuildInvalidT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build with t=0 did not panic")
+		}
+	}()
+	Build(nil, 0, 0, 1)
+}

@@ -1,0 +1,201 @@
+// Package sketch implements the 1-bit minwise hashing sketches of Li and
+// König (CACM 2011) used by CPSJoin for fast similarity estimation.
+//
+// A sketch of a set x is a vector of 64*W bits where bit i is b_i(h_i(x)):
+// an independent MinHash h_i of x, hashed down to one bit by an independent
+// hash b_i. For two sets with Jaccard similarity J, each bit position
+// agrees independently with probability (1+J)/2, so the similarity can be
+// estimated from the Hamming distance of two sketches — computed word by
+// word with XOR and popcount, a handful of instructions total.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/tabhash"
+)
+
+// Maker builds 1-bit minwise sketches of a fixed width.
+type Maker struct {
+	words  int
+	minvs  []*tabhash.Table32 // one MinHash (value hash) per bit
+	bitfns []*tabhash.Table64 // one 64->1 bit hash per bit
+}
+
+// NewMaker returns a Maker producing sketches of the given number of 64-bit
+// words (the paper uses words = 8, i.e. 512 bits). It panics if words <= 0.
+func NewMaker(words int, seed uint64) *Maker {
+	if words <= 0 {
+		panic(fmt.Sprintf("sketch: invalid word count %d", words))
+	}
+	nbits := 64 * words
+	m := &Maker{
+		words:  words,
+		minvs:  make([]*tabhash.Table32, nbits),
+		bitfns: make([]*tabhash.Table64, nbits),
+	}
+	for i := 0; i < nbits; i++ {
+		m.minvs[i] = tabhash.NewTable32(tabhash.Mix64((seed ^ 0xa5a5a5a5a5a5a5a5) + uint64(i)*2))
+		m.bitfns[i] = tabhash.NewTable64(tabhash.Mix64((seed ^ 0x5a5a5a5a5a5a5a5a) + uint64(i)*2 + 1))
+	}
+	return m
+}
+
+// Words returns the sketch width in 64-bit words.
+func (m *Maker) Words() int { return m.words }
+
+// Bits returns the sketch width in bits.
+func (m *Maker) Bits() int { return 64 * m.words }
+
+// Sketch computes the sketch of set. It panics on an empty set.
+func (m *Maker) Sketch(set []uint32) []uint64 {
+	out := make([]uint64, m.words)
+	m.SketchInto(set, out)
+	return out
+}
+
+// SketchInto computes the sketch of set into out, which must have length
+// Words().
+func (m *Maker) SketchInto(set []uint32, out []uint64) {
+	if len(set) == 0 {
+		panic("sketch: cannot sketch an empty set")
+	}
+	if len(out) != m.words {
+		panic(fmt.Sprintf("sketch: out length %d, want %d", len(out), m.words))
+	}
+	for w := 0; w < m.words; w++ {
+		var word uint64
+		base := w * 64
+		for b := 0; b < 64; b++ {
+			table := m.minvs[base+b]
+			best := table.Hash(set[0])
+			for _, tok := range set[1:] {
+				if h := table.Hash(tok); h < best {
+					best = h
+				}
+			}
+			word |= m.bitfns[base+b].Bit(best) << uint(b)
+		}
+		out[w] = word
+	}
+}
+
+// SketchAll sketches every set into a single flattened slice of length
+// len(sets)*Words(); the sketch of set i occupies [i*W, (i+1)*W).
+func (m *Maker) SketchAll(sets [][]uint32) []uint64 {
+	flat := make([]uint64, len(sets)*m.words)
+	for i, set := range sets {
+		m.SketchInto(set, flat[i*m.words:(i+1)*m.words])
+	}
+	return flat
+}
+
+// Hamming returns the number of differing bits between two sketches.
+func Hamming(a, b []uint64) int {
+	d := 0
+	for i := range a {
+		d += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return d
+}
+
+// AgreeBits returns the number of agreeing bits between two equal-length
+// sketches.
+func AgreeBits(a, b []uint64) int {
+	return 64*len(a) - Hamming(a, b)
+}
+
+// EstimateJaccard estimates the Jaccard similarity of the sets underlying
+// two sketches: if a fraction p of the bits agree, J ≈ 2p - 1 (clamped to
+// [0, 1]).
+func EstimateJaccard(a, b []uint64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("sketch: length mismatch")
+	}
+	p := float64(AgreeBits(a, b)) / float64(64*len(a))
+	j := 2*p - 1
+	if j < 0 {
+		return 0
+	}
+	return j
+}
+
+// Filter is a precomputed accept/reject rule: a candidate pair passes when
+// its sketches agree in at least MinAgree bits. It is calibrated so that a
+// pair with true Jaccard similarity >= Lambda is rejected with probability
+// at most Delta (the sketch false-negative probability of Section V-A.2).
+type Filter struct {
+	Words    int
+	Lambda   float64
+	Delta    float64
+	MinAgree int
+}
+
+// NewFilter computes the agreement threshold for sketches of the given
+// width. For a pair with J >= lambda each bit agrees independently with
+// probability >= (1+lambda)/2; MinAgree is the largest m such that
+// Pr[Binomial(bits, (1+lambda)/2) < m] <= delta.
+func NewFilter(words int, lambda, delta float64) *Filter {
+	if words <= 0 {
+		panic("sketch: invalid word count")
+	}
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("sketch: lambda %v out of (0,1)", lambda))
+	}
+	if delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("sketch: delta %v out of (0,1)", delta))
+	}
+	n := 64 * words
+	p := (1 + lambda) / 2
+	// Find the largest m with BinomCDF(m-1; n, p) <= delta. CDF is
+	// increasing in m, so scan from below; n <= a few thousand, so the
+	// direct scan over the log-space pmf is exact and cheap.
+	cdf := 0.0
+	minAgree := 0
+	for k := 0; k <= n; k++ {
+		cdf += math.Exp(logBinomPMF(n, k, p))
+		if cdf > delta {
+			minAgree = k
+			break
+		}
+	}
+	return &Filter{Words: words, Lambda: lambda, Delta: delta, MinAgree: minAgree}
+}
+
+// Accept reports whether the pair with the given sketches passes the filter.
+func (f *Filter) Accept(a, b []uint64) bool {
+	return AgreeBits(a, b) >= f.MinAgree
+}
+
+// EstimateThreshold returns the effective similarity threshold λ̂ implied by
+// MinAgree: pairs whose *estimated* similarity is below λ̂ are rejected.
+func (f *Filter) EstimateThreshold() float64 {
+	p := float64(f.MinAgree) / float64(64*f.Words)
+	return 2*p - 1
+}
+
+// logBinomPMF returns log Pr[Binomial(n, p) = k].
+func logBinomPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+}
+
+// BinomTail returns Pr[Binomial(n, p) < m], the exact lower tail used by
+// the filter calibration; exported for tests and for the BayesLSH-style
+// incremental pruning.
+func BinomTail(n, m int, p float64) float64 {
+	cdf := 0.0
+	for k := 0; k < m; k++ {
+		cdf += math.Exp(logBinomPMF(n, k, p))
+	}
+	return cdf
+}

@@ -1,0 +1,55 @@
+package ssjoin
+
+import "repro/internal/cpindex"
+
+// SearchIndex answers approximate similarity search queries: given a query
+// set, find indexed sets with Jaccard similarity at least λ. It is the
+// Chosen Path index of Christiani and Pagh (STOC 2017), the structure
+// CPSJoin is derived from; use it when queries arrive online instead of as
+// a second joinable collection.
+type SearchIndex struct {
+	ix *cpindex.Index
+}
+
+// SearchOptions configures SearchIndex construction.
+type SearchOptions struct {
+	// Trees is the number of independent search trees; more trees raise
+	// per-query recall (default 10).
+	Trees int
+	// LeafSize stops splitting below this node size (default 32).
+	LeafSize int
+	// T is the MinHash signature length (default 128).
+	T int
+	// Seed makes construction reproducible.
+	Seed uint64
+}
+
+// NewSearchIndex builds a search index over the collection for similarity
+// threshold lambda. The collection is referenced, not copied.
+func NewSearchIndex(sets [][]uint32, lambda float64, opts *SearchOptions) *SearchIndex {
+	var o *cpindex.Options
+	if opts != nil {
+		o = &cpindex.Options{
+			Trees:    opts.Trees,
+			LeafSize: opts.LeafSize,
+			T:        opts.T,
+			Seed:     opts.Seed,
+		}
+	}
+	return &SearchIndex{ix: cpindex.Build(sets, lambda, o)}
+}
+
+// Query returns the id of an indexed set with J(q, result) >= λ and its
+// exact similarity, or ok = false when the search finds none. A true
+// neighbor is missed only with the residual probability of the (λ, ϕ)
+// guarantee.
+func (s *SearchIndex) Query(q []uint32) (id int, sim float64, ok bool) {
+	return s.ix.Query(q)
+}
+
+// QueryAll returns all indexed sets with J(q, y) >= λ that the search
+// reaches (high recall with the default tree count; exact-verified, so no
+// false positives).
+func (s *SearchIndex) QueryAll(q []uint32) []int {
+	return s.ix.QueryAll(q)
+}

@@ -1,0 +1,122 @@
+package ssjoin
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Dictionary interns string tokens to dense uint32 ids, turning text
+// records into the integer sets the join algorithms operate on. The same
+// Dictionary must be used for every record that participates in one join
+// so that equal tokens get equal ids.
+//
+// A Dictionary is not safe for concurrent writes; tokenize all records
+// before joining (joins themselves never touch the dictionary).
+type Dictionary struct {
+	ids   map[string]uint32
+	names []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]uint32)}
+}
+
+// ID interns tok and returns its id, assigning the next free id on first
+// sight.
+func (d *Dictionary) ID(tok string) uint32 {
+	if id, ok := d.ids[tok]; ok {
+		return id
+	}
+	id := uint32(len(d.names))
+	d.ids[tok] = id
+	d.names = append(d.names, tok)
+	return id
+}
+
+// Lookup returns the id of tok without interning.
+func (d *Dictionary) Lookup(tok string) (uint32, bool) {
+	id, ok := d.ids[tok]
+	return id, ok
+}
+
+// Name returns the string for an interned id (inverse of ID).
+func (d *Dictionary) Name(id uint32) string {
+	return d.names[id]
+}
+
+// Size returns the number of distinct interned tokens.
+func (d *Dictionary) Size() int {
+	return len(d.names)
+}
+
+// QGrams tokenizes s into its set of character q-grams, padded with q-1
+// leading and trailing marker runes so that prefixes and suffixes weigh
+// like interior grams — the standard tokenization for typo-robust string
+// similarity. Input is lowercased; q must be at least 1.
+func (d *Dictionary) QGrams(s string, q int) []uint32 {
+	if q < 1 {
+		panic("ssjoin: q-gram size must be >= 1")
+	}
+	// The pad rune (unit separator) cannot appear in normal text, so
+	// boundary grams never collide with interior grams.
+	const pad = '\x1f'
+	runes := []rune(strings.ToLower(s))
+	if len(runes) == 0 {
+		return nil
+	}
+	padded := make([]rune, 0, len(runes)+2*(q-1))
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, pad)
+	}
+	padded = append(padded, runes...)
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, pad)
+	}
+	if len(padded) < q {
+		return nil
+	}
+	out := make([]uint32, 0, len(padded)-q+1)
+	for i := 0; i+q <= len(padded); i++ {
+		out = append(out, d.ID(string(padded[i:i+q])))
+	}
+	return NormalizeSet(out)
+}
+
+// Words tokenizes s into its set of lowercased words (maximal runs of
+// letters and digits).
+func (d *Dictionary) Words(s string) []uint32 {
+	var out []uint32
+	for _, w := range splitWords(s) {
+		out = append(out, d.ID(w))
+	}
+	return NormalizeSet(out)
+}
+
+// Shingles tokenizes s into its set of word n-grams ("shingles"), the
+// tokenization used for near-duplicate document detection. n must be at
+// least 1; strings with fewer than n words yield a single shingle of all
+// their words (or nil for empty input).
+func (d *Dictionary) Shingles(s string, n int) []uint32 {
+	if n < 1 {
+		panic("ssjoin: shingle size must be >= 1")
+	}
+	words := splitWords(s)
+	if len(words) == 0 {
+		return nil
+	}
+	if len(words) < n {
+		return NormalizeSet([]uint32{d.ID(strings.Join(words, " "))})
+	}
+	out := make([]uint32, 0, len(words)-n+1)
+	for i := 0; i+n <= len(words); i++ {
+		out = append(out, d.ID(strings.Join(words[i:i+n], " ")))
+	}
+	return NormalizeSet(out)
+}
+
+func splitWords(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}

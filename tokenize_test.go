@@ -1,0 +1,125 @@
+package ssjoin
+
+import "testing"
+
+func TestDictionaryIntern(t *testing.T) {
+	d := NewDictionary()
+	a := d.ID("hello")
+	b := d.ID("world")
+	if a == b {
+		t.Fatal("distinct tokens shared an id")
+	}
+	if d.ID("hello") != a {
+		t.Fatal("re-interning changed the id")
+	}
+	if d.Name(a) != "hello" || d.Name(b) != "world" {
+		t.Fatal("Name() inverse broken")
+	}
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Fatal("Lookup invented a token")
+	}
+	if id, ok := d.Lookup("world"); !ok || id != b {
+		t.Fatal("Lookup failed for interned token")
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	d := NewDictionary()
+	g := d.QGrams("ab", 2)
+	// Padded "␟ab␟": grams ␟a, ab, b␟ → 3 distinct grams.
+	if len(g) != 3 {
+		t.Fatalf("QGrams(ab, 2) has %d grams, want 3", len(g))
+	}
+	// Same string → same set.
+	g2 := d.QGrams("AB", 2) // case-insensitive
+	if len(g2) != 3 || Jaccard(g, g2) != 1 {
+		t.Fatal("case-insensitivity broken")
+	}
+}
+
+func TestQGramsSimilarity(t *testing.T) {
+	d := NewDictionary()
+	a := d.QGrams("jonathan smith", 3)
+	b := d.QGrams("jonathan smyth", 3) // one substitution
+	c := d.QGrams("completely different", 3)
+	if Jaccard(a, b) <= Jaccard(a, c) {
+		t.Fatalf("typo pair (%v) not more similar than unrelated pair (%v)",
+			Jaccard(a, b), Jaccard(a, c))
+	}
+	if Jaccard(a, b) < 0.5 {
+		t.Errorf("single-typo 3-gram similarity %v unexpectedly low", Jaccard(a, b))
+	}
+}
+
+func TestQGramsEdgeCases(t *testing.T) {
+	d := NewDictionary()
+	if g := d.QGrams("", 3); g != nil {
+		t.Errorf("QGrams(\"\") = %v", g)
+	}
+	if g := d.QGrams("a", 3); len(g) == 0 {
+		t.Error("padded single rune should still produce grams")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("q=0 did not panic")
+		}
+	}()
+	d.QGrams("x", 0)
+}
+
+func TestQGramsUnicode(t *testing.T) {
+	d := NewDictionary()
+	g := d.QGrams("日本語", 2)
+	if len(g) != 4 { // ␟日 日本 本語 語␟
+		t.Fatalf("unicode grams = %d, want 4", len(g))
+	}
+}
+
+func TestWords(t *testing.T) {
+	d := NewDictionary()
+	w := d.Words("The quick, quick brown Fox! 42")
+	// {the, quick, brown, fox, 42} — set semantics dedupes "quick".
+	if len(w) != 5 {
+		t.Fatalf("Words = %d tokens, want 5", len(w))
+	}
+	if _, ok := d.Lookup("quick"); !ok {
+		t.Error("lowercased word not interned")
+	}
+}
+
+func TestShingles(t *testing.T) {
+	d := NewDictionary()
+	s := d.Shingles("a b c d", 2)
+	// {a b, b c, c d}
+	if len(s) != 3 {
+		t.Fatalf("Shingles = %d, want 3", len(s))
+	}
+	short := d.Shingles("single", 3)
+	if len(short) != 1 {
+		t.Fatalf("short-input shingle = %d, want 1", len(short))
+	}
+	if d.Shingles("", 2) != nil {
+		t.Error("empty input produced shingles")
+	}
+}
+
+func TestTokenizeJoinEndToEnd(t *testing.T) {
+	// Near-duplicate strings must join; unrelated must not.
+	docs := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"the quick brown fox jumped over the lazy dog",
+		"entirely unrelated text about databases and joins",
+	}
+	d := NewDictionary()
+	sets := make([][]uint32, len(docs))
+	for i, doc := range docs {
+		sets[i] = d.QGrams(doc, 3)
+	}
+	pairs := BruteForce(sets, 0.5)
+	if len(pairs) != 1 || pairs[0] != (Pair{A: 0, B: 1}) {
+		t.Fatalf("tokenized join = %v, want [(0,1)]", pairs)
+	}
+}
