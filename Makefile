@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-go clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench records the parallel-scaling trajectory: every algorithm at every
+# worker count on the synthetic workloads, with the determinism check,
+# emitted as BENCH_parallel.json for cross-PR comparison.
+bench:
+	$(GO) run ./cmd/experiments -quiet -format json parallel > BENCH_parallel.json
+	@echo "wrote BENCH_parallel.json"
+
+# bench-go runs the Go testing benchmarks for the same scaling curves.
+bench-go:
+	$(GO) test -run '^$$' -bench 'Parallel' -benchmem .
+
+clean:
+	rm -f BENCH_parallel.json

@@ -19,7 +19,9 @@
 //	ablation  stopping strategies                   (Section IV-C.5)
 //	bayes     BayesLSH comparison                   (Section VI-A.2)
 //	theory    depth/space bounds                    (Lemma 4, Remark 9)
-//	all       everything above
+//	parallel  join time vs -workers scaling         (Section VII; -format
+//	          json emits the BENCH_parallel.json schema used by `make bench`)
+//	all       everything above except parallel
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 )
@@ -37,6 +40,7 @@ func main() {
 		runs      = flag.Int("runs", 1, "timed runs per measurement (minimum reported)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		recall    = flag.Float64("recall", 0.9, "target recall for approximate methods")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per measured algorithm (1 = sequential; join result sets are identical across values, but timings, candidate counters and recall-stop points vary with scheduling — use 1 for bit-reproducible experiment tables)")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		format    = flag.String("format", "table", "output format: table or csv")
 	)
@@ -55,7 +59,7 @@ func main() {
 	default:
 		fatalf("unknown scale %q", *scaleName)
 	}
-	cfg := bench.Config{Runs: *runs, TargetRecall: *recall, Seed: *seed}
+	cfg := bench.Config{Runs: *runs, TargetRecall: *recall, Seed: *seed, Workers: *workers}
 	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = io.Discard
@@ -63,11 +67,15 @@ func main() {
 	out := os.Stdout
 
 	csvOut := *format == "csv"
-	if *format != "table" && *format != "csv" {
-		fatalf("unknown format %q (want table or csv)", *format)
+	jsonOut := *format == "json"
+	if *format != "table" && *format != "csv" && *format != "json" {
+		fatalf("unknown format %q (want table, csv or json)", *format)
+	}
+	if jsonOut && flag.Arg(0) != "parallel" {
+		fatalf("-format json is only supported by the parallel subcommand")
 	}
 	banner := func(s string) {
-		if !csvOut {
+		if !csvOut && !jsonOut {
 			fmt.Fprintln(out, s)
 		}
 	}
@@ -159,6 +167,14 @@ func main() {
 				check(bench.CSVBayes(out, rows))
 			} else {
 				bench.PrintBayes(out, rows)
+			}
+		case "parallel":
+			banner("== Parallel scaling: join time vs workers (λ=0.5) ==")
+			rows := bench.RunParallelScaling(bench.SyntheticWorkloads(scale), bench.DefaultWorkerCounts(), cfg, progress)
+			if jsonOut {
+				check(bench.WriteParallelJSON(out, rows))
+			} else {
+				bench.PrintParallel(out, rows)
 			}
 		default:
 			fatalf("unknown subcommand %q", name)

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	ssjoin "repro"
 )
@@ -30,6 +31,7 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "random seed for approximate algorithms")
 		reps       = flag.Int("repetitions", 0, "CPSJoin repetitions (0 = default 10)")
 		recall     = flag.Float64("recall", 0, "target recall for minhash/bayeslsh (0 = default)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the join and preprocessing (1 = sequential; the reported pair set is independent of this, -stats counters may vary slightly)")
 		noClean    = flag.Bool("no-clean", false, "skip duplicate/singleton removal")
 		printStats = flag.Bool("stats", false, "print candidate statistics to stderr")
 		saveIndex  = flag.String("save-index", "", "after preprocessing, persist the index to this file")
@@ -51,7 +53,7 @@ func main() {
 		ix   *ssjoin.Index
 		err  error
 	)
-	opts0 := &ssjoin.Options{Seed: *seed}
+	opts0 := &ssjoin.Options{Seed: *seed, Workers: *workers}
 	switch {
 	case *loadIndex != "":
 		ix, err = ssjoin.LoadIndex(*loadIndex)
@@ -83,7 +85,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssjoin: index saved to %s\n", *saveIndex)
 	}
 
-	opts := &ssjoin.Options{Seed: *seed, Repetitions: *reps, TargetRecall: *recall}
+	opts := &ssjoin.Options{Seed: *seed, Repetitions: *reps, TargetRecall: *recall, Workers: *workers}
 
 	var (
 		pairs []ssjoin.Pair
@@ -102,7 +104,7 @@ func main() {
 		case "cpsjoin":
 			pairs, stats = ssjoin.CPSJoinRS(sets, sets2, *threshold, opts)
 		case "allpairs":
-			pairs, stats = ssjoin.AllPairsRS(sets, sets2, *threshold)
+			pairs, stats = ssjoin.AllPairsRS(sets, sets2, *threshold, opts)
 		default:
 			fatalf("R-S joins support cpsjoin and allpairs, not %q", *algorithm)
 		}

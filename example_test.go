@@ -31,7 +31,7 @@ func ExampleAllPairs() {
 		{1, 2, 3, 5},
 		{7, 8},
 	}
-	pairs, _ := ssjoin.AllPairs(sets, 0.5)
+	pairs, _ := ssjoin.AllPairs(sets, 0.5, nil)
 	fmt.Println(len(pairs), "pair(s)")
 	// Output:
 	// 1 pair(s)
@@ -64,7 +64,7 @@ func ExampleNewIndex() {
 	ix := ssjoin.NewIndex(sets, &ssjoin.Options{Seed: 9})
 	for _, lambda := range []float64{0.5, 0.9} {
 		pairs, _ := ix.CPSJoin(lambda, &ssjoin.Options{Seed: 9})
-		exact, _ := ssjoin.AllPairs(sets, lambda)
+		exact, _ := ssjoin.AllPairs(sets, lambda, nil)
 		fmt.Printf("λ=%.1f recall >= 0.9: %v\n", lambda, ssjoin.Recall(pairs, exact) >= 0.9)
 	}
 	// Output:

@@ -33,7 +33,7 @@ func main() {
 	const lambda = 0.7
 
 	start := time.Now()
-	exact, _ := ssjoin.AllPairs(sets, lambda)
+	exact, _ := ssjoin.AllPairs(sets, lambda, nil)
 	allTime := time.Since(start)
 	fmt.Printf("AllPairs (exact):   %8.3fs, %d similar user pairs\n", allTime.Seconds(), len(exact))
 

@@ -19,7 +19,9 @@ type Index struct {
 }
 
 // NewIndex preprocesses a collection with the embedding parameters from
-// opts (signature length T, sketch width SketchWords, Seed). The
+// opts (signature length T, sketch width SketchWords, Seed). With
+// opts.Workers set, the per-set hashing runs on the parallel execution
+// layer; the built index is identical for any worker count. The
 // collection is referenced, not copied; do not mutate it while the index
 // is in use.
 func NewIndex(sets [][]uint32, opts *Options) *Index {
@@ -47,19 +49,30 @@ func LoadIndex(path string) (*Index, error) {
 }
 
 // CPSJoin runs CPSJoin against the index at the given threshold. T and
-// SketchWords in opts are ignored (the index fixes them).
+// SketchWords in opts are ignored (the index fixes them); opts.Workers
+// selects the parallelism of the join itself.
 func (ix *Index) CPSJoin(lambda float64, opts *Options) ([]Pair, Stats) {
 	pairs, c := core.JoinIndexed(ix.ix, lambda, opts.cps())
 	return fromPairs(pairs), fromCounters(c)
 }
 
-// CPSJoinParallel runs CPSJoin with repetitions spread across the given
-// number of worker goroutines (0 = GOMAXPROCS). Results are identical in
-// distribution to the sequential CPSJoin with the same options; see the
-// paper's Section VII on the parallelism inherent to the recursion.
+// CPSJoinParallel runs CPSJoin with the given number of worker goroutines
+// (0 = GOMAXPROCS).
+//
+// Deprecated: set Options.Workers and call CPSJoin instead; every join
+// algorithm now runs on the same execution layer. This wrapper remains
+// for callers of the earlier repetition-level parallelism and is
+// equivalent to CPSJoin with Workers set.
 func (ix *Index) CPSJoinParallel(lambda float64, opts *Options, workers int) ([]Pair, Stats) {
-	pairs, c := core.JoinParallel(ix.ix, lambda, opts.cps(), workers)
-	return fromPairs(pairs), fromCounters(c)
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if workers <= 0 {
+		workers = -1 // negative selects GOMAXPROCS in the execution layer
+	}
+	o.Workers = workers
+	return ix.CPSJoin(lambda, &o)
 }
 
 // MinHashJoin runs the MinHash LSH join against the index.

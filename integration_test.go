@@ -125,7 +125,7 @@ func TestIntegrationRSConsistency(t *testing.T) {
 		s = append(s, all[p[1]])
 	}
 
-	exact, _ := AllPairsRS(r, s, 0.6)
+	exact, _ := AllPairsRS(r, s, 0.6, nil)
 	exactSet := make(map[Pair]bool, len(exact))
 	for _, p := range exact {
 		exactSet[p] = true
@@ -157,7 +157,7 @@ func TestIntegrationThresholdMonotonicity(t *testing.T) {
 	sets, _ = PlantSimilarPairs(sets, 30, 0.75, 121)
 	prev := -1
 	for _, lambda := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
-		got, _ := AllPairs(sets, lambda)
+		got, _ := AllPairs(sets, lambda, nil)
 		if prev >= 0 && len(got) > prev {
 			t.Fatalf("result grew when threshold rose: %d -> %d at λ=%v",
 				prev, len(got), lambda)

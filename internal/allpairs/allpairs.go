@@ -14,8 +14,10 @@ package allpairs
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/intset"
 	"repro/internal/verify"
 )
@@ -54,10 +56,24 @@ type posting struct {
 // statistics. The input sets must be normalized (sorted, unique); they are
 // not modified.
 func Join(sets [][]uint32, lambda float64) ([]verify.Pair, verify.Counters) {
-	var counters verify.Counters
+	return JoinWorkers(sets, lambda, 1)
+}
+
+// JoinWorkers is Join executed with the given worker count on the shared
+// execution layer (0 = sequential, negative = GOMAXPROCS). The sequential
+// algorithm interleaves probing and indexing (a set only probes smaller
+// sets, indexed before it); the parallel variant materializes the complete
+// prefix index first, then probes every set concurrently against the
+// postings of strictly smaller ids — the same candidate set, so pairs
+// *and* counters are identical to the sequential run for any worker count.
+func JoinWorkers(sets [][]uint32, lambda float64, workers int) ([]verify.Pair, verify.Counters) {
 	if len(sets) < 2 {
-		return nil, counters
+		return nil, verify.Counters{}
 	}
+	if workers = exec.EffectiveWorkers(workers); workers > 1 {
+		return joinParallel(sets, lambda, workers)
+	}
+	var counters verify.Counters
 	// Work on a frequency-remapped, size-sorted copy.
 	ds := (&dataset.Dataset{Sets: sets}).Clone()
 	ds.RemapByFrequency()
@@ -119,6 +135,93 @@ func Join(sets [][]uint32, lambda float64) ([]verify.Pair, verify.Counters) {
 		for p := 0; p < ip; p++ {
 			index[x[p]] = append(index[x[p]], posting{id: uint32(xi)})
 		}
+	}
+	return pairs, counters
+}
+
+// joinParallel probes all sets concurrently against a fully materialized
+// prefix index. Postings are appended in id order, and ids are size
+// order, so each probe binary-searches its minsize lower bound and stops
+// at the first posting with id >= its own — exactly the candidates the
+// incremental index would have held.
+func joinParallel(sets [][]uint32, lambda float64, workers int) ([]verify.Pair, verify.Counters) {
+	ds := (&dataset.Dataset{Sets: sets}).Clone()
+	ds.RemapByFrequency()
+	perm := ds.SortBySize()
+	sorted := ds.Sets
+	n := len(sorted)
+
+	index := make(map[uint32][]uint32)
+	for xi, x := range sorted {
+		ip := indexPrefix(len(x), lambda)
+		for p := 0; p < ip; p++ {
+			index[x[p]] = append(index[x[p]], uint32(xi))
+		}
+	}
+
+	// Per-worker scratch: the overlap accumulator is O(n) per worker, so
+	// memory scales with the worker count, not the probe count.
+	type scratch struct {
+		overlap []int32
+		touched []uint32
+		pairs   []verify.Pair
+		c       verify.Counters
+	}
+	scr := make([]*scratch, workers)
+	for i := range scr {
+		scr[i] = &scratch{overlap: make([]int32, n), touched: make([]uint32, 0, 1024)}
+	}
+
+	probe := func(w *scratch, xi int) {
+		x := sorted[xi]
+		sx := len(x)
+		minsize := int(math.Ceil(lambda * float64(sx)))
+		pp := probePrefix(sx, lambda)
+		touched := w.touched[:0]
+		for p := 0; p < pp; p++ {
+			list := index[x[p]]
+			start := sort.Search(len(list), func(i int) bool {
+				return len(sorted[list[i]]) >= minsize
+			})
+			for _, yi := range list[start:] {
+				if int(yi) >= xi {
+					break
+				}
+				w.c.PreCandidates++
+				if w.overlap[yi] == 0 {
+					touched = append(touched, yi)
+				}
+				w.overlap[yi]++
+			}
+		}
+		for _, yi := range touched {
+			w.overlap[yi] = 0
+			w.c.Candidates++
+			y := sorted[yi]
+			required := intset.JaccardOverlapBound(sx, len(y), lambda)
+			if _, ok := intset.IntersectSizeAtLeast(x, y, required); ok {
+				w.c.Results++
+				w.pairs = append(w.pairs, verify.MakePair(uint32(perm[xi]), uint32(perm[yi])))
+			}
+		}
+		w.touched = touched[:0]
+	}
+
+	// Default chunking is small enough that stealing balances the skew
+	// from size-sorted probes (late ids are the largest sets and the most
+	// expensive).
+	exec.RunChunks(workers, n, 0, func(c *exec.Ctx, lo, hi int) {
+		w := scr[c.Worker()]
+		for xi := lo; xi < hi; xi++ {
+			probe(w, xi)
+		}
+	})
+
+	var pairs []verify.Pair
+	var counters verify.Counters
+	for _, w := range scr {
+		pairs = append(pairs, w.pairs...)
+		counters.Add(w.c)
 	}
 	return pairs, counters
 }

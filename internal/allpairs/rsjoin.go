@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/intset"
 	"repro/internal/verify"
 )
@@ -20,10 +21,18 @@ import (
 // |x| - ceil(λ|x|) + 1 on both sides must share a token under any common
 // global token order.
 func JoinRS(r, s [][]uint32, lambda float64) ([]verify.Pair, verify.Counters) {
-	var counters verify.Counters
+	return JoinRSWorkers(r, s, lambda, 1)
+}
+
+// JoinRSWorkers is JoinRS with the R-side probes spread over the given
+// number of workers (0 = sequential, negative = GOMAXPROCS). The S index
+// is built once and read-only during probing, and each probe is
+// independent, so pairs and counters are identical for any worker count.
+func JoinRSWorkers(r, s [][]uint32, lambda float64, workers int) ([]verify.Pair, verify.Counters) {
 	if len(r) == 0 || len(s) == 0 {
-		return nil, counters
+		return nil, verify.Counters{}
 	}
+	workers = exec.EffectiveWorkers(workers)
 
 	// Build a shared frequency order over R ∪ S and produce reordered
 	// copies (rare tokens first) without touching the inputs.
@@ -57,24 +66,32 @@ func JoinRS(r, s [][]uint32, lambda float64) ([]verify.Pair, verify.Counters) {
 		}
 	}
 
-	overlapSeen := make([]bool, len(ss))
-	touched := make([]uint32, 0, 256)
-	var pairs []verify.Pair
+	type scratch struct {
+		overlapSeen []bool
+		touched     []uint32
+		pairs       []verify.Pair
+		c           verify.Counters
+	}
+	scr := make([]*scratch, workers)
+	for i := range scr {
+		scr[i] = &scratch{overlapSeen: make([]bool, len(ss)), touched: make([]uint32, 0, 256)}
+	}
 
-	for xi, x := range rr {
-		touched = touched[:0]
+	probe := func(w *scratch, xi int) {
+		x := rr[xi]
+		touched := w.touched[:0]
 		for p := 0; p < prefixLen(len(x)); p++ {
 			for _, yi := range index[x[p]] {
-				counters.PreCandidates++
-				if overlapSeen[yi] {
+				w.c.PreCandidates++
+				if w.overlapSeen[yi] {
 					continue
 				}
-				overlapSeen[yi] = true
+				w.overlapSeen[yi] = true
 				touched = append(touched, yi)
 			}
 		}
 		for _, yi := range touched {
-			overlapSeen[yi] = false
+			w.overlapSeen[yi] = false
 			y := ss[yi]
 			// Size filter.
 			la, lb := len(x), len(y)
@@ -84,13 +101,34 @@ func JoinRS(r, s [][]uint32, lambda float64) ([]verify.Pair, verify.Counters) {
 			if float64(la) < lambda*float64(lb) {
 				continue
 			}
-			counters.Candidates++
+			w.c.Candidates++
 			required := intset.JaccardOverlapBound(len(x), len(y), lambda)
 			if _, ok := intset.IntersectSizeAtLeast(x, y, required); ok {
-				counters.Results++
-				pairs = append(pairs, verify.Pair{A: uint32(xi), B: yi})
+				w.c.Results++
+				w.pairs = append(w.pairs, verify.Pair{A: uint32(xi), B: yi})
 			}
 		}
+		w.touched = touched[:0]
+	}
+
+	if workers <= 1 {
+		for xi := range rr {
+			probe(scr[0], xi)
+		}
+	} else {
+		exec.RunChunks(workers, len(rr), 0, func(c *exec.Ctx, lo, hi int) {
+			w := scr[c.Worker()]
+			for xi := lo; xi < hi; xi++ {
+				probe(w, xi)
+			}
+		})
+	}
+
+	var pairs []verify.Pair
+	var counters verify.Counters
+	for _, w := range scr {
+		pairs = append(pairs, w.pairs...)
+		counters.Add(w.c)
 	}
 	return pairs, counters
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/exec"
 	"repro/internal/prep"
 	"repro/internal/tabhash"
 	"repro/internal/verify"
@@ -38,7 +39,9 @@ type Options struct {
 	// the BayesLSH package default).
 	TargetRecall float64
 	// SketchWords is the sketch width used for incremental pruning
-	// (default 8 words = 512 bits).
+	// (default 8 words = 512 bits). Negative disables sketch pruning —
+	// the repository-wide convention — in which case candidates go
+	// straight from the size filter to exact verification.
 	SketchWords int
 	// Gamma is the per-stage false-pruning budget (default 0.05).
 	Gamma float64
@@ -46,6 +49,13 @@ type Options struct {
 	T int
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Workers is the worker count of the parallel execution layer
+	// (internal/exec): repetitions run as independent tasks merging into a
+	// shared concurrent result set. 0 runs sequentially, negative selects
+	// GOMAXPROCS. Each repetition's bucket position is drawn before any
+	// task starts, so the result set is identical across worker counts
+	// for a fixed Seed.
+	Workers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -56,7 +66,7 @@ func (o *Options) withDefaults() Options {
 	if opt.TargetRecall <= 0 || opt.TargetRecall >= 1 {
 		opt.TargetRecall = 0.95
 	}
-	if opt.SketchWords <= 0 {
+	if opt.SketchWords == 0 {
 		opt.SketchWords = 8
 	}
 	if opt.Gamma <= 0 || opt.Gamma >= 1 {
@@ -74,26 +84,32 @@ func Join(sets [][]uint32, lambda float64, o *Options) ([]verify.Pair, verify.Co
 	if len(sets) < 2 {
 		return nil, verify.Counters{}
 	}
-	return JoinIndexed(prep.Build(sets, opt.T, opt.SketchWords, opt.Seed), lambda, o)
+	words := opt.SketchWords
+	if words < 0 {
+		words = 0
+	}
+	ix := prep.BuildParallel(sets, opt.T, words, opt.Seed, exec.EffectiveWorkers(opt.Workers))
+	return JoinIndexed(ix, lambda, o)
 }
 
 // JoinIndexed runs the join against a prebuilt index, excluding
 // preprocessing from the join work. The index fixes T and the sketch
-// width.
+// width; an index without sketches (or a negative SketchWords) disables
+// the incremental pruner.
 func JoinIndexed(ix *prep.Index, lambda float64, o *Options) ([]verify.Pair, verify.Counters) {
 	opt := o.withDefaults()
 	opt.T = ix.T
-	opt.SketchWords = ix.Words
+	if opt.SketchWords > 0 && ix.Words > 0 {
+		opt.SketchWords = ix.Words
+	} else {
+		opt.SketchWords = -1
+	}
 	sets := ix.Sets
-	var counters verify.Counters
 	if len(sets) < 2 {
-		return nil, counters
+		return nil, verify.Counters{}
 	}
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("bayeslsh: lambda %v out of (0,1)", lambda))
-	}
-	if ix.Words == 0 {
-		panic("bayeslsh: index must be built with sketches")
 	}
 	l := opt.L
 	if l <= 0 {
@@ -104,16 +120,32 @@ func JoinIndexed(ix *prep.Index, lambda float64, o *Options) ([]verify.Pair, ver
 	}
 
 	sigs := ix.Sigs
-	sketches := ix.Sketches
-	pruner := NewPruner(opt.SketchWords, lambda, opt.Gamma)
+	var sketches []uint64
+	var pruner *Pruner
+	w := 0
+	if opt.SketchWords > 0 {
+		w = opt.SketchWords
+		sketches = ix.Sketches
+		pruner = NewPruner(w, lambda, opt.Gamma)
+	}
 
+	// Draw every repetition's bucket position up front so the join's
+	// randomness is fixed before any task starts (identical result sets
+	// across worker counts).
 	rng := tabhash.NewSplitMix64(opt.Seed + 0x1717)
-	res := verify.NewResultSet()
-	v := verify.NewVerifier(sets, lambda, nil)
-	w := opt.SketchWords
+	positions := make([]int, l)
+	for rep := range positions {
+		positions[rep] = rng.Intn(opt.T)
+	}
 
-	for rep := 0; rep < l; rep++ {
-		pos := rng.Intn(opt.T)
+	workers := exec.EffectiveWorkers(opt.Workers)
+	res := verify.NewSink(workers)
+	v := verify.NewVerifier(sets, lambda, nil)
+	var atomics verify.AtomicCounters
+
+	runRep := func(rep int) {
+		var pre, cand int64
+		pos := positions[rep]
 		buckets := make(map[uint32][]uint32, len(sets)/4+1)
 		for id := range sets {
 			val := sigs[id*opt.T+pos]
@@ -126,26 +158,43 @@ func JoinIndexed(ix *prep.Index, lambda float64, o *Options) ([]verify.Pair, ver
 			for i := 0; i < len(bucket); i++ {
 				for k := i + 1; k < len(bucket); k++ {
 					a, b := bucket[i], bucket[k]
-					counters.PreCandidates++
+					pre++
 					if res.Contains(a, b) {
 						continue
 					}
 					if !v.SizeCompatible(len(sets[a]), len(sets[b])) {
 						continue
 					}
-					sa := sketches[int(a)*w : (int(a)+1)*w]
-					sb := sketches[int(b)*w : (int(b)+1)*w]
-					if !pruner.Survives(sa, sb) {
-						continue
+					if pruner != nil {
+						sa := sketches[int(a)*w : (int(a)+1)*w]
+						sb := sketches[int(b)*w : (int(b)+1)*w]
+						if !pruner.Survives(sa, sb) {
+							continue
+						}
 					}
-					counters.Candidates++
+					cand++
 					if v.Verify(a, b) {
 						res.Add(a, b)
 					}
 				}
 			}
 		}
+		atomics.Add(pre, cand)
 	}
+
+	if workers <= 1 {
+		for rep := 0; rep < l; rep++ {
+			runRep(rep)
+		}
+	} else {
+		roots := make([]exec.Task, l)
+		for rep := range roots {
+			rep := rep
+			roots[rep] = func(c *exec.Ctx) { runRep(rep) }
+		}
+		exec.Run(workers, roots...)
+	}
+	counters := atomics.Counters()
 	counters.Results = int64(res.Len())
 	return res.Pairs(), counters
 }

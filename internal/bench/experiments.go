@@ -28,6 +28,10 @@ type Config struct {
 	TargetRecall float64
 	// Seed drives the randomized algorithms.
 	Seed uint64
+	// Workers is the worker count handed to every algorithm (0 =
+	// sequential, negative = GOMAXPROCS). Timings change with it; result
+	// sets do not.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's experimental setup at one run per cell.
@@ -103,19 +107,20 @@ type Table2Cell struct {
 func RunTable2(workloads []Workload, thresholds []float64, cfg Config, progress io.Writer) []Table2Cell {
 	var cells []Table2Cell
 	for _, w := range workloads {
-		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed})
+		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
 		for _, lambda := range thresholds {
 			cell := Table2Cell{Dataset: w.Name, Threshold: lambda}
 
 			var truth []verify.Pair
 			cell.ALL = timed(cfg.Runs, func() {
-				truth, _ = allpairs.Join(w.Sets, lambda)
+				truth, _ = allpairs.JoinWorkers(w.Sets, lambda, cfg.Workers)
 			})
 			cell.Results = len(truth)
 
 			var cpPairs []verify.Pair
 			cpOpts := &core.Options{
 				Seed:         cfg.Seed,
+				Workers:      cfg.Workers,
 				GroundTruth:  truth,
 				StopAtRecall: cfg.TargetRecall,
 			}
@@ -127,6 +132,7 @@ func RunTable2(workloads []Workload, thresholds []float64, cfg Config, progress 
 			var mhPairs []verify.Pair
 			mhOpts := &lshjoin.Options{
 				Seed:         cfg.Seed,
+				Workers:      cfg.Workers,
 				TargetRecall: cfg.TargetRecall,
 				GroundTruth:  truth,
 				StopAtRecall: cfg.TargetRecall,
@@ -242,8 +248,8 @@ func RunFig3(workloads []Workload, param string, cfg Config, progress io.Writer)
 	}
 	var out []Fig3Point
 	for _, w := range workloads {
-		truth, _ := allpairs.Join(w.Sets, lambda)
-		base := core.Options{Seed: cfg.Seed, GroundTruth: truth, StopAtRecall: target}
+		truth, _ := allpairs.JoinWorkers(w.Sets, lambda, cfg.Workers)
+		base := core.Options{Seed: cfg.Seed, Workers: cfg.Workers, GroundTruth: truth, StopAtRecall: target}
 
 		// Preprocess outside the timed section; the words sweep needs a
 		// fresh index per point, the others share one.
@@ -335,15 +341,16 @@ type Table4Row struct {
 func RunTable4(workloads []Workload, cfg Config, progress io.Writer) []Table4Row {
 	var rows []Table4Row
 	for _, w := range workloads {
-		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed})
+		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
 		for _, lambda := range []float64{0.5, 0.7} {
-			truth, ac := allpairs.Join(w.Sets, lambda)
+			truth, ac := allpairs.JoinWorkers(w.Sets, lambda, cfg.Workers)
 			rows = append(rows, Table4Row{
 				Dataset: w.Name, Threshold: lambda, Algorithm: "ALL",
 				PreCandidates: ac.PreCandidates, Candidates: ac.Candidates, Results: ac.Results,
 			})
 			_, cc := core.JoinIndexed(ix, lambda, &core.Options{
-				Seed: cfg.Seed, GroundTruth: truth, StopAtRecall: cfg.TargetRecall,
+				Seed: cfg.Seed, Workers: cfg.Workers,
+				GroundTruth: truth, StopAtRecall: cfg.TargetRecall,
 			})
 			rows = append(rows, Table4Row{
 				Dataset: w.Name, Threshold: lambda, Algorithm: "CP",
@@ -390,11 +397,11 @@ func RunAblation(workloads []Workload, cfg Config, progress io.Writer) []Ablatio
 	}
 	var rows []AblationRow
 	for _, w := range workloads {
-		truth, _ := allpairs.Join(w.Sets, lambda)
-		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed})
+		truth, _ := allpairs.JoinWorkers(w.Sets, lambda, cfg.Workers)
+		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
 		for _, s := range strategies {
 			opt := &core.Options{
-				Seed: cfg.Seed, Stopping: s.stop,
+				Seed: cfg.Seed, Workers: cfg.Workers, Stopping: s.stop,
 				GroundTruth: truth, StopAtRecall: cfg.TargetRecall,
 			}
 			var pairs []verify.Pair
@@ -440,7 +447,7 @@ type TheoryRow struct {
 func RunTheory(workloads []Workload, cfg Config, progress io.Writer) []TheoryRow {
 	var rows []TheoryRow
 	for _, w := range workloads {
-		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed})
+		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
 		var m core.Metrics
 		core.JoinIndexed(ix, 0.5, &core.Options{Seed: cfg.Seed, Metrics: &m})
 		rows = append(rows, TheoryRow{
@@ -486,16 +493,17 @@ type BayesRow struct {
 func RunBayes(workloads []Workload, cfg Config, progress io.Writer) []BayesRow {
 	var rows []BayesRow
 	for _, w := range workloads {
-		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed})
+		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
 		for _, lambda := range []float64{0.5, 0.7} {
-			truth, _ := allpairs.Join(w.Sets, lambda)
+			truth, _ := allpairs.JoinWorkers(w.Sets, lambda, cfg.Workers)
 			var bp []verify.Pair
 			bTime := timed(cfg.Runs, func() {
-				bp, _ = bayeslsh.JoinIndexed(ix, lambda, &bayeslsh.Options{Seed: cfg.Seed})
+				bp, _ = bayeslsh.JoinIndexed(ix, lambda, &bayeslsh.Options{Seed: cfg.Seed, Workers: cfg.Workers})
 			})
 			cpTime := timed(cfg.Runs, func() {
 				core.JoinIndexed(ix, lambda, &core.Options{
-					Seed: cfg.Seed, GroundTruth: truth, StopAtRecall: cfg.TargetRecall,
+					Seed: cfg.Seed, Workers: cfg.Workers,
+					GroundTruth: truth, StopAtRecall: cfg.TargetRecall,
 				})
 			})
 			rows = append(rows, BayesRow{

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/allpairs"
+	"repro/internal/core"
+	"repro/internal/lshjoin"
+	"repro/internal/prep"
+	"repro/internal/stats"
+	"repro/internal/verify"
+)
+
+// ParallelRow is one measurement of the parallel-scaling benchmark: one
+// (dataset, algorithm, worker count) cell, with the speedup over the
+// single-worker run of the same cell and a determinism check against it.
+type ParallelRow struct {
+	Dataset   string  `json:"dataset"`
+	Algorithm string  `json:"algorithm"`
+	Threshold float64 `json:"threshold"`
+	Workers   int     `json:"workers"`
+	Seconds   float64 `json:"seconds"`
+	// Speedup is the single-worker time of this (dataset, algorithm) cell
+	// divided by this row's time.
+	Speedup float64 `json:"speedup"`
+	Pairs   int     `json:"pairs"`
+	// Identical reports whether this row's pair set equals the
+	// single-worker pair set — the execution layer's determinism
+	// contract, verified on every benchmark run.
+	Identical bool `json:"identical_to_sequential"`
+}
+
+// DefaultWorkerCounts is the scaling ladder measured by `make bench`:
+// powers of two up to GOMAXPROCS, always including 1 and GOMAXPROCS.
+func DefaultWorkerCounts() []int {
+	maxw := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for w := 2; w < maxw; w *= 2 {
+		counts = append(counts, w)
+	}
+	if maxw > 1 {
+		counts = append(counts, maxw)
+	}
+	return counts
+}
+
+// RunParallelScaling measures join time against worker count for the
+// parallelized algorithms on every workload at λ=0.5. It drives the same
+// code paths as the library's Workers option; recall-targeted stopping is
+// deliberately off so every run does identical algorithmic work, and the
+// shared index is built once per workload outside the timed section — the
+// rows measure join scaling only, matching the paper's convention of
+// excluding preprocessing from join time.
+func RunParallelScaling(workloads []Workload, workerCounts []int, cfg Config, progress io.Writer) []ParallelRow {
+	const lambda = 0.5
+	type algo struct {
+		name string
+		run  func(w Workload, ix *prep.Index, workers int) []verify.Pair
+	}
+	algorithms := []algo{
+		{"cpsjoin", func(w Workload, ix *prep.Index, workers int) []verify.Pair {
+			pairs, _ := core.JoinIndexed(ix, lambda, &core.Options{Seed: cfg.Seed, Workers: workers})
+			return pairs
+		}},
+		{"braunblanquet", func(w Workload, _ *prep.Index, workers int) []verify.Pair {
+			pairs, _ := core.JoinBB(w.Sets, lambda, &core.BBOptions{Seed: cfg.Seed, Workers: workers})
+			return pairs
+		}},
+		{"minhash", func(w Workload, ix *prep.Index, workers int) []verify.Pair {
+			pairs, _ := lshjoin.JoinIndexed(ix, lambda, &lshjoin.Options{Seed: cfg.Seed, Workers: workers})
+			return pairs
+		}},
+		{"allpairs", func(w Workload, _ *prep.Index, workers int) []verify.Pair {
+			pairs, _ := allpairs.JoinWorkers(w.Sets, lambda, workers)
+			return pairs
+		}},
+	}
+
+	var rows []ParallelRow
+	for _, w := range workloads {
+		ix := core.Preprocess(w.Sets, &core.Options{Seed: cfg.Seed, Workers: -1})
+		for _, alg := range algorithms {
+			var base time.Duration
+			var basePairs []verify.Pair
+			for _, workers := range workerCounts {
+				var pairs []verify.Pair
+				d := timed(cfg.Runs, func() {
+					pairs = alg.run(w, ix, workers)
+				})
+				row := ParallelRow{
+					Dataset:   w.Name,
+					Algorithm: alg.name,
+					Threshold: lambda,
+					Workers:   workers,
+					Seconds:   d.Seconds(),
+					Pairs:     len(pairs),
+				}
+				if workers == workerCounts[0] {
+					base, basePairs = d, pairs
+				}
+				if base > 0 {
+					row.Speedup = base.Seconds() / d.Seconds()
+				}
+				row.Identical = stats.EqualPairSets(basePairs, pairs)
+				rows = append(rows, row)
+				if progress != nil {
+					fmt.Fprintf(progress, "parallel %-12s %-13s workers=%-2d t=%8.3fs speedup=%5.2fx identical=%v\n",
+						w.Name, alg.name, workers, row.Seconds, row.Speedup, row.Identical)
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// WriteParallelJSON emits the scaling measurements as indented JSON — the
+// BENCH_parallel.json artifact recorded by `make bench` so the repo's
+// performance trajectory is tracked across PRs.
+func WriteParallelJSON(w io.Writer, rows []ParallelRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		GOMAXPROCS int           `json:"gomaxprocs"`
+		Rows       []ParallelRow `json:"rows"`
+	}{runtime.GOMAXPROCS(0), rows})
+}
+
+// PrintParallel writes the scaling table for human consumption.
+func PrintParallel(w io.Writer, rows []ParallelRow) {
+	fmt.Fprintf(w, "%-12s %-13s %8s %10s %9s %10s\n",
+		"Dataset", "algorithm", "workers", "time", "speedup", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-13s %8d %9.3fs %8.2fx %10v\n",
+			r.Dataset, r.Algorithm, r.Workers, r.Seconds, r.Speedup, r.Identical)
+	}
+}

@@ -11,12 +11,23 @@
 // continuing would cost more comparisons than finishing it directly
 // (Algorithm 2 of the paper), which is what makes the method parameter-free
 // and robust on data without rare tokens.
+//
+// Parallelism follows Section VII's observation that "most of the
+// computation happens in independent, recursive calls": with Workers > 1
+// the recursion runs on the shared work-stealing pool of internal/exec.
+// Whole repetitions are root tasks, and within a repetition every subtree
+// hanging off a large node is spawned as its own task, so a single
+// repetition saturates all workers. Every node derives its randomness from
+// a seed that depends only on its path from the root, so the tree ensemble
+// — and therefore the result set — is identical regardless of worker count
+// or scheduling.
 package core
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/prep"
 	"repro/internal/sketch"
 	"repro/internal/tabhash"
@@ -42,7 +53,7 @@ const (
 
 // Options configures CPSJoin. The zero value selects the paper's final
 // parameters (Table III): t=128, limit=250, ε=0.1, ℓ=8 words, δ=0.05,
-// 10 repetitions, adaptive stopping.
+// 10 repetitions, adaptive stopping, sequential execution.
 type Options struct {
 	// T is the MinHash signature length (embedded set size).
 	T int
@@ -63,6 +74,14 @@ type Options struct {
 	Repetitions int
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Workers is the number of worker goroutines of the parallel execution
+	// layer (internal/exec): 0 runs sequentially, negative selects
+	// GOMAXPROCS. The result set is identical across worker counts for a
+	// fixed Seed and options; only the candidate counters (and, with
+	// StopAtRecall, the early-stopping point) depend on scheduling.
+	// A non-nil Metrics forces sequential execution, as the recursion
+	// statistics it collects are properties of the depth-first traversal.
+	Workers int
 	// Stopping selects the stopping strategy (ablation of Section IV-C.5).
 	Stopping Stopping
 	// GlobalDepth is the fixed depth for StopGlobal; 0 derives
@@ -77,9 +96,11 @@ type Options struct {
 	// from n and ε following Lemma 4.
 	MaxDepth int
 	// GroundTruth, when non-nil together with StopAtRecall > 0, enables
-	// the paper's experimental procedure (Section VI-2): repetitions stop
-	// as soon as recall against the known exact result reaches
-	// StopAtRecall. Repetitions remains the upper bound.
+	// the paper's experimental procedure (Section VI-2): the join stops as
+	// soon as recall against the known exact result reaches StopAtRecall.
+	// All workers share one atomic view of the accumulated results
+	// (verify.RecallTracker), so the stopping decision is global rather
+	// than per worker. Repetitions remains the upper bound.
 	GroundTruth  []verify.Pair
 	StopAtRecall float64
 	// Metrics, when non-nil, receives recursion statistics (explored tree
@@ -150,14 +171,15 @@ func Join(sets [][]uint32, lambda float64, o *Options) ([]verify.Pair, verify.Co
 // Preprocess builds the reusable index (signatures and sketches) for a
 // collection with the given options. Joins at any threshold can then run
 // against it without repeating the embedding work, which is how the
-// paper's experiments measure join time.
+// paper's experiments measure join time. With Workers set, the per-set
+// hashing is spread across the execution layer.
 func Preprocess(sets [][]uint32, o *Options) *prep.Index {
 	opt := o.withDefaults()
 	words := opt.SketchWords
 	if words < 0 {
 		words = 0
 	}
-	return prep.Build(sets, opt.T, words, opt.Seed)
+	return prep.BuildParallel(sets, opt.T, words, opt.Seed, exec.EffectiveWorkers(opt.Workers))
 }
 
 // JoinIndexed runs a self-join against a prebuilt index. The index
@@ -214,16 +236,19 @@ type joiner struct {
 	filter   *sketch.Filter
 
 	verifier *verify.Verifier
-	res      *verify.ResultSet
+	res      verify.PairSink
+	tracker  *verify.RecallTracker
 	counters verify.Counters
+	atomics  verify.AtomicCounters
 
-	rng       *tabhash.SplitMix64
+	workers     int
+	spawnCutoff int // node size above which child subtrees become tasks
+
 	splitProb float64
 	maxDepth  int
 	kx        []int // per-point stopping depth for StopIndividual
 
-	scratchNode []uint64 // node sketch buffer
-	liveMass    int64    // total size of nodes on the recursion stack
+	liveMass int64 // total size of nodes on the recursion stack (Metrics)
 }
 
 func newJoiner(sets [][]uint32, owners []uint8, lambda float64, o *Options, ix *prep.Index) *joiner {
@@ -250,22 +275,35 @@ func newJoiner(sets [][]uint32, owners []uint8, lambda float64, o *Options, ix *
 		opt:    opt,
 		t:      opt.T,
 	}
+	j.workers = exec.EffectiveWorkers(opt.Workers)
+	if opt.Metrics != nil {
+		// Recursion statistics (stack mass, traversal depth) are
+		// properties of the sequential depth-first walk.
+		j.workers = 1
+	}
+	// A subtree is one task once its root fits within a few brute-force
+	// limits: large enough to amortize scheduling, small enough that a
+	// single repetition decomposes into many tasks.
+	j.spawnCutoff = 4 * opt.Limit
+	if j.spawnCutoff < 1024 {
+		j.spawnCutoff = 1024
+	}
 	if ix == nil {
 		words := opt.SketchWords
 		if words < 0 {
 			words = 0
 		}
-		ix = prep.Build(sets, opt.T, words, opt.Seed)
+		ix = prep.BuildParallel(sets, opt.T, words, opt.Seed, j.workers)
 	}
 	j.sigs = ix.Sigs
 	if opt.SketchWords > 0 {
 		j.w = ix.Words
 		j.sketches = ix.Sketches
 		j.filter = sketch.NewFilter(j.w, lambda, opt.Delta)
-		j.scratchNode = make([]uint64, j.w)
 	}
 	j.verifier = verify.NewVerifier(sets, lambda, nil)
-	j.res = verify.NewResultSet()
+	j.res = verify.NewSink(j.workers)
+	j.tracker = verify.NewRecallTracker(opt.GroundTruth, opt.StopAtRecall)
 	j.splitProb = 1 / (lambda * float64(opt.T))
 	j.maxDepth = opt.MaxDepth
 	if j.maxDepth <= 0 {
@@ -280,56 +318,94 @@ func newJoiner(sets [][]uint32, owners []uint8, lambda float64, o *Options, ix *
 	return j
 }
 
-func (j *joiner) run() {
-	reps := make([]int, j.opt.Repetitions)
-	for i := range reps {
-		reps[i] = i
-	}
-	j.runReps(reps)
+// repSeed derives the root seed of one repetition; it depends only on the
+// repetition index, never on which worker runs it.
+func repSeed(seed uint64, rep int) uint64 {
+	return tabhash.Mix64(seed + uint64(rep)*0x9d5)
 }
 
-// runReps executes the given repetition indices. Repetition seeds depend
-// only on the index, so partitioning indices across workers yields the
-// same tree ensemble as a sequential run.
-func (j *joiner) runReps(reps []int) {
-	n := len(j.sets)
+// childSeed derives a child node's seed from its parent's seed and the
+// (position, minhash value) bucket that formed it. Both inputs are stable
+// properties of the tree, so the full ensemble of recursion trees is
+// deterministic no matter which worker expands which subtree — map
+// iteration order and task scheduling never enter the derivation.
+func childSeed(seed uint64, pos int, v uint32) uint64 {
+	return tabhash.DeriveSeed(seed, uint64(pos), uint64(v))
+}
+
+func (j *joiner) rootNode() []uint32 {
+	root := make([]uint32, len(j.sets))
+	for i := range root {
+		root[i] = uint32(i)
+	}
+	return root
+}
+
+func (j *joiner) run() {
 	if j.opt.Stopping == StopIndividual {
 		j.computeIndividualDepths()
 	}
-	for _, rep := range reps {
-		j.rng = tabhash.NewSplitMix64(tabhash.Mix64(j.opt.Seed + uint64(rep)*0x9d5))
-		root := make([]uint32, n)
-		for i := range root {
-			root[i] = uint32(i)
+	if j.workers <= 1 {
+		ts := j.newTaskState()
+		for rep := 0; rep < j.opt.Repetitions; rep++ {
+			if j.tracker.Reached() {
+				break
+			}
+			ts.recurse(nil, j.rootNode(), 0, repSeed(j.opt.Seed, rep))
 		}
-		j.recurse(root, 0)
-		if j.recallReached() {
-			break
+		ts.flush()
+	} else {
+		roots := make([]exec.Task, j.opt.Repetitions)
+		for rep := range roots {
+			seed := repSeed(j.opt.Seed, rep)
+			roots[rep] = func(c *exec.Ctx) {
+				if j.tracker.Reached() {
+					return
+				}
+				ts := j.newTaskState()
+				ts.recurse(c, j.rootNode(), 0, seed)
+				ts.flush()
+			}
 		}
+		exec.Run(j.workers, roots...)
 	}
+	j.counters = j.atomics.Counters()
 	j.counters.Results = int64(j.res.Len())
 }
 
-// recallReached reports whether the recall-targeted stopping rule applies
-// and has been satisfied.
-func (j *joiner) recallReached() bool {
-	if j.opt.StopAtRecall <= 0 || j.opt.GroundTruth == nil {
-		return false
-	}
-	if len(j.opt.GroundTruth) == 0 {
-		return true
-	}
-	hit := 0
-	for _, p := range j.opt.GroundTruth {
-		if j.res.Contains(p.A, p.B) {
-			hit++
-		}
-	}
-	return float64(hit)/float64(len(j.opt.GroundTruth)) >= j.opt.StopAtRecall
+// taskState is the per-task execution context: candidate counters batched
+// locally (flushed atomically once per task) and scratch buffers. Each
+// task owns one; the joiner itself is read-only while tasks run, except
+// for the concurrent result sink and the atomic counters.
+type taskState struct {
+	j         *joiner
+	pre, cand int64
+	scratch   []uint64 // node sketch buffer
 }
 
-// recurse processes one node of the Chosen Path Tree (Algorithm 1).
-func (j *joiner) recurse(node []uint32, depth int) {
+func (j *joiner) newTaskState() *taskState {
+	ts := &taskState{j: j}
+	if j.w > 0 {
+		ts.scratch = make([]uint64, j.w)
+	}
+	return ts
+}
+
+// flush publishes the task-local counters into the shared atomics.
+func (ts *taskState) flush() {
+	ts.j.atomics.Add(ts.pre, ts.cand)
+	ts.pre, ts.cand = 0, 0
+}
+
+// recurse processes one node of the Chosen Path Tree (Algorithm 1). In
+// parallel runs (c != nil), child subtrees of nodes larger than the spawn
+// cutoff become independent tasks; subtrees at or below the cutoff run
+// inline as one sequential task.
+func (ts *taskState) recurse(c *exec.Ctx, node []uint32, depth int, seed uint64) {
+	j := ts.j
+	if j.tracker.Reached() {
+		return
+	}
 	if m := j.opt.Metrics; m != nil {
 		if depth > m.MaxDepth {
 			m.MaxDepth = depth
@@ -346,6 +422,10 @@ func (j *joiner) recurse(node []uint32, depth int) {
 		}
 		defer func() { j.liveMass -= size }()
 	}
+	// Every node draws from its own generator, seeded by its path from
+	// the root: first the stopping step (node-sketch sampling), then the
+	// splitting step, exactly as in the sequential traversal.
+	rng := tabhash.NewSplitMix64(seed)
 	switch j.opt.Stopping {
 	case StopGlobal:
 		gd := j.opt.GlobalDepth
@@ -353,29 +433,29 @@ func (j *joiner) recurse(node []uint32, depth int) {
 			gd = j.defaultGlobalDepth()
 		}
 		if depth >= gd || len(node) <= 2 {
-			j.bruteForcePairs(node)
+			ts.bruteForcePairs(node)
 			return
 		}
 	case StopIndividual:
-		node = j.individualStep(node, depth)
+		node = ts.individualStep(node, depth)
 		if len(node) < 2 {
 			return
 		}
 		if depth >= j.maxDepth {
-			j.bruteForcePairs(node)
+			ts.bruteForcePairs(node)
 			return
 		}
 	default: // StopAdaptive
 		if j.opt.StrictBruteForce {
-			node = j.bruteForceStrict(node)
+			node = ts.bruteForceStrict(node)
 		} else {
-			node = j.bruteForceStep(node)
+			node = ts.bruteForceStep(node, rng)
 		}
 		if len(node) < 2 {
 			return
 		}
 		if depth >= j.maxDepth {
-			j.bruteForcePairs(node)
+			ts.bruteForcePairs(node)
 			return
 		}
 	}
@@ -383,8 +463,9 @@ func (j *joiner) recurse(node []uint32, depth int) {
 	// Splitting step: sample each signature position with probability
 	// 1/(λt) (expected 1/λ positions) and split the node by the minhash
 	// value at each sampled position (Section V-A.3).
+	spawn := c != nil && len(node) > j.spawnCutoff
 	for pos := 0; pos < j.t; pos++ {
-		if j.rng.Float64() >= j.splitProb {
+		if rng.Float64() >= j.splitProb {
 			continue
 		}
 		buckets := make(map[uint32][]uint32, len(node)/2+1)
@@ -392,9 +473,20 @@ func (j *joiner) recurse(node []uint32, depth int) {
 			v := j.sigs[int(id)*j.t+pos]
 			buckets[v] = append(buckets[v], id)
 		}
-		for _, child := range buckets {
-			if len(child) >= 2 {
-				j.recurse(child, depth+1)
+		for v, child := range buckets {
+			if len(child) < 2 {
+				continue
+			}
+			cseed := childSeed(seed, pos, v)
+			if spawn {
+				child := child
+				c.Spawn(func(c *exec.Ctx) {
+					sub := j.newTaskState()
+					sub.recurse(c, child, depth+1, cseed)
+					sub.flush()
+				})
+			} else {
+				ts.recurse(c, child, depth+1, cseed)
 			}
 		}
 	}
@@ -414,24 +506,25 @@ func (j *joiner) defaultGlobalDepth() int {
 // single pass that estimates, via a sampled node sketch, each point's
 // average similarity to the node, brute-forces every point above
 // (1-ε)λ, and returns the remainder.
-func (j *joiner) bruteForceStep(node []uint32) []uint32 {
+func (ts *taskState) bruteForceStep(node []uint32, rng *tabhash.SplitMix64) []uint32 {
+	j := ts.j
 	if len(node) <= j.opt.Limit {
-		j.bruteForcePairs(node)
+		ts.bruteForcePairs(node)
 		return nil
 	}
 	if j.w == 0 {
 		// No sketches: fall back to the exact count-based rule.
-		return j.bruteForceStrict(node)
+		return ts.bruteForceStrict(node)
 	}
 
 	// Node sketch ŝ: bit i is bit i of the sketch of a uniformly sampled
 	// member, so agreement between x̂ and ŝ estimates the average
 	// similarity of x to the node.
-	nodeSketch := j.scratchNode
+	nodeSketch := ts.scratch
 	for wd := 0; wd < j.w; wd++ {
 		var word uint64
 		for b := 0; b < 64; b++ {
-			member := node[j.rng.Intn(len(node))]
+			member := node[rng.Intn(len(node))]
 			bit := (j.sketches[int(member)*j.w+wd] >> uint(b)) & 1
 			word |= bit << uint(b)
 		}
@@ -457,19 +550,20 @@ func (j *joiner) bruteForceStep(node []uint32) []uint32 {
 	// Marked points are compared against everything in the node exactly
 	// once: each against the survivors, plus all pairs among themselves.
 	for _, id := range marked {
-		j.bruteForcePoint(id, rest)
+		ts.bruteForcePoint(id, rest)
 	}
-	j.bruteForcePairs(marked)
+	ts.bruteForcePairs(marked)
 	return rest
 }
 
 // bruteForceStrict is the literal Algorithm 2: exact average Braun-Blanquet
 // similarity from token counts over the embedded sets, recomputed after
 // every removal. Used with StrictBruteForce and when sketches are disabled.
-func (j *joiner) bruteForceStrict(node []uint32) []uint32 {
+func (ts *taskState) bruteForceStrict(node []uint32) []uint32 {
+	j := ts.j
 	for {
 		if len(node) <= j.opt.Limit {
-			j.bruteForcePairs(node)
+			ts.bruteForcePairs(node)
 			return nil
 		}
 		counts := make(map[uint64]int32, len(node)*j.t/4)
@@ -489,8 +583,8 @@ func (j *joiner) bruteForceStrict(node []uint32) []uint32 {
 			}
 			avg := float64(sum) / (float64(j.t) * float64(len(node)-1))
 			if avg > threshold {
-				j.bruteForcePoint(id, node[:idx])
-				j.bruteForcePoint(id, node[idx+1:])
+				ts.bruteForcePoint(id, node[:idx])
+				ts.bruteForcePoint(id, node[idx+1:])
 				node = append(append([]uint32{}, node[:idx]...), node[idx+1:]...)
 				removed = true
 				break
@@ -504,9 +598,10 @@ func (j *joiner) bruteForceStrict(node []uint32) []uint32 {
 
 // individualStep removes points whose precomputed stopping depth has been
 // reached, comparing them against the whole node.
-func (j *joiner) individualStep(node []uint32, depth int) []uint32 {
+func (ts *taskState) individualStep(node []uint32, depth int) []uint32 {
+	j := ts.j
 	if len(node) <= 2 {
-		j.bruteForcePairs(node)
+		ts.bruteForcePairs(node)
 		return nil
 	}
 	var marked, rest []uint32
@@ -521,15 +616,16 @@ func (j *joiner) individualStep(node []uint32, depth int) []uint32 {
 		return node
 	}
 	for _, id := range marked {
-		j.bruteForcePoint(id, rest)
+		ts.bruteForcePoint(id, rest)
 	}
-	j.bruteForcePairs(marked)
+	ts.bruteForcePairs(marked)
 	return rest
 }
 
 // computeIndividualDepths estimates, for every point, the depth k_x
 // minimizing (1/λ)^k + Σ_y (sim(x,y)/λ)^k, with the sum estimated from a
 // sample of sketch similarities (the individual strategy of Ahle et al.).
+// It runs once, before any task starts; kx is read-only afterwards.
 func (j *joiner) computeIndividualDepths() {
 	n := len(j.sets)
 	j.kx = make([]int, n)
@@ -581,10 +677,14 @@ func (j *joiner) crossPair(a, b uint32) bool {
 
 // checkPair runs the candidate pipeline on one pair: ownership, size
 // filter, sketch filter, dedup, exact verification. The cheap constant-time
-// filters run before the dedup map lookup because the overwhelming
-// majority of pre-candidates die in them.
-func (j *joiner) checkPair(a, b uint32) {
-	j.counters.PreCandidates++
+// filters run before the dedup lookup because the overwhelming majority of
+// pre-candidates die in them. In parallel runs two tasks can race past the
+// dedup check and verify the same pair; the sink's Add keeps the result
+// set exact, so only the Candidates counter can drift by the handful of
+// double-verified pairs.
+func (ts *taskState) checkPair(a, b uint32) {
+	j := ts.j
+	ts.pre++
 	if !j.crossPair(a, b) {
 		return
 	}
@@ -601,31 +701,33 @@ func (j *joiner) checkPair(a, b uint32) {
 	if j.res.Contains(a, b) {
 		return
 	}
-	j.counters.Candidates++
+	ts.cand++
 	if j.verifier.Verify(a, b) {
-		j.res.Add(a, b)
+		if j.res.Add(a, b) {
+			j.tracker.Hit(a, b)
+		}
 	}
 }
 
 // bruteForcePairs reports all qualifying pairs within the node
 // (BRUTEFORCEPAIRS in Algorithm 2).
-func (j *joiner) bruteForcePairs(node []uint32) {
-	if m := j.opt.Metrics; m != nil && len(node) > 1 {
+func (ts *taskState) bruteForcePairs(node []uint32) {
+	if m := ts.j.opt.Metrics; m != nil && len(node) > 1 {
 		m.BruteForcedNodes++
 	}
 	for i := 0; i < len(node); i++ {
 		for k := i + 1; k < len(node); k++ {
-			j.checkPair(node[i], node[k])
+			ts.checkPair(node[i], node[k])
 		}
 	}
 }
 
 // bruteForcePoint compares one point against a list of others
 // (BRUTEFORCEPOINT in Algorithm 2).
-func (j *joiner) bruteForcePoint(id uint32, others []uint32) {
+func (ts *taskState) bruteForcePoint(id uint32, others []uint32) {
 	for _, other := range others {
 		if other != id {
-			j.checkPair(id, other)
+			ts.checkPair(id, other)
 		}
 	}
 }

@@ -1,76 +1,29 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/prep"
 	"repro/internal/verify"
 )
 
-// JoinParallel runs the CPSJoin repetitions concurrently across workers
-// and merges their results. Section VII of the paper observes that
-// "recursive methods such as ours lend themselves well to parallel and
-// distributed implementations since most of the computation happens in
-// independent, recursive calls"; independent repetitions are the
-// coarsest such grain and parallelize with no coordination beyond the
-// final merge.
+// JoinParallel runs CPSJoin with the given number of workers.
 //
-// The output distribution is identical to the sequential JoinIndexed with
-// the same options: repetition seeds depend only on the repetition index,
-// not on the worker that runs it. StopAtRecall, which requires a global
-// view of the accumulated result, is applied per worker only and is
-// therefore weaker than in the sequential run; leave it unset for
-// parallel joins.
+// Deprecated: set Options.Workers and call JoinIndexed instead. This
+// wrapper predates the unified parallel execution layer (internal/exec),
+// which parallelizes within repetitions — not just across them — and
+// shares one atomic result view between workers, so StopAtRecall now
+// stops globally. It is kept so older callers continue to compile; the
+// result-set contract is unchanged (identical pairs for identical seed
+// and options, any worker count).
 //
 // workers <= 0 selects GOMAXPROCS.
 func JoinParallel(ix *prep.Index, lambda float64, o *Options, workers int) ([]verify.Pair, verify.Counters) {
-	opt := o.withDefaults()
-	if len(ix.Sets) < 2 {
-		return nil, verify.Counters{}
+	opt := Options{}
+	if o != nil {
+		opt = *o
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = -1 // EffectiveWorkers maps negative to GOMAXPROCS
 	}
-	if workers > opt.Repetitions {
-		workers = opt.Repetitions
-	}
-	if workers <= 1 {
-		return JoinIndexed(ix, lambda, &opt)
-	}
-
-	// Partition repetition indices round-robin.
-	parts := make([][]int, workers)
-	for rep := 0; rep < opt.Repetitions; rep++ {
-		parts[rep%workers] = append(parts[rep%workers], rep)
-	}
-
-	joiners := make([]*joiner, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		optCopy := opt
-		jw := newJoiner(ix.Sets, nil, lambda, &optCopy, ix)
-		joiners[w] = jw
-		wg.Add(1)
-		go func(jw *joiner, reps []int) {
-			defer wg.Done()
-			jw.runReps(reps)
-		}(jw, parts[w])
-	}
-	wg.Wait()
-
-	// Merge: pairs dedup across workers; pre-candidate and candidate
-	// counts are additive (duplicates across repetitions are inherent to
-	// the method and counted, as in the paper's Table IV).
-	merged := verify.NewResultSet()
-	var counters verify.Counters
-	for _, jw := range joiners {
-		counters.PreCandidates += jw.counters.PreCandidates
-		counters.Candidates += jw.counters.Candidates
-		for _, p := range jw.res.Pairs() {
-			merged.Add(p.A, p.B)
-		}
-	}
-	counters.Results = int64(merged.Len())
-	return merged.Pairs(), counters
+	opt.Workers = workers
+	return JoinIndexed(ix, lambda, &opt)
 }

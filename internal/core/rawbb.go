@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/tabhash"
 	"repro/internal/verify"
 )
@@ -22,6 +23,12 @@ import (
 // guarantee of Section IV. It doubles as a cross-check for the optimized
 // implementation: slower by the Θ(|x|) splitting overhead the heuristics
 // remove, but identical in output distribution guarantees.
+//
+// The recursion runs on the same work-stealing scheduler as the optimized
+// join (internal/exec) under the same discipline: per-node seeds derived
+// from the path, subtrees of large nodes spawned as tasks, results merged
+// through a concurrent sink — so the reference implementation, too, is
+// deterministic across worker counts.
 
 // BBOptions configures the reference Braun-Blanquet join.
 type BBOptions struct {
@@ -35,6 +42,10 @@ type BBOptions struct {
 	Repetitions int
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Workers is the worker count of the parallel execution layer: 0 runs
+	// sequentially, negative selects GOMAXPROCS. Result sets are identical
+	// across worker counts for a fixed Seed.
+	Workers int
 	// MaxDepth caps recursion (0 = derive from n and ε).
 	MaxDepth int
 }
@@ -63,16 +74,21 @@ func JoinBB(sets [][]uint32, lambda float64, o *BBOptions) ([]verify.Pair, verif
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("core: lambda %v out of (0,1)", lambda))
 	}
-	var counters verify.Counters
 	if len(sets) < 2 {
-		return nil, counters
+		return nil, verify.Counters{}
 	}
 	opt := o.withDefaults()
+	workers := exec.EffectiveWorkers(opt.Workers)
 	j := &bbJoiner{
-		sets:   sets,
-		lambda: lambda,
-		opt:    opt,
-		res:    verify.NewResultSet(),
+		sets:    sets,
+		lambda:  lambda,
+		opt:     opt,
+		workers: workers,
+		res:     verify.NewSink(workers),
+	}
+	j.spawnCutoff = 4 * opt.Limit
+	if j.spawnCutoff < 1024 {
+		j.spawnCutoff = 1024
 	}
 	j.maxDepth = opt.MaxDepth
 	if j.maxDepth <= 0 {
@@ -82,16 +98,10 @@ func JoinBB(sets [][]uint32, lambda float64, o *BBOptions) ([]verify.Pair, verif
 		}
 		j.maxDepth = int(4*math.Log(float64(len(sets)+1))/eps) + 8
 	}
-	for rep := 0; rep < opt.Repetitions; rep++ {
-		j.rng = tabhash.NewSplitMix64(tabhash.Mix64(opt.Seed + uint64(rep)*0xb1e55))
-		root := make([]uint32, len(sets))
-		for i := range root {
-			root[i] = uint32(i)
-		}
-		j.recurse(root, 0)
-	}
-	j.counters.Results = int64(j.res.Len())
-	return j.res.Pairs(), j.counters
+	j.run()
+	counters := j.atomics.Counters()
+	counters.Results = int64(j.res.Len())
+	return j.res.Pairs(), counters
 }
 
 // BruteForceJoinBB is the exact Braun-Blanquet self-join by exhaustive
@@ -143,29 +153,82 @@ func bbAtLeast(a, b []uint32, lambda float64) bool {
 }
 
 type bbJoiner struct {
-	sets     [][]uint32
-	lambda   float64
-	opt      BBOptions
-	res      *verify.ResultSet
-	counters verify.Counters
-	rng      *tabhash.SplitMix64
-	maxDepth int
+	sets        [][]uint32
+	lambda      float64
+	opt         BBOptions
+	res         verify.PairSink
+	atomics     verify.AtomicCounters
+	workers     int
+	spawnCutoff int
+	maxDepth    int
+}
+
+func (j *bbJoiner) run() {
+	n := len(j.sets)
+	root := func() []uint32 {
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i)
+		}
+		return ids
+	}
+	if j.workers <= 1 {
+		ts := &bbTask{j: j}
+		for rep := 0; rep < j.opt.Repetitions; rep++ {
+			ts.recurse(nil, root(), 0, bbRepSeed(j.opt.Seed, rep))
+		}
+		ts.flush()
+		return
+	}
+	roots := make([]exec.Task, j.opt.Repetitions)
+	for rep := range roots {
+		seed := bbRepSeed(j.opt.Seed, rep)
+		roots[rep] = func(c *exec.Ctx) {
+			ts := &bbTask{j: j}
+			ts.recurse(c, root(), 0, seed)
+			ts.flush()
+		}
+	}
+	exec.Run(j.workers, roots...)
+}
+
+func bbRepSeed(seed uint64, rep int) uint64 {
+	return tabhash.Mix64(seed + uint64(rep)*0xb1e55)
+}
+
+// bbChildSeed derives a child node's seed from the parent seed and the
+// token whose bucket formed the child — stable under any scheduling.
+func bbChildSeed(seed uint64, tok uint32) uint64 {
+	return tabhash.DeriveSeed(seed, 0, uint64(tok))
+}
+
+// bbTask is the per-task context: locally batched counters.
+type bbTask struct {
+	j         *bbJoiner
+	pre, cand int64
+}
+
+func (ts *bbTask) flush() {
+	ts.j.atomics.Add(ts.pre, ts.cand)
+	ts.pre, ts.cand = 0, 0
 }
 
 // recurse is Algorithm 1, verbatim: BRUTEFORCE, then split on a fresh
-// random hash over the token universe.
-func (j *bbJoiner) recurse(node []uint32, depth int) {
-	node = j.bruteForce(node)
+// random hash over the token universe. The hash is seeded per node from
+// the path, so the tree is independent of execution order.
+func (ts *bbTask) recurse(c *exec.Ctx, node []uint32, depth int, seed uint64) {
+	j := ts.j
+	node = ts.bruteForce(node)
 	if len(node) < 2 {
 		return
 	}
 	if depth >= j.maxDepth {
-		j.bruteForcePairs(node)
+		ts.bruteForcePairs(node)
 		return
 	}
 	// Line 3: r <- SEEDHASHFUNCTION(). A tabulation hash to [0,1) shared
 	// by the whole node.
-	r := tabhash.NewTable32(j.rng.Next())
+	r := tabhash.NewTable32(tabhash.NewSplitMix64(seed).Next())
 	const scale = 1.0 / (1 << 64)
 	buckets := make(map[uint32][]uint32)
 	for _, id := range node {
@@ -179,19 +242,32 @@ func (j *bbJoiner) recurse(node []uint32, depth int) {
 		}
 	}
 	// Line 7: recurse on each non-empty S_j.
-	for _, child := range buckets {
-		if len(child) >= 2 {
-			j.recurse(child, depth+1)
+	spawn := c != nil && len(node) > j.spawnCutoff
+	for tok, child := range buckets {
+		if len(child) < 2 {
+			continue
+		}
+		cseed := bbChildSeed(seed, tok)
+		if spawn {
+			child := child
+			c.Spawn(func(c *exec.Ctx) {
+				sub := &bbTask{j: j}
+				sub.recurse(c, child, depth+1, cseed)
+				sub.flush()
+			})
+		} else {
+			ts.recurse(c, child, depth+1, cseed)
 		}
 	}
 }
 
 // bruteForce is Algorithm 2, verbatim: exact token counts over the node,
 // recomputed after each removal.
-func (j *bbJoiner) bruteForce(node []uint32) []uint32 {
+func (ts *bbTask) bruteForce(node []uint32) []uint32 {
+	j := ts.j
 	for {
 		if len(node) <= j.opt.Limit {
-			j.bruteForcePairs(node)
+			ts.bruteForcePairs(node)
 			return nil
 		}
 		// Lines 5-7: count[j] over the node.
@@ -214,8 +290,8 @@ func (j *bbJoiner) bruteForce(node []uint32) []uint32 {
 			// the average Braun-Blanquet similarity.
 			avg := float64(sum) / (float64(len(x)) * float64(len(node)-1))
 			if avg > threshold {
-				j.bruteForcePoint(id, node[:idx])
-				j.bruteForcePoint(id, node[idx+1:])
+				ts.bruteForcePoint(id, node[:idx])
+				ts.bruteForcePoint(id, node[idx+1:])
 				node = append(append([]uint32{}, node[:idx]...), node[idx+1:]...)
 				removed = true
 				break
@@ -227,8 +303,9 @@ func (j *bbJoiner) bruteForce(node []uint32) []uint32 {
 	}
 }
 
-func (j *bbJoiner) checkPair(a, b uint32) {
-	j.counters.PreCandidates++
+func (ts *bbTask) checkPair(a, b uint32) {
+	j := ts.j
+	ts.pre++
 	if j.res.Contains(a, b) {
 		return
 	}
@@ -240,24 +317,24 @@ func (j *bbJoiner) checkPair(a, b uint32) {
 	if float64(la) < j.lambda*float64(lb) {
 		return
 	}
-	j.counters.Candidates++
+	ts.cand++
 	if bbAtLeast(j.sets[a], j.sets[b], j.lambda) {
 		j.res.Add(a, b)
 	}
 }
 
-func (j *bbJoiner) bruteForcePairs(node []uint32) {
+func (ts *bbTask) bruteForcePairs(node []uint32) {
 	for i := 0; i < len(node); i++ {
 		for k := i + 1; k < len(node); k++ {
-			j.checkPair(node[i], node[k])
+			ts.checkPair(node[i], node[k])
 		}
 	}
 }
 
-func (j *bbJoiner) bruteForcePoint(id uint32, others []uint32) {
+func (ts *bbTask) bruteForcePoint(id uint32, others []uint32) {
 	for _, other := range others {
 		if other != id {
-			j.checkPair(id, other)
+			ts.checkPair(id, other)
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/intset"
 	"repro/internal/minhash"
 	"repro/internal/tabhash"
@@ -35,6 +36,13 @@ type Options struct {
 	Trees int
 	// Seed makes construction reproducible.
 	Seed uint64
+	// Workers is the worker count of the parallel execution layer used
+	// during Build: 0 runs sequentially, negative selects GOMAXPROCS.
+	// Signatures are computed in chunked tasks and each tree is built by
+	// an independent task (trees are seeded by their index, so the built
+	// structure is identical for any worker count). Queries are
+	// unaffected: a built Index is read-only and safe for concurrent use.
+	Workers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -78,7 +86,10 @@ type node struct {
 	children  []map[uint32]*node
 }
 
-// Build constructs the index for similarity threshold lambda.
+// Build constructs the index for similarity threshold lambda. With
+// Options.Workers set, signature computation and the independent trees
+// are built concurrently on the shared execution layer; the resulting
+// structure is identical to a sequential build.
 func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("cpindex: lambda %v out of (0,1)", lambda))
@@ -87,32 +98,78 @@ func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 	if opt.MaxDepth <= 0 {
 		opt.MaxDepth = int(math.Ceil(math.Log(float64(len(sets)+1))/math.Log(1/lambda))) + 4
 	}
+	workers := exec.EffectiveWorkers(opt.Workers)
 	ix := &Index{
 		sets:   sets,
 		lambda: lambda,
 		opt:    opt,
 		signer: minhash.NewSigner(opt.T, opt.Seed),
 	}
-	ix.sigs = ix.signer.SignAll(sets)
+	ix.sigs = ix.signAll(sets, workers)
 
 	all := make([]uint32, len(sets))
 	for i := range all {
 		all[i] = uint32(i)
 	}
 	splitProb := 1 / (lambda * float64(opt.T))
-	for tr := 0; tr < opt.Trees; tr++ {
-		rng := tabhash.NewSplitMix64(tabhash.Mix64(opt.Seed + uint64(tr)*0xc9f1))
-		ix.trees = append(ix.trees, ix.build(all, 0, rng, splitProb))
+	ix.trees = make([]*node, opt.Trees)
+	counts := make([]treeCounts, opt.Trees)
+	buildTree := func(tr int) {
+		ix.trees[tr] = ix.build(all, 0, tabhash.Mix64(opt.Seed+uint64(tr)*0xc9f1), splitProb, &counts[tr])
+	}
+	if workers <= 1 || opt.Trees <= 1 {
+		for tr := 0; tr < opt.Trees; tr++ {
+			buildTree(tr)
+		}
+	} else {
+		tasks := make([]exec.Task, opt.Trees)
+		for tr := range tasks {
+			tr := tr
+			tasks[tr] = func(c *exec.Ctx) { buildTree(tr) }
+		}
+		exec.Run(workers, tasks...)
+	}
+	for _, c := range counts {
+		ix.Nodes += c.nodes
+		ix.Leaves += c.leaves
 	}
 	return ix
 }
 
-func (ix *Index) build(ids []uint32, depth int, rng *tabhash.SplitMix64, splitProb float64) *node {
-	ix.Nodes++
+// treeCounts accumulates structure statistics per tree task, summed into
+// the Index after the pool quiesces.
+type treeCounts struct {
+	nodes, leaves int
+}
+
+// signAll computes the flattened signature matrix, chunked across workers.
+func (ix *Index) signAll(sets [][]uint32, workers int) []uint32 {
+	t := ix.opt.T
+	const chunk = 256
+	if workers <= 1 || len(sets) <= chunk {
+		return ix.signer.SignAll(sets)
+	}
+	flat := make([]uint32, len(sets)*t)
+	exec.RunChunks(workers, len(sets), chunk, func(c *exec.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ix.signer.SignInto(sets[i], flat[i*t:(i+1)*t])
+		}
+	})
+	return flat
+}
+
+// build constructs the subtree for ids. Each node derives its randomness
+// from a seed determined by its path from the root (parent seed plus the
+// position/value bucket that formed it), never from the order siblings
+// happen to be built in — the same discipline as the CPSJoin recursion in
+// internal/core, and what makes the built structure reproducible.
+func (ix *Index) build(ids []uint32, depth int, seed uint64, splitProb float64, tc *treeCounts) *node {
+	tc.nodes++
 	if len(ids) <= ix.opt.LeafSize || depth >= ix.opt.MaxDepth {
-		ix.Leaves++
+		tc.leaves++
 		return &node{leaf: ids}
 	}
+	rng := tabhash.NewSplitMix64(seed)
 	n := &node{}
 	for pos := 0; pos < ix.opt.T; pos++ {
 		if rng.Float64() >= splitProb {
@@ -125,7 +182,8 @@ func (ix *Index) build(ids []uint32, depth int, rng *tabhash.SplitMix64, splitPr
 		}
 		childMap := make(map[uint32]*node, len(buckets))
 		for v, bucket := range buckets {
-			childMap[v] = ix.build(bucket, depth+1, rng, splitProb)
+			cseed := tabhash.DeriveSeed(seed, uint64(pos), uint64(v))
+			childMap[v] = ix.build(bucket, depth+1, cseed, splitProb, tc)
 		}
 		n.positions = append(n.positions, pos)
 		n.children = append(n.children, childMap)
@@ -133,7 +191,7 @@ func (ix *Index) build(ids []uint32, depth int, rng *tabhash.SplitMix64, splitPr
 	if len(n.positions) == 0 {
 		// No position sampled: the node dies in the branching process;
 		// keep its points reachable as a leaf so recall only improves.
-		ix.Leaves++
+		tc.leaves++
 		return &node{leaf: ids}
 	}
 	return n

@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesAllRoots(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		var count atomic.Int64
+		roots := make([]Task, 100)
+		for i := range roots {
+			roots[i] = func(c *Ctx) { count.Add(1) }
+		}
+		Run(workers, roots...)
+		if got := count.Load(); got != 100 {
+			t.Errorf("workers=%d: ran %d of 100 roots", workers, got)
+		}
+	}
+}
+
+func TestSpawnedTasksComplete(t *testing.T) {
+	// A three-level fan-out: 8 roots each spawn 8 children, each child
+	// spawns 8 grandchildren. All 8 + 64 + 512 tasks must run.
+	for _, workers := range []int{1, 3, 7} {
+		var count atomic.Int64
+		roots := make([]Task, 8)
+		for i := range roots {
+			roots[i] = func(c *Ctx) {
+				count.Add(1)
+				for j := 0; j < 8; j++ {
+					c.Spawn(func(c *Ctx) {
+						count.Add(1)
+						for k := 0; k < 8; k++ {
+							c.Spawn(func(c *Ctx) { count.Add(1) })
+						}
+					})
+				}
+			}
+		}
+		Run(workers, roots...)
+		if got := count.Load(); got != 8+64+512 {
+			t.Errorf("workers=%d: ran %d of %d tasks", workers, got, 8+64+512)
+		}
+	}
+}
+
+func TestDeepRecursiveSpawn(t *testing.T) {
+	// A single chain of depth 10000: each task spawns exactly one
+	// successor. Exercises quiescence detection when the pool is mostly
+	// idle.
+	var depth atomic.Int64
+	var chain func(d int) Task
+	chain = func(d int) Task {
+		return func(c *Ctx) {
+			depth.Add(1)
+			if d > 0 {
+				c.Spawn(chain(d - 1))
+			}
+		}
+	}
+	Run(4, chain(9999))
+	if got := depth.Load(); got != 10000 {
+		t.Errorf("chain ran %d of 10000 links", got)
+	}
+}
+
+func TestWorkerIndexInRange(t *testing.T) {
+	const workers = 4
+	var bad atomic.Int64
+	roots := make([]Task, 64)
+	for i := range roots {
+		roots[i] = func(c *Ctx) {
+			if c.Worker() < 0 || c.Worker() >= workers || c.Workers() != workers {
+				bad.Add(1)
+			}
+		}
+	}
+	Run(workers, roots...)
+	if bad.Load() != 0 {
+		t.Errorf("%d tasks saw an out-of-range worker index", bad.Load())
+	}
+}
+
+func TestWorkStealingSpreadsLoad(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs to observe stealing reliably")
+	}
+	// One root spawns many tasks onto its own deque; with stealing, other
+	// workers should execute some of them.
+	const workers = 4
+	var perWorker [workers]atomic.Int64
+	root := func(c *Ctx) {
+		for i := 0; i < 1000; i++ {
+			c.Spawn(func(c *Ctx) {
+				perWorker[c.Worker()].Add(1)
+				// A little work so the spawner does not finish everything
+				// before anyone can steal.
+				s := 0
+				for k := 0; k < 1000; k++ {
+					s += k
+				}
+				_ = s
+			})
+		}
+	}
+	Run(workers, root)
+	busy := 0
+	for i := range perWorker {
+		if perWorker[i].Load() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d of %d workers executed tasks; stealing ineffective", busy, workers)
+	}
+}
+
+func TestZeroWorkersSelectsGOMAXPROCS(t *testing.T) {
+	ran := false
+	Run(0, func(c *Ctx) { ran = true })
+	if !ran {
+		t.Error("root did not run")
+	}
+	if p := NewPool(0); p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewPool(0).Workers() = %d, want GOMAXPROCS", p.Workers())
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	Run(4) // must not hang
+}

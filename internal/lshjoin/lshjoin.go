@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/prep"
 	"repro/internal/sketch"
 	"repro/internal/tabhash"
@@ -43,9 +44,18 @@ type Options struct {
 	Delta float64
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Workers is the worker count of the parallel execution layer
+	// (internal/exec): repetitions run as independent tasks merging into a
+	// shared concurrent result set. 0 runs sequentially, negative selects
+	// GOMAXPROCS. The bucket positions of every repetition are drawn
+	// before any task starts, so the result set is identical across worker
+	// counts for a fixed Seed (StopAtRecall excepted: the early-stopping
+	// point depends on scheduling).
+	Workers int
 	// GroundTruth, when non-nil together with StopAtRecall > 0, stops
 	// repetitions as soon as recall against the known exact result reaches
-	// StopAtRecall (the paper's experimental procedure, Section VI-2).
+	// StopAtRecall (the paper's experimental procedure, Section VI-2). All
+	// workers share one atomic view of the accumulated recall.
 	GroundTruth  []verify.Pair
 	StopAtRecall float64
 }
@@ -85,7 +95,8 @@ func Join(sets [][]uint32, lambda float64, o *Options) ([]verify.Pair, verify.Co
 	if len(sets) < 2 {
 		return nil, verify.Counters{}
 	}
-	return JoinIndexed(prep.Build(sets, opt.T, words, opt.Seed), lambda, o)
+	ix := prep.BuildParallel(sets, opt.T, words, opt.Seed, exec.EffectiveWorkers(opt.Workers))
+	return JoinIndexed(ix, lambda, o)
 }
 
 // JoinIndexed runs the join against a prebuilt index (signatures and
@@ -127,41 +138,60 @@ func JoinIndexed(ix *prep.Index, lambda float64, o *Options) ([]verify.Pair, ver
 		}
 	}
 
-	res := verify.NewResultSet()
-	v := verify.NewVerifier(sets, lambda, nil)
-	positions := make([]int, k)
-	hasher := tabhash.NewTable64(opt.Seed + 0x7e7e)
-
+	// Draw every repetition's bucket positions up front, from the same
+	// stream and in the same order as a sequential run would: the join's
+	// only randomness is then fixed before any task starts, which is what
+	// makes the result set identical across worker counts.
+	allPositions := make([][]int, l)
 	for rep := 0; rep < l; rep++ {
-		samplePositions(rng, positions, opt.T)
-		buckets := bucketize(sets, sigs, opt.T, positions, hasher)
-		for _, bucket := range buckets {
-			bruteForceBucket(bucket, sets, sketches, filter, opt.SketchWords, v, res, &counters)
-		}
-		if recallReached(res, opt.GroundTruth, opt.StopAtRecall) {
-			break
-		}
+		allPositions[rep] = make([]int, k)
+		samplePositions(rng, allPositions[rep], opt.T)
 	}
+
+	workers := exec.EffectiveWorkers(opt.Workers)
+	res := verify.NewSink(workers)
+	tracker := verify.NewRecallTracker(opt.GroundTruth, opt.StopAtRecall)
+	v := verify.NewVerifier(sets, lambda, nil)
+	hasher := tabhash.NewTable64(opt.Seed + 0x7e7e)
+	var atomics verify.AtomicCounters
+
+	runRep := func(rep int) {
+		if tracker.Reached() {
+			return
+		}
+		j := &lshTask{
+			sets: sets, sigs: sigs, t: opt.T,
+			sketches: sketches, filter: filter, words: opt.SketchWords,
+			v: v, res: res, tracker: tracker,
+		}
+		buckets := bucketize(sets, sigs, opt.T, allPositions[rep], hasher)
+		for _, bucket := range buckets {
+			if tracker.Reached() {
+				break
+			}
+			j.bruteForceBucket(bucket)
+		}
+		atomics.Add(j.pre, j.cand)
+	}
+
+	if workers <= 1 {
+		for rep := 0; rep < l; rep++ {
+			if tracker.Reached() {
+				break
+			}
+			runRep(rep)
+		}
+	} else {
+		roots := make([]exec.Task, l)
+		for rep := range roots {
+			rep := rep
+			roots[rep] = func(c *exec.Ctx) { runRep(rep) }
+		}
+		exec.Run(workers, roots...)
+	}
+	counters = atomics.Counters()
 	counters.Results = int64(res.Len())
 	return res.Pairs(), counters
-}
-
-// recallReached reports whether the recall-targeted stopping rule applies
-// and is satisfied.
-func recallReached(res *verify.ResultSet, truth []verify.Pair, target float64) bool {
-	if target <= 0 || truth == nil {
-		return false
-	}
-	if len(truth) == 0 {
-		return true
-	}
-	hit := 0
-	for _, p := range truth {
-		if res.Contains(p.A, p.B) {
-			hit++
-		}
-	}
-	return float64(hit)/float64(len(truth)) >= target
 }
 
 // Repetitions returns the repetition count needed for per-pair recall phi
@@ -205,32 +235,49 @@ func bucketize(sets [][]uint32, sigs []uint32, t int, positions []int, hasher *t
 	return buckets
 }
 
+// lshTask is the per-repetition execution context: locally batched
+// counters around the shared read-only state and concurrent sink.
+type lshTask struct {
+	sets      [][]uint32
+	sigs      []uint32
+	t         int
+	sketches  []uint64
+	filter    *sketch.Filter
+	words     int
+	v         *verify.Verifier
+	res       verify.PairSink
+	tracker   *verify.RecallTracker
+	pre, cand int64
+}
+
 // bruteForceBucket verifies all pairs within a bucket, applying the size
 // filter and the sketch filter before exact verification.
-func bruteForceBucket(bucket []uint32, sets [][]uint32, sketches []uint64, filter *sketch.Filter, words int, v *verify.Verifier, res *verify.ResultSet, counters *verify.Counters) {
+func (j *lshTask) bruteForceBucket(bucket []uint32) {
 	if len(bucket) < 2 {
 		return
 	}
 	for i := 0; i < len(bucket); i++ {
-		for j := i + 1; j < len(bucket); j++ {
-			a, b := bucket[i], bucket[j]
-			counters.PreCandidates++
-			if res.Contains(a, b) {
+		for k := i + 1; k < len(bucket); k++ {
+			a, b := bucket[i], bucket[k]
+			j.pre++
+			if j.res.Contains(a, b) {
 				continue // already reported in an earlier repetition
 			}
-			if !v.SizeCompatible(len(sets[a]), len(sets[b])) {
+			if !j.v.SizeCompatible(len(j.sets[a]), len(j.sets[b])) {
 				continue
 			}
-			if filter != nil {
-				sa := sketches[int(a)*words : (int(a)+1)*words]
-				sb := sketches[int(b)*words : (int(b)+1)*words]
-				if !filter.Accept(sa, sb) {
+			if j.filter != nil {
+				sa := j.sketches[int(a)*j.words : (int(a)+1)*j.words]
+				sb := j.sketches[int(b)*j.words : (int(b)+1)*j.words]
+				if !j.filter.Accept(sa, sb) {
 					continue
 				}
 			}
-			counters.Candidates++
-			if v.Verify(a, b) {
-				res.Add(a, b)
+			j.cand++
+			if j.v.Verify(a, b) {
+				if j.res.Add(a, b) {
+					j.tracker.Hit(a, b)
+				}
 			}
 		}
 	}

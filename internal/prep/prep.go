@@ -12,6 +12,7 @@ package prep
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/minhash"
 	"repro/internal/sketch"
 )
@@ -35,17 +36,41 @@ type Index struct {
 // Build preprocesses a collection: t-dimensional MinHash signatures and,
 // if words > 0, 1-bit minwise sketches of the given width.
 func Build(sets [][]uint32, t, words int, seed uint64) *Index {
+	return BuildParallel(sets, t, words, seed, 1)
+}
+
+// BuildParallel is Build with the per-set hashing spread across the given
+// number of workers on the shared execution layer. The hash functions are
+// fixed by the seed and each set's signature and sketch land in
+// preallocated flat slots, so the result is byte-identical to the
+// sequential Build for any worker count.
+func BuildParallel(sets [][]uint32, t, words int, seed uint64, workers int) *Index {
 	if t <= 0 {
 		panic(fmt.Sprintf("prep: invalid signature length %d", t))
 	}
 	ix := &Index{Sets: sets, T: t, Seed: seed}
 	signer := minhash.NewSigner(t, seed)
-	ix.Sigs = signer.SignAll(sets)
+	ix.Sigs = make([]uint32, len(sets)*t)
+	var maker *sketch.Maker
 	if words > 0 {
 		ix.Words = words
-		maker := sketch.NewMaker(words, seed+0x51ee7c)
-		ix.Sketches = maker.SketchAll(sets)
+		maker = sketch.NewMaker(words, seed+0x51ee7c)
+		ix.Sketches = make([]uint64, len(sets)*words)
 	}
+	sign := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			signer.SignInto(sets[i], ix.Sigs[i*t:(i+1)*t])
+			if maker != nil {
+				maker.SketchInto(sets[i], ix.Sketches[i*words:(i+1)*words])
+			}
+		}
+	}
+	const chunk = 256 // sets per task: tens of ms of hashing each
+	if workers <= 1 || len(sets) <= chunk {
+		sign(0, len(sets))
+		return ix
+	}
+	exec.RunChunks(workers, len(sets), chunk, func(c *exec.Ctx, lo, hi int) { sign(lo, hi) })
 	return ix
 }
 

@@ -54,6 +54,16 @@ func Mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// DeriveSeed derives a child seed from a parent seed and two stable
+// identifiers (e.g. a signature position and a minhash value). The
+// recursive algorithms use it to give every tree node randomness that
+// depends only on its path from the root, never on sibling traversal
+// order or scheduling — the discipline that makes parallel runs
+// reproducible.
+func DeriveSeed(seed, a, b uint64) uint64 {
+	return Mix64(seed ^ (a+1)*0xbf58476d1ce4e5b9 ^ (b+1)*0x94d049bb133111eb)
+}
+
 // Table32 is a simple tabulation hash function from 32-bit keys to 64-bit
 // values, using four 8-bit characters.
 type Table32 struct {

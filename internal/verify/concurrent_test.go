@@ -1,0 +1,147 @@
+package verify
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentResultSetBasics(t *testing.T) {
+	r := NewConcurrentResultSet(4)
+	if !r.Add(3, 1) {
+		t.Error("first Add returned false")
+	}
+	if r.Add(1, 3) {
+		t.Error("duplicate Add (swapped order) returned true")
+	}
+	if !r.Contains(1, 3) || !r.Contains(3, 1) {
+		t.Error("Contains failed for added pair")
+	}
+	if r.Contains(1, 2) {
+		t.Error("Contains true for absent pair")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	pairs := r.Pairs()
+	if len(pairs) != 1 || pairs[0] != (Pair{A: 1, B: 3}) {
+		t.Errorf("Pairs = %v", pairs)
+	}
+}
+
+// TestConcurrentResultSetContention hammers one set from many goroutines
+// with overlapping pair ranges; run under -race this is the contention
+// check the parallel joins rely on.
+func TestConcurrentResultSetContention(t *testing.T) {
+	r := NewConcurrentResultSet(8)
+	const (
+		goroutines = 16
+		pairsEach  = 2000
+		overlap    = 500 // every goroutine also inserts these shared pairs
+	)
+	var wg sync.WaitGroup
+	newCount := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < pairsEach; i++ {
+				// Unique range per goroutine.
+				a := uint32(g*pairsEach + i)
+				if r.Add(a, a+1_000_000) {
+					n++
+				}
+				// Shared range: contended dedup.
+				s := uint32(i % overlap)
+				if r.Add(s, s+2_000_000) {
+					n++
+				}
+				r.Contains(s, s+2_000_000)
+			}
+			newCount[g] = n
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range newCount {
+		total += n
+	}
+	want := goroutines*pairsEach + overlap
+	if total != want {
+		t.Errorf("sum of new-pair Adds = %d, want %d (Add not linearizable)", total, want)
+	}
+	if r.Len() != want {
+		t.Errorf("Len = %d, want %d", r.Len(), want)
+	}
+	if got := len(r.Pairs()); got != want {
+		t.Errorf("len(Pairs) = %d, want %d", got, want)
+	}
+}
+
+func TestNewSinkSelectsImplementation(t *testing.T) {
+	if _, ok := NewSink(1).(*ResultSet); !ok {
+		t.Error("NewSink(1) is not a plain ResultSet")
+	}
+	if _, ok := NewSink(4).(*ConcurrentResultSet); !ok {
+		t.Error("NewSink(4) is not a ConcurrentResultSet")
+	}
+}
+
+func TestRecallTrackerNil(t *testing.T) {
+	var tr *RecallTracker
+	tr.Hit(1, 2) // must not panic
+	if tr.Reached() {
+		t.Error("nil tracker reports reached")
+	}
+	if NewRecallTracker(nil, 0.9) != nil {
+		t.Error("nil truth should disable the tracker")
+	}
+	if NewRecallTracker([]Pair{{A: 1, B: 2}}, 0) != nil {
+		t.Error("zero target should disable the tracker")
+	}
+}
+
+func TestRecallTrackerReaches(t *testing.T) {
+	truth := []Pair{{A: 0, B: 1}, {A: 2, B: 3}, {A: 4, B: 5}, {A: 6, B: 7}}
+	tr := NewRecallTracker(truth, 0.75) // needs 3 of 4
+	tr.Hit(9, 10)                       // not in truth
+	tr.Hit(0, 1)
+	tr.Hit(2, 3)
+	if tr.Reached() {
+		t.Error("reached after 2 of 3 required hits")
+	}
+	tr.Hit(5, 4) // unordered must normalize
+	if !tr.Reached() {
+		t.Error("not reached after 3 hits")
+	}
+}
+
+func TestRecallTrackerEmptyTruth(t *testing.T) {
+	tr := NewRecallTracker([]Pair{}, 0.9)
+	if !tr.Reached() {
+		t.Error("empty ground truth must be vacuously reached")
+	}
+}
+
+func TestRecallTrackerConcurrent(t *testing.T) {
+	truth := make([]Pair, 1000)
+	for i := range truth {
+		truth[i] = Pair{A: uint32(2 * i), B: uint32(2*i + 1)}
+	}
+	tr := NewRecallTracker(truth, 0.9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(truth); i += 8 {
+				tr.Hit(truth[i].A, truth[i].B)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !tr.Reached() {
+		t.Error("tracker did not reach target after all truth pairs hit")
+	}
+}

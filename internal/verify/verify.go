@@ -3,7 +3,11 @@
 // result accounting reported in Table IV of the paper.
 package verify
 
-import "repro/internal/intset"
+import (
+	"sync/atomic"
+
+	"repro/internal/intset"
+)
 
 // Pair is an unordered result pair of set indices, normalized so A < B.
 type Pair struct {
@@ -47,6 +51,30 @@ func (c *Counters) Add(other Counters) {
 	c.PreCandidates += other.PreCandidates
 	c.Candidates += other.Candidates
 	c.Results += other.Results
+}
+
+// AtomicCounters accumulates pre-candidate/candidate counts from
+// concurrent workers. Tasks batch counts locally and publish them with one
+// Add per task, so the atomics stay off the hot path.
+type AtomicCounters struct {
+	pre  atomic.Int64
+	cand atomic.Int64
+}
+
+// Add accumulates a task's local counts.
+func (a *AtomicCounters) Add(pre, cand int64) {
+	if pre != 0 {
+		a.pre.Add(pre)
+	}
+	if cand != 0 {
+		a.cand.Add(cand)
+	}
+}
+
+// Counters returns the accumulated totals (Results is left for the caller,
+// which knows the result sink).
+func (a *AtomicCounters) Counters() Counters {
+	return Counters{PreCandidates: a.pre.Load(), Candidates: a.cand.Load()}
 }
 
 // Verifier performs exact Jaccard verification over a fixed collection.

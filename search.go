@@ -22,6 +22,11 @@ type SearchOptions struct {
 	T int
 	// Seed makes construction reproducible.
 	Seed uint64
+	// Workers parallelizes construction on the shared execution layer:
+	// 0 builds sequentially, negative selects GOMAXPROCS. The built
+	// structure is identical for any worker count, and queries against a
+	// built index are always safe to run concurrently.
+	Workers int
 }
 
 // NewSearchIndex builds a search index over the collection for similarity
@@ -34,6 +39,7 @@ func NewSearchIndex(sets [][]uint32, lambda float64, opts *SearchOptions) *Searc
 			LeafSize: opts.LeafSize,
 			T:        opts.T,
 			Seed:     opts.Seed,
+			Workers:  opts.Workers,
 		}
 	}
 	return &SearchIndex{ix: cpindex.Build(sets, lambda, o)}

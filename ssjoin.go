@@ -52,7 +52,8 @@ type Stats struct {
 // the paper's final parameter settings (Table III).
 type Options struct {
 	// Seed makes runs reproducible. Two runs with the same seed, input and
-	// options return identical results.
+	// options return identical results — including across different
+	// Workers values.
 	Seed uint64
 	// Repetitions is the number of independent CPSJoin runs (default 10).
 	Repetitions int
@@ -68,13 +69,25 @@ type Options struct {
 	Epsilon    float64
 	EpsilonSet bool
 	// SketchWords is the 1-bit minwise sketch width in 64-bit words
-	// (default 8); negative disables sketch filtering.
+	// (default 8). A negative value disables sketch filtering — uniformly,
+	// for every algorithm: CPSJoin and MinHashJoin skip the sketch
+	// pre-filter, and BayesLSHJoin skips its incremental sketch pruning
+	// (candidates go straight from the size filter to exact
+	// verification).
 	SketchWords int
 	// Delta is the sketch false-negative probability (default 0.05).
 	Delta float64
 	// K fixes the number of concatenated hashes for MinHashJoin
 	// (0 = choose automatically by cost estimation).
 	K int
+	// Workers is the number of worker goroutines of the parallel
+	// execution layer shared by every join algorithm and by index
+	// construction: 0 (the default) runs sequentially, negative selects
+	// runtime.GOMAXPROCS(0), positive is taken as given. For a fixed Seed
+	// the result set is identical across worker counts; only the
+	// candidate Stats can drift by the few pairs that concurrent workers
+	// examine twice.
+	Workers int
 }
 
 func (o *Options) cps() *core.Options {
@@ -90,6 +103,7 @@ func (o *Options) cps() *core.Options {
 		Delta:       o.Delta,
 		Repetitions: o.Repetitions,
 		Seed:        o.Seed,
+		Workers:     o.Workers,
 	}
 }
 
@@ -104,6 +118,7 @@ func (o *Options) lsh() *lshjoin.Options {
 		SketchWords:  o.SketchWords,
 		Delta:        o.Delta,
 		Seed:         o.Seed,
+		Workers:      o.Workers,
 	}
 }
 
@@ -111,12 +126,24 @@ func (o *Options) bayes() *bayeslsh.Options {
 	if o == nil {
 		return nil
 	}
+	// SketchWords passes through raw: negative disables sketching here
+	// exactly as it does for cps() and lsh() above.
 	return &bayeslsh.Options{
 		TargetRecall: o.TargetRecall,
-		SketchWords:  max(o.SketchWords, 0),
+		SketchWords:  o.SketchWords,
 		T:            o.T,
 		Seed:         o.Seed,
+		Workers:      o.Workers,
 	}
+}
+
+// workers extracts the Workers knob for the exact algorithms, which take
+// no other options.
+func (o *Options) workers() int {
+	if o == nil {
+		return 0
+	}
+	return o.Workers
 }
 
 func fromPairs(in []verify.Pair) []Pair {
@@ -172,6 +199,7 @@ func BraunBlanquetJoin(sets [][]uint32, lambda float64, opts *Options) ([]Pair, 
 			EpsilonSet:  opts.EpsilonSet,
 			Repetitions: opts.Repetitions,
 			Seed:        opts.Seed,
+			Workers:     opts.Workers,
 		}
 	}
 	pairs, c := core.JoinBB(sets, lambda, bb)
@@ -190,24 +218,27 @@ func BraunBlanquet(a, b []uint32) float64 {
 }
 
 // AllPairs computes the exact self-join with the ALLPAIRS prefix-filtering
-// algorithm (Bayardo et al.), the paper's exact baseline.
-func AllPairs(sets [][]uint32, lambda float64) ([]Pair, Stats) {
-	pairs, c := allpairs.Join(sets, lambda)
+// algorithm (Bayardo et al.), the paper's exact baseline. Exact algorithms
+// consult only Workers from opts (nil runs sequentially); results are
+// identical for any worker count.
+func AllPairs(sets [][]uint32, lambda float64, opts *Options) ([]Pair, Stats) {
+	pairs, c := allpairs.JoinWorkers(sets, lambda, opts.workers())
 	return fromPairs(pairs), fromCounters(c)
 }
 
 // AllPairsRS computes the exact R-S join with prefix filtering: pairs
 // (i, j) with J(r[i], s[j]) >= lambda, where Pair.A indexes r and Pair.B
-// indexes s.
-func AllPairsRS(r, s [][]uint32, lambda float64) ([]Pair, Stats) {
-	pairs, c := allpairs.JoinRS(r, s, lambda)
+// indexes s. Exact algorithms consult only Workers from opts.
+func AllPairsRS(r, s [][]uint32, lambda float64, opts *Options) ([]Pair, Stats) {
+	pairs, c := allpairs.JoinRSWorkers(r, s, lambda, opts.workers())
 	return fromPairs(pairs), fromCounters(c)
 }
 
 // PPJoin computes the exact self-join with positional filtering (Xiao et
-// al.), a second member of the prefix-filter family.
-func PPJoin(sets [][]uint32, lambda float64) ([]Pair, Stats) {
-	pairs, c := ppjoin.Join(sets, lambda)
+// al.), a second member of the prefix-filter family. Exact algorithms
+// consult only Workers from opts.
+func PPJoin(sets [][]uint32, lambda float64, opts *Options) ([]Pair, Stats) {
+	pairs, c := ppjoin.JoinWorkers(sets, lambda, opts.workers())
 	return fromPairs(pairs), fromCounters(c)
 }
 
@@ -250,17 +281,18 @@ func Algorithms() []Algorithm {
 	return []Algorithm{AlgCPSJoin, AlgAllPairs, AlgPPJoin, AlgMinHash, AlgBayesLSH, AlgBruteForce}
 }
 
-// Join dispatches to the named algorithm. Exact algorithms ignore opts.
+// Join dispatches to the named algorithm. Exact algorithms consult only
+// opts.Workers.
 func Join(sets [][]uint32, lambda float64, alg Algorithm, opts *Options) ([]Pair, Stats, error) {
 	switch alg {
 	case AlgCPSJoin:
 		p, s := CPSJoin(sets, lambda, opts)
 		return p, s, nil
 	case AlgAllPairs:
-		p, s := AllPairs(sets, lambda)
+		p, s := AllPairs(sets, lambda, opts)
 		return p, s, nil
 	case AlgPPJoin:
-		p, s := PPJoin(sets, lambda)
+		p, s := PPJoin(sets, lambda, opts)
 		return p, s, nil
 	case AlgMinHash:
 		p, s := MinHashJoin(sets, lambda, opts)
