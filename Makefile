@@ -16,16 +16,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench records the parallel-scaling trajectory: every algorithm at every
-# worker count on the synthetic workloads, with the determinism check,
-# emitted as BENCH_parallel.json for cross-PR comparison.
+# bench records the performance trajectory for cross-PR comparison:
+# parallel join scaling (every algorithm at every worker count, with the
+# determinism check) and sharded-serving batch-query throughput (every
+# shard count at every worker count, with the same check).
 bench:
 	$(GO) run ./cmd/experiments -quiet -format json parallel > BENCH_parallel.json
 	@echo "wrote BENCH_parallel.json"
+	$(GO) run ./cmd/experiments -quiet -format json serving > BENCH_serving.json
+	@echo "wrote BENCH_serving.json"
 
 # bench-go runs the Go testing benchmarks for the same scaling curves.
 bench-go:
 	$(GO) test -run '^$$' -bench 'Parallel' -benchmem .
 
 clean:
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_serving.json

@@ -21,7 +21,9 @@
 //	theory    depth/space bounds                    (Lemma 4, Remark 9)
 //	parallel  join time vs -workers scaling         (Section VII; -format
 //	          json emits the BENCH_parallel.json schema used by `make bench`)
-//	all       everything above except parallel
+//	serving   sharded-index batch-query throughput vs shards and workers
+//	          (-format json emits the BENCH_serving.json schema)
+//	all       everything above except parallel and serving
 package main
 
 import (
@@ -71,8 +73,8 @@ func main() {
 	if *format != "table" && *format != "csv" && *format != "json" {
 		fatalf("unknown format %q (want table, csv or json)", *format)
 	}
-	if jsonOut && flag.Arg(0) != "parallel" {
-		fatalf("-format json is only supported by the parallel subcommand")
+	if jsonOut && flag.Arg(0) != "parallel" && flag.Arg(0) != "serving" {
+		fatalf("-format json is only supported by the parallel and serving subcommands")
 	}
 	banner := func(s string) {
 		if !csvOut && !jsonOut {
@@ -175,6 +177,16 @@ func main() {
 				check(bench.WriteParallelJSON(out, rows))
 			} else {
 				bench.PrintParallel(out, rows)
+			}
+		case "serving":
+			banner("== Serving: sharded batch-query throughput vs shards and workers (λ=0.5) ==")
+			// UNIFORM005 only: one workload keeps the cell grid (shards ×
+			// workers) affordable on every `make bench`.
+			rows := bench.RunServingBench(bench.SyntheticWorkloads(scale)[:1], bench.DefaultShardCounts(), bench.DefaultWorkerCounts(), cfg, progress)
+			if jsonOut {
+				check(bench.WriteServingJSON(out, rows))
+			} else {
+				bench.PrintServing(out, rows)
 			}
 		default:
 			fatalf("unknown subcommand %q", name)

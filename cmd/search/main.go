@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	search -input catalogue.txt -threshold 0.6 [-queries q.txt] [-all] [-trees 10]
+//	search -input catalogue.txt -threshold 0.6 [-queries q.txt] [-all] [-trees 10] [-workers N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	ssjoin "repro"
 )
@@ -29,6 +30,7 @@ func main() {
 		all       = flag.Bool("all", false, "report all matches per query instead of the best one")
 		trees     = flag.Int("trees", 0, "number of index trees (0 = default 10)")
 		seed      = flag.Uint64("seed", 42, "random seed")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for index construction (1 = sequential; the built index is identical for any value)")
 	)
 	flag.Parse()
 
@@ -46,8 +48,9 @@ func main() {
 		fatalf("loading %s: %v", *input, err)
 	}
 	index := ssjoin.NewSearchIndex(catalogue, *threshold, &ssjoin.SearchOptions{
-		Trees: *trees,
-		Seed:  *seed,
+		Trees:   *trees,
+		Seed:    *seed,
+		Workers: *workers,
 	})
 	fmt.Fprintf(os.Stderr, "search: indexed %d sets\n", len(catalogue))
 
@@ -69,8 +72,8 @@ func main() {
 	for qi, q := range qsets {
 		fmt.Fprintf(w, "%d:", qi)
 		if *all {
-			for _, id := range index.QueryAll(q) {
-				fmt.Fprintf(w, " %d:%.3f", id, ssjoin.Jaccard(q, catalogue[id]))
+			for _, m := range index.QueryAllSims(q) {
+				fmt.Fprintf(w, " %d:%.3f", m.ID, m.Sim)
 			}
 		} else if id, sim, ok := index.Query(q); ok {
 			fmt.Fprintf(w, " %d:%.3f", id, sim)

@@ -1,0 +1,107 @@
+// Command serve runs the sharded similarity search service: it loads a
+// dataset, partitions it into shards (each an independent Chosen Path
+// index built in parallel on the execution layer), and serves queries,
+// batch queries and incremental appends over HTTP/JSON.
+//
+// Usage:
+//
+//	serve -input catalogue.txt -threshold 0.6 [-addr :8321] [-shards 4]
+//	      [-hash] [-merge 1024] [-trees 10] [-seed 42] [-workers N]
+//
+// Endpoints:
+//
+//	POST /query        {"set":[1,2,3], "all":true}   one query
+//	POST /query_batch  {"sets":[[1,2,3],[4,5,6]]}    many queries, one round trip
+//	POST /add          {"sets":[[7,8,9]]}            append sets (no rebuild)
+//	GET  /stats                                      index shape snapshot
+//	GET  /healthz                                    liveness
+//
+// Example:
+//
+//	serve -input catalogue.txt -threshold 0.5 &
+//	curl -s localhost:8321/query -d '{"set":[1,2,3],"all":true}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	ssjoin "repro"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "catalogue dataset file (required)")
+		addr      = flag.String("addr", ":8321", "listen address")
+		threshold = flag.Float64("threshold", 0.5, "Jaccard similarity threshold in (0,1)")
+		shards    = flag.Int("shards", 4, "number of primary shards")
+		hashPart  = flag.Bool("hash", false, "partition by id hash instead of contiguous ranges")
+		merge     = flag.Int("merge", 1024, "buffered appends before the side shard is sealed into the ring")
+		trees     = flag.Int("trees", 0, "index trees per shard (0 = default 10)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for builds and batch queries")
+	)
+	flag.Parse()
+
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "serve: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		fatalf("threshold %v out of (0,1)", *threshold)
+	}
+
+	catalogue, err := ssjoin.LoadSets(*input)
+	if err != nil {
+		fatalf("loading %s: %v", *input, err)
+	}
+	opts := &shard.Options{
+		Shards:         *shards,
+		MergeThreshold: *merge,
+		Trees:          *trees,
+		Seed:           *seed,
+		Workers:        *workers,
+	}
+	if *hashPart {
+		opts.Partition = shard.PartitionHash
+	}
+	start := time.Now()
+	ix := shard.Build(catalogue, *threshold, opts)
+	st := ix.Stats()
+	fmt.Fprintf(os.Stderr, "serve: indexed %d sets in %d %s shards (%.2fs, %d nodes) — listening on %s\n",
+		st.Sets, st.Shards, st.Partition, time.Since(start).Seconds(), st.Nodes, *addr)
+
+	srv := &http.Server{Addr: *addr, Handler: shard.NewServer(ix)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatalf("%v", err)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown so in-flight requests finish draining before exit.
+	stop()
+	<-drained
+	fmt.Fprintln(os.Stderr, "serve: shut down")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/cpindex"
+	"repro/internal/shard"
+)
+
+// ServingRow is one measurement of the serving benchmark: batch-query
+// throughput of a ShardedIndex for one (dataset, shard count, worker
+// count) cell, with a determinism check against the single-worker run of
+// the same cell.
+type ServingRow struct {
+	Dataset string  `json:"dataset"`
+	Lambda  float64 `json:"lambda"`
+	Shards  int     `json:"shards"`
+	Workers int     `json:"workers"`
+	Queries int     `json:"queries"`
+	Seconds float64 `json:"seconds"`
+	// QPS is batch-query throughput: queries answered per second.
+	QPS float64 `json:"qps"`
+	// BuildSeconds is the sharded index construction time for this cell
+	// (outside the query timing).
+	BuildSeconds float64 `json:"build_seconds"`
+	// Matches is the total match count across the batch.
+	Matches int `json:"matches"`
+	// Identical reports whether this cell's full result lists equal the
+	// single-worker results of the same (dataset, shards) cell — the
+	// serving layer's determinism contract, verified every run.
+	Identical bool `json:"identical_to_sequential"`
+}
+
+// DefaultShardCounts is the shard ladder of the serving benchmark.
+func DefaultShardCounts() []int {
+	return []int{1, 2, 4, 8}
+}
+
+// RunServingBench measures ShardedIndex.QueryBatch throughput: every set
+// of each workload is queried back against the sharded index (λ=0.5,
+// QueryAll semantics) in one batch, across shard and worker counts. The
+// index is rebuilt per cell — builds are deterministic, so the worker
+// ladder queries identical structures and result equality is meaningful.
+func RunServingBench(workloads []Workload, shardCounts, workerCounts []int, cfg Config, progress io.Writer) []ServingRow {
+	const lambda = 0.5
+	var rows []ServingRow
+	for _, w := range workloads {
+		for _, shards := range shardCounts {
+			var base [][]cpindex.Match
+			for _, workers := range workerCounts {
+				opts := &shard.Options{Shards: shards, Seed: cfg.Seed, Workers: workers}
+				var ix *shard.Index
+				buildT := timed(1, func() { ix = shard.Build(w.Sets, lambda, opts) })
+				var results [][]cpindex.Match
+				d := timed(cfg.Runs, func() {
+					results = ix.QueryBatch(w.Sets)
+				})
+				row := ServingRow{
+					Dataset:      w.Name,
+					Lambda:       lambda,
+					Shards:       shards,
+					Workers:      workers,
+					Queries:      len(w.Sets),
+					Seconds:      d.Seconds(),
+					QPS:          float64(len(w.Sets)) / d.Seconds(),
+					BuildSeconds: buildT.Seconds(),
+				}
+				for _, ms := range results {
+					row.Matches += len(ms)
+				}
+				if workers == workerCounts[0] {
+					base = results
+				}
+				row.Identical = equalBatches(base, results)
+				rows = append(rows, row)
+				if progress != nil {
+					fmt.Fprintf(progress, "serving  %-12s shards=%-2d workers=%-2d qps=%10.0f matches=%-7d identical=%v\n",
+						w.Name, shards, workers, row.QPS, row.Matches, row.Identical)
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// equalBatches reports whether two batch results are element-wise equal.
+// Both are sorted by global id per query, so equality is positional.
+func equalBatches(a, b [][]cpindex.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteServingJSON emits the serving measurements as indented JSON — the
+// BENCH_serving.json artifact recorded by `make bench` alongside
+// BENCH_parallel.json.
+func WriteServingJSON(w io.Writer, rows []ServingRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		GOMAXPROCS int          `json:"gomaxprocs"`
+		Rows       []ServingRow `json:"rows"`
+	}{runtime.GOMAXPROCS(0), rows})
+}
+
+// PrintServing writes the serving table for human consumption.
+func PrintServing(w io.Writer, rows []ServingRow) {
+	fmt.Fprintf(w, "%-12s %7s %8s %8s %12s %9s %10s\n",
+		"Dataset", "shards", "workers", "queries", "qps", "matches", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %7d %8d %8d %12.0f %9d %10v\n",
+			r.Dataset, r.Shards, r.Workers, r.Queries, r.QPS, r.Matches, r.Identical)
+	}
+}

@@ -197,6 +197,9 @@ func (ix *Index) build(ids []uint32, depth int, seed uint64, splitProb float64, 
 	return n
 }
 
+// Len returns the number of indexed sets.
+func (ix *Index) Len() int { return len(ix.sets) }
+
 // Query returns an indexed set with J(q, result) >= lambda if the search
 // finds one: the id, its exact similarity, and whether one was found. The
 // query set must be normalized. Each true near neighbor is found with
@@ -224,15 +227,25 @@ func (ix *Index) Query(q []uint32) (int, float64, bool) {
 	return best, bestSim, best >= 0
 }
 
+// Match is one QueryAll result: the id of an indexed set and its exact
+// Jaccard similarity to the query (already computed during verification,
+// so callers never need to recompute it).
+type Match struct {
+	ID  int     `json:"id"`
+	Sim float64 `json:"sim"`
+}
+
 // QueryAll returns every distinct indexed set with J(q, y) >= lambda
-// reachable through the trees (recall grows with Trees).
-func (ix *Index) QueryAll(q []uint32) []int {
+// reachable through the trees (recall grows with Trees), each with its
+// exact similarity. Matches are returned in tree-traversal order; sort by
+// ID for a canonical order.
+func (ix *Index) QueryAll(q []uint32) []Match {
 	if len(q) == 0 {
 		return nil
 	}
 	qsig := ix.signer.Sign(q)
 	seen := make(map[uint32]bool)
-	var out []int
+	var out []Match
 	for _, tree := range ix.trees {
 		ix.collect(tree, q, qsig, seen, &out)
 	}
@@ -260,15 +273,15 @@ func (ix *Index) search(n *node, q []uint32, qsig []uint32, seen map[uint32]bool
 	}
 }
 
-func (ix *Index) collect(n *node, q []uint32, qsig []uint32, seen map[uint32]bool, out *[]int) {
+func (ix *Index) collect(n *node, q []uint32, qsig []uint32, seen map[uint32]bool, out *[]Match) {
 	if n.leaf != nil {
 		for _, id := range n.leaf {
 			if seen[id] {
 				continue
 			}
 			seen[id] = true
-			if intset.Jaccard(q, ix.sets[id]) >= ix.lambda {
-				*out = append(*out, int(id))
+			if sim := intset.Jaccard(q, ix.sets[id]); sim >= ix.lambda {
+				*out = append(*out, Match{ID: int(id), Sim: sim})
 			}
 		}
 		return

@@ -68,8 +68,8 @@ func TestQueryAllRecall(t *testing.T) {
 			continue
 		}
 		valid++
-		for _, id := range ix.QueryAll(q) {
-			if id == target {
+		for _, m := range ix.QueryAll(q) {
+			if m.ID == target {
 				hits++
 				break
 			}
@@ -88,9 +88,12 @@ func TestQueryAllOnlyAboveThreshold(t *testing.T) {
 	ix := Build(sets, 0.6, &Options{Seed: 8})
 	for i := 0; i < 50; i++ {
 		q := sets[i]
-		for _, id := range ix.QueryAll(q) {
-			if intset.Jaccard(q, sets[id]) < 0.6 {
-				t.Fatalf("QueryAll returned below-threshold id %d", id)
+		for _, m := range ix.QueryAll(q) {
+			if m.Sim < 0.6 {
+				t.Fatalf("QueryAll returned below-threshold id %d", m.ID)
+			}
+			if got := intset.Jaccard(q, sets[m.ID]); got != m.Sim {
+				t.Fatalf("QueryAll sim %v for id %d, exact is %v", m.Sim, m.ID, got)
 			}
 		}
 	}

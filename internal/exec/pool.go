@@ -154,6 +154,30 @@ func RunChunks(workers, n, chunk int, f func(c *Ctx, lo, hi int)) {
 	Run(workers, tasks...)
 }
 
+// RunItems runs f for every i in [0, n) on a pool of the given size,
+// inline when workers <= 1. Chunks are an eighth of an even split —
+// finer than RunChunks' default — for fan-outs with skewed per-item cost
+// (e.g. batch queries, where result-heavy items verify more candidates),
+// so stealing can rebalance. Each item must write only its own slot of
+// any shared output; the call returns after all items complete.
+func RunItems(workers, n int, f func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	RunChunks(workers, n, chunk, func(c *Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
 func (p *Pool) push(worker int, t Task) {
 	p.pending.Add(1)
 	d := &p.deques[worker]

@@ -131,3 +131,19 @@ func TestZeroWorkersSelectsGOMAXPROCS(t *testing.T) {
 func TestEmptyRun(t *testing.T) {
 	Run(4) // must not hang
 }
+
+func TestRunItemsCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			hits := make([]int32, n)
+			RunItems(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}

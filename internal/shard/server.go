@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cpindex"
+	"repro/internal/intset"
+)
+
+// Server wraps a sharded index as an HTTP/JSON query service — the
+// serving facade that cmd/serve binds to a listener. All endpoints are
+// safe under concurrent requests; /add serializes against queries through
+// the index's lock.
+//
+//	POST /query        {"set":[...], "all":bool} -> best match or all matches
+//	POST /query_batch  {"sets":[[...],...]}      -> per-query match lists
+//	POST /add          {"sets":[[...],...]}      -> assigned global ids
+//	GET  /stats                                  -> index shape snapshot
+//	GET  /healthz                                -> 200 ok
+type Server struct {
+	ix  *Index
+	mux *http.ServeMux
+}
+
+// maxRequestBytes bounds a single request body (64 MiB covers batches of
+// hundreds of thousands of typical sets while keeping one malformed
+// client from exhausting memory).
+const maxRequestBytes = 64 << 20
+
+// NewServer returns the HTTP handler serving the index.
+func NewServer(ix *Index) *Server {
+	s := &Server{ix: ix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query_batch", s.handleQueryBatch)
+	s.mux.HandleFunc("/add", s.handleAdd)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type queryRequest struct {
+	Set []uint32 `json:"set"`
+	// All requests every match instead of the single best one.
+	All bool `json:"all"`
+}
+
+type queryResponse struct {
+	Found bool `json:"found"`
+	// ID and Sim describe the best match of a non-all query; ID is -1
+	// when they don't apply. Always present: id 0 is a legitimate match,
+	// so omitempty would be ambiguous on the wire.
+	ID      int             `json:"id"`
+	Sim     float64         `json:"sim"`
+	Matches []cpindex.Match `json:"matches,omitempty"`
+}
+
+type batchRequest struct {
+	Sets [][]uint32 `json:"sets"`
+}
+
+type batchResponse struct {
+	Results [][]cpindex.Match `json:"results"`
+}
+
+type addResponse struct {
+	IDs      []int `json:"ids"`
+	Total    int   `json:"total"`
+	Buffered int   `json:"buffered"`
+	Shards   int   `json:"shards"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q := intset.Normalize(req.Set)
+	resp := queryResponse{ID: -1}
+	if req.All {
+		resp.Matches = s.ix.QueryAll(q)
+		resp.Found = len(resp.Matches) > 0
+	} else if id, sim, ok := s.ix.Query(q); ok {
+		resp.Found, resp.ID, resp.Sim = true, id, sim
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	for i, set := range req.Sets {
+		req.Sets[i] = intset.Normalize(set)
+	}
+	results := s.ix.QueryBatch(req.Sets)
+	// Empty match lists marshal as [] rather than null so clients can
+	// index the results without nil checks.
+	for i := range results {
+		if results[i] == nil {
+			results[i] = []cpindex.Match{}
+		}
+	}
+	writeJSON(w, batchResponse{Results: results})
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	for i, set := range req.Sets {
+		req.Sets[i] = intset.Normalize(set)
+		if len(req.Sets[i]) == 0 {
+			http.Error(w, fmt.Sprintf("bad request: set %d is empty", i), http.StatusBadRequest)
+			return
+		}
+	}
+	ids := s.ix.Add(req.Sets)
+	st := s.ix.Stats()
+	writeJSON(w, addResponse{IDs: ids, Total: st.Sets, Buffered: st.Buffered, Shards: st.Shards})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.ix.Stats())
+}
+
+// decode reads a POST JSON body into v, writing the HTTP error itself and
+// returning false when the request is unusable.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

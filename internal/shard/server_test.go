@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, [][]uint32) {
+	t.Helper()
+	sets, _ := workload(500, 0.8, 301)
+	ix := Build(sets, 0.5, &Options{Shards: 3, Seed: 41, MergeThreshold: 64, Workers: 2})
+	ts := httptest.NewServer(NewServer(ix))
+	t.Cleanup(ts.Close)
+	return ts, sets
+}
+
+func post(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestServerQuery(t *testing.T) {
+	ts, sets := newTestServer(t)
+
+	// Best-match self-query: exact hit on the queried set.
+	var qr queryResponse
+	if resp := post(t, ts.URL+"/query", queryRequest{Set: sets[7]}, &qr); resp.StatusCode != 200 {
+		t.Fatalf("/query status %d", resp.StatusCode)
+	}
+	if !qr.Found || qr.Sim != 1.0 {
+		t.Fatalf("self-query response %+v", qr)
+	}
+
+	// all=true returns the match list, sorted by id, including the self hit.
+	qr = queryResponse{}
+	post(t, ts.URL+"/query", queryRequest{Set: sets[7], All: true}, &qr)
+	self := false
+	for i, m := range qr.Matches {
+		if m.ID == 7 {
+			self = true
+		}
+		if i > 0 && qr.Matches[i-1].ID >= m.ID {
+			t.Fatalf("matches not sorted by id: %v", qr.Matches)
+		}
+	}
+	if !qr.Found || !self {
+		t.Fatalf("all-query missed self: %+v", qr)
+	}
+
+	// id 0 is a legitimate best match and must appear on the wire (no
+	// omitempty ambiguity): decode raw to check key presence.
+	b, _ := json.Marshal(queryRequest{Set: sets[0]})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw0 map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw0); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id, present := raw0["id"]; !present || id != 0.0 {
+		t.Fatalf("id-0 match not on the wire: %v", raw0)
+	}
+
+	// Unnormalized input (duplicates, unsorted) is normalized server-side.
+	qr = queryResponse{}
+	raw := append([]uint32{}, sets[7]...)
+	raw = append(raw, sets[7][0], sets[7][2])
+	post(t, ts.URL+"/query", queryRequest{Set: raw}, &qr)
+	if !qr.Found || qr.Sim != 1.0 {
+		t.Fatalf("unnormalized self-query response %+v", qr)
+	}
+}
+
+func TestServerQueryBatch(t *testing.T) {
+	ts, sets := newTestServer(t)
+	var br batchResponse
+	post(t, ts.URL+"/query_batch", batchRequest{Sets: sets[:40]}, &br)
+	if len(br.Results) != 40 {
+		t.Fatalf("%d results for 40 queries", len(br.Results))
+	}
+	for i, ms := range br.Results {
+		if ms == nil {
+			t.Fatalf("result %d is null, want []", i)
+		}
+		self := false
+		for _, m := range ms {
+			if m.ID == i {
+				self = true
+			}
+		}
+		if !self {
+			t.Fatalf("batch query %d missed itself", i)
+		}
+	}
+}
+
+func TestServerAddAndStats(t *testing.T) {
+	ts, sets := newTestServer(t)
+	novel := []uint32{900001, 900002, 900003, 900004}
+
+	var ar addResponse
+	post(t, ts.URL+"/add", batchRequest{Sets: [][]uint32{novel}}, &ar)
+	if len(ar.IDs) != 1 || ar.IDs[0] != len(sets) || ar.Total != len(sets)+1 || ar.Buffered != 1 {
+		t.Fatalf("add response %+v", ar)
+	}
+
+	// The appended set is immediately queryable.
+	var qr queryResponse
+	post(t, ts.URL+"/query", queryRequest{Set: novel}, &qr)
+	if !qr.Found || qr.ID != len(sets) || qr.Sim != 1.0 {
+		t.Fatalf("query for appended set: %+v", qr)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sets != len(sets)+1 || st.Buffered != 1 || st.Shards != 3 || st.Appends != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// GET on a POST endpoint.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query status %d, want 405", resp.StatusCode)
+	}
+
+	// Malformed JSON.
+	resp, err = http.Post(ts.URL+"/query", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown fields are rejected (catches clients hitting the wrong
+	// endpoint shape).
+	resp, err = http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"sets":[[1,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-shape status %d, want 400", resp.StatusCode)
+	}
+
+	// Empty sets are rejected at the boundary (they cannot be indexed
+	// when the side shard seals).
+	resp, err = http.Post(ts.URL+"/add", "application/json", strings.NewReader(`{"sets":[[1,2],[]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty-set add status %d, want 400", resp.StatusCode)
+	}
+
+	// POST on /stats.
+	resp, err = http.Post(ts.URL+"/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerConcurrentTraffic drives queries, batches and adds from many
+// goroutines at once — the serving path the race job guards.
+func TestServerConcurrentTraffic(t *testing.T) {
+	ts, sets := newTestServer(t)
+	postJSON := func(url string, body any, out any) error {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 25; i++ {
+				switch g % 3 {
+				case 0:
+					var qr queryResponse
+					if err := postJSON(ts.URL+"/query", queryRequest{Set: sets[(g*25+i)%len(sets)]}, &qr); err != nil {
+						errc <- err
+						return
+					}
+					if !qr.Found {
+						errc <- fmt.Errorf("goroutine %d: self-query %d not found", g, i)
+						return
+					}
+				case 1:
+					var br batchResponse
+					if err := postJSON(ts.URL+"/query_batch", batchRequest{Sets: sets[:10]}, &br); err != nil {
+						errc <- err
+						return
+					}
+					if len(br.Results) != 10 {
+						errc <- fmt.Errorf("goroutine %d: bad batch size %d", g, len(br.Results))
+						return
+					}
+				default:
+					var ar addResponse
+					if err := postJSON(ts.URL+"/add", batchRequest{Sets: [][]uint32{{uint32(1000000 + g*1000 + i)}}}, &ar); err != nil {
+						errc <- err
+						return
+					}
+					if len(ar.IDs) != 1 {
+						errc <- fmt.Errorf("goroutine %d: bad add response", g)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+// Package shard is the sharded serving subsystem: a collection is
+// partitioned into K independent Chosen Path search indexes (shards), each
+// built as its own task on the shared execution layer, and queries fan out
+// across the shards and merge — the LSH Ensemble pattern (Zhu et al.,
+// domain search) applied to the CPSJoin substrate.
+//
+// Sharding buys three serving-layer properties the monolithic index lacks:
+//
+//   - Build parallelism beyond tree count: K shards × Trees trees are all
+//     independent tasks, so construction saturates any core count.
+//   - Batch throughput: QueryBatch turns a query slice into tasks over the
+//     read-only shards, amortizing scheduling overhead per batch.
+//   - Incremental growth: Add buffers new sets in a small side shard that
+//     is scanned exactly (recall 1.0 on recent appends) and sealed into
+//     the ring as a full shard once it crosses MergeThreshold — the LSM
+//     memtable discipline, so a long-running service absorbs updates
+//     without ever rebuilding the sealed shards.
+//
+// Global set ids are preserved across the partition through per-shard id
+// maps; every result refers to the caller's original slice. Determinism
+// follows the repository-wide contract: per-shard seeds are derived from
+// (Seed, shard index) via SeedFor, never from build order, so the same
+// seed, options and Add sequence yield identical results for any worker
+// count.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cpindex"
+	"repro/internal/exec"
+	"repro/internal/intset"
+	"repro/internal/tabhash"
+)
+
+// Partition selects how Build assigns sets to shards.
+type Partition int
+
+const (
+	// PartitionContiguous splits the id range [0, n) into Shards nearly
+	// equal contiguous ranges — cache-friendly and offset-addressable.
+	PartitionContiguous Partition = iota
+	// PartitionHash assigns each id by a seeded hash — spreads clustered
+	// input (e.g. sorted-by-size collections) evenly across shards.
+	PartitionHash
+)
+
+func (p Partition) String() string {
+	switch p {
+	case PartitionContiguous:
+		return "contiguous"
+	case PartitionHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("partition(%d)", int(p))
+	}
+}
+
+// Options configures a sharded index. The cpindex knobs (Trees, LeafSize,
+// T) apply to every shard.
+type Options struct {
+	// Shards is the number of primary shards (default 4; values < 1 are
+	// raised to 1; values above the set count are clamped down so no shard
+	// starts empty).
+	Shards int
+	// Partition selects the id-to-shard assignment (default contiguous).
+	Partition Partition
+	// MergeThreshold is the side-shard size at which buffered appends are
+	// sealed into the ring as a full shard (default 1024).
+	MergeThreshold int
+	// Trees, LeafSize, T are the per-shard cpindex parameters (defaults
+	// as in cpindex: 10, 32, 128).
+	Trees    int
+	LeafSize int
+	T        int
+	// Seed makes construction reproducible; shard k derives its seed via
+	// SeedFor(Seed, k).
+	Seed uint64
+	// Workers parallelizes Build, seal, and QueryBatch on the shared
+	// execution layer: 0 runs sequentially, negative selects GOMAXPROCS.
+	// Results are identical for any worker count.
+	Workers int
+}
+
+func (o *Options) withDefaults() Options {
+	opt := Options{}
+	if o != nil {
+		opt = *o
+	}
+	if opt.Shards <= 0 {
+		opt.Shards = 4
+	}
+	if opt.MergeThreshold <= 0 {
+		opt.MergeThreshold = 1024
+	}
+	return opt
+}
+
+// SeedFor derives the construction seed of shard k from the index seed.
+// It is exported so callers can reproduce one shard's structure with a
+// standalone cpindex/SearchIndex build (the equivalence the tests pin).
+func SeedFor(seed uint64, k int) uint64 {
+	return tabhash.DeriveSeed(seed, 0x5a17, uint64(k))
+}
+
+// ContiguousRanges returns the [lo, hi) ranges of the contiguous
+// partition of n sets into k shards: the first n%k ranges are one longer,
+// matching Build's assignment exactly.
+func ContiguousRanges(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	lo := 0
+	for s := 0; s < k; s++ {
+		size := n / k
+		if s < n%k {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}
+
+// subIndex is one sealed shard: a built cpindex over a subset of the
+// collection, with the map from shard-local ids back to global ids.
+type subIndex struct {
+	ix   *cpindex.Index
+	sets [][]uint32
+	ids  []int // local id -> global id
+}
+
+// Index is a sharded Chosen Path search structure. It is safe for
+// concurrent use: queries proceed under a shared lock and Add under an
+// exclusive one, and sealed shards are immutable.
+type Index struct {
+	lambda float64
+	opt    Options
+
+	mu     sync.RWMutex
+	shards []*subIndex
+	// side buffers appended sets (with their global ids) until sealing;
+	// queries scan it exactly, so fresh appends have recall 1.0.
+	side *sideBuffer
+	// sealing holds buffers whose shard build is in flight. They are
+	// still scanned exactly by queries — the build happens outside the
+	// lock so a seal never stalls serving — and each is removed when its
+	// built shard joins the ring.
+	sealing []*sideBuffer
+	// nextSlot numbers shard seeds: primary shards take [0, Shards) and
+	// every seal claims the next slot at seal start, so seeds are stable
+	// for a given Build+Add sequence even with concurrent seals.
+	nextSlot int
+	total    int
+	appends  int
+	merges   int
+}
+
+type sideBuffer struct {
+	sets [][]uint32
+	ids  []int
+}
+
+// Build constructs a sharded index over the collection for similarity
+// threshold lambda. The collection is referenced, not copied. Each
+// shard's cpindex is built as an independent task on the execution layer;
+// the built structure is identical for any worker count.
+func Build(sets [][]uint32, lambda float64, o *Options) *Index {
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("shard: lambda %v out of (0,1)", lambda))
+	}
+	opt := o.withDefaults()
+	if opt.Shards > len(sets) {
+		opt.Shards = max(len(sets), 1)
+	}
+	x := &Index{
+		lambda:   lambda,
+		opt:      opt,
+		side:     &sideBuffer{},
+		nextSlot: opt.Shards,
+		total:    len(sets),
+	}
+
+	// Assign global ids to shards.
+	members := make([][]int, opt.Shards)
+	switch opt.Partition {
+	case PartitionHash:
+		for id := range sets {
+			s := int(tabhash.Mix64(opt.Seed^uint64(id)) % uint64(opt.Shards))
+			members[s] = append(members[s], id)
+		}
+	default:
+		for s, r := range ContiguousRanges(len(sets), opt.Shards) {
+			ids := make([]int, 0, r[1]-r[0])
+			for id := r[0]; id < r[1]; id++ {
+				ids = append(ids, id)
+			}
+			members[s] = ids
+		}
+	}
+
+	x.shards = make([]*subIndex, opt.Shards)
+	workers := exec.EffectiveWorkers(opt.Workers)
+	// Each shard build is one root task; leftover parallelism (more
+	// workers than shards) goes to the inner tree builds, which are
+	// deterministic for any inner worker count.
+	inner := 0
+	if workers > opt.Shards {
+		inner = (workers + opt.Shards - 1) / opt.Shards
+	}
+	tasks := make([]exec.Task, opt.Shards)
+	for s := range tasks {
+		s := s
+		tasks[s] = func(c *exec.Ctx) {
+			x.shards[s] = buildShard(sets, members[s], lambda, opt, SeedFor(opt.Seed, s), inner)
+		}
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			t(nil)
+		}
+	} else {
+		exec.Run(workers, tasks...)
+	}
+	return x
+}
+
+// buildShard builds the cpindex of one shard over the given global ids.
+func buildShard(sets [][]uint32, ids []int, lambda float64, opt Options, seed uint64, workers int) *subIndex {
+	sub := make([][]uint32, len(ids))
+	for i, id := range ids {
+		sub[i] = sets[id]
+	}
+	return &subIndex{
+		ix: cpindex.Build(sub, lambda, &cpindex.Options{
+			Trees:    opt.Trees,
+			LeafSize: opt.LeafSize,
+			T:        opt.T,
+			Seed:     seed,
+			Workers:  workers,
+		}),
+		sets: sub,
+		ids:  ids,
+	}
+}
+
+// Lambda returns the similarity threshold the index was built for.
+func (x *Index) Lambda() float64 { return x.lambda }
+
+// Len returns the total number of indexed sets, including buffered appends.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.total
+}
+
+// snapshot returns the current sealed shards and exactly-scanned buffers
+// (in-flight seals plus the live side buffer) under the read lock. Sealed
+// shards and sealing buffers are immutable, and the side buffer's visible
+// prefix is capped with a full slice expression, so the snapshot stays
+// valid after the lock is released; entries appended after the snapshot
+// are simply not seen — the usual read-committed serving semantics.
+func (x *Index) snapshot() ([]*subIndex, []sideBuffer) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	buffers := make([]sideBuffer, 0, len(x.sealing)+1)
+	for _, b := range x.sealing {
+		buffers = append(buffers, *b)
+	}
+	buffers = append(buffers, sideBuffer{
+		sets: x.side.sets[:len(x.side.sets):len(x.side.sets)],
+		ids:  x.side.ids[:len(x.side.ids):len(x.side.ids)],
+	})
+	return x.shards, buffers
+}
+
+// Query returns the best match across all shards: the global id of an
+// indexed set with J(q, result) >= λ and its exact similarity, or
+// ok = false if no shard finds one. Ties on similarity break toward the
+// lower id, so the answer is independent of shard iteration details.
+func (x *Index) Query(q []uint32) (id int, sim float64, ok bool) {
+	if len(q) == 0 {
+		return -1, 0, false
+	}
+	shards, buffers := x.snapshot()
+	best, bestSim := -1, 0.0
+	better := func(id int, sim float64) bool {
+		return sim > bestSim || (sim == bestSim && (best < 0 || id < best))
+	}
+	for _, sh := range shards {
+		if local, s, found := sh.ix.Query(q); found {
+			if g := sh.ids[local]; better(g, s) {
+				best, bestSim = g, s
+			}
+		}
+	}
+	for _, side := range buffers {
+		for i, set := range side.sets {
+			if s := intset.Jaccard(q, set); s >= x.lambda && better(side.ids[i], s) {
+				best, bestSim = side.ids[i], s
+			}
+		}
+	}
+	return best, bestSim, best >= 0
+}
+
+// QueryAll returns every match across all shards and the side buffer,
+// sorted by global id — shards are disjoint, so the merge is a plain
+// concatenation with no deduplication.
+func (x *Index) QueryAll(q []uint32) []cpindex.Match {
+	shards, buffers := x.snapshot()
+	return queryAll(shards, buffers, x.lambda, q)
+}
+
+func queryAll(shards []*subIndex, buffers []sideBuffer, lambda float64, q []uint32) []cpindex.Match {
+	var out []cpindex.Match
+	for _, sh := range shards {
+		for _, m := range sh.ix.QueryAll(q) {
+			out = append(out, cpindex.Match{ID: sh.ids[m.ID], Sim: m.Sim})
+		}
+	}
+	if len(q) > 0 {
+		for _, side := range buffers {
+			for i, set := range side.sets {
+				if sim := intset.Jaccard(q, set); sim >= lambda {
+					out = append(out, cpindex.Match{ID: side.ids[i], Sim: sim})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// QueryBatch answers many queries at once: the queries become chunked
+// tasks on the execution layer over one read-only snapshot of the shards,
+// and the result slice is indexed like the input — results[i] is
+// QueryAll(qs[i]) against that snapshot. Output is deterministic for any
+// worker count (each query writes only its own slot).
+func (x *Index) QueryBatch(qs [][]uint32) [][]cpindex.Match {
+	shards, buffers := x.snapshot()
+	out := make([][]cpindex.Match, len(qs))
+	exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(qs), func(i int) {
+		out[i] = queryAll(shards, buffers, x.lambda, qs[i])
+	})
+	return out
+}
+
+// Add appends sets to the index and returns their global ids. The sets
+// are buffered in the side shard (scanned exactly by queries, so they are
+// findable immediately with recall 1.0); once the buffer crosses
+// MergeThreshold it is sealed: built into a cpindex with seed
+// SeedFor(Seed, slot) for the next free shard slot and appended to the
+// ring. The build runs outside the lock — concurrent queries keep
+// scanning the detached buffer exactly until the shard is swapped in —
+// but the Add call itself returns only after its seal completes. Sets
+// must be normalized (sorted, unique), like Build's input.
+func (x *Index) Add(sets [][]uint32) []int {
+	// Reject empty sets up front, before any state changes: they cannot
+	// be MinHash-signed, so admitting one would make the eventual seal's
+	// cpindex.Build panic long after the bad Add — stranding the buffer.
+	for _, s := range sets {
+		if len(s) == 0 {
+			panic("shard: cannot add an empty set")
+		}
+	}
+	x.mu.Lock()
+	ids := make([]int, len(sets))
+	for i, s := range sets {
+		ids[i] = x.total
+		x.total++
+		x.side.sets = append(x.side.sets, s)
+		x.side.ids = append(x.side.ids, ids[i])
+	}
+	x.appends += len(sets)
+	var pending *sideBuffer
+	slot := 0
+	if len(x.side.sets) >= x.opt.MergeThreshold {
+		pending, slot = x.beginSealLocked()
+	}
+	x.mu.Unlock()
+	if pending != nil {
+		x.finishSeal(pending, slot)
+	}
+	return ids
+}
+
+// beginSealLocked detaches the side buffer for sealing and claims the
+// next shard seed slot. Caller holds the write lock. The detached buffer
+// joins x.sealing, so queries keep scanning it exactly while the shard
+// build runs outside the lock.
+func (x *Index) beginSealLocked() (*sideBuffer, int) {
+	b := x.side
+	x.side = &sideBuffer{}
+	x.sealing = append(x.sealing, b)
+	slot := x.nextSlot
+	x.nextSlot++
+	return b, slot
+}
+
+// finishSeal builds the detached buffer into a full shard — outside the
+// lock, so serving never stalls on a seal — then swaps it into the ring.
+func (x *Index) finishSeal(b *sideBuffer, slot int) {
+	ix := cpindex.Build(b.sets, x.lambda, &cpindex.Options{
+		Trees:    x.opt.Trees,
+		LeafSize: x.opt.LeafSize,
+		T:        x.opt.T,
+		Seed:     SeedFor(x.opt.Seed, slot),
+		Workers:  x.opt.Workers,
+	})
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.shards = append(x.shards, &subIndex{ix: ix, sets: b.sets, ids: b.ids})
+	for i, s := range x.sealing {
+		if s == b {
+			x.sealing = append(x.sealing[:i:i], x.sealing[i+1:]...)
+			break
+		}
+	}
+	x.merges++
+}
+
+// Flush seals the side buffer into the ring immediately, regardless of
+// MergeThreshold. A no-op when the buffer is empty.
+func (x *Index) Flush() {
+	x.mu.Lock()
+	var pending *sideBuffer
+	slot := 0
+	if len(x.side.sets) > 0 {
+		pending, slot = x.beginSealLocked()
+	}
+	x.mu.Unlock()
+	if pending != nil {
+		x.finishSeal(pending, slot)
+	}
+}
+
+// Stats describes the current shape of a sharded index.
+type Stats struct {
+	Lambda     float64 `json:"lambda"`
+	Sets       int     `json:"sets"`
+	Shards     int     `json:"shards"`
+	ShardSizes []int   `json:"shard_sizes"`
+	Buffered   int     `json:"buffered"`
+	Appends    int     `json:"appends"`
+	Merges     int     `json:"merges"`
+	Nodes      int     `json:"nodes"`
+	Leaves     int     `json:"leaves"`
+	Partition  string  `json:"partition"`
+	Workers    int     `json:"workers"`
+}
+
+// Stats returns a point-in-time snapshot of the index shape.
+func (x *Index) Stats() Stats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	buffered := len(x.side.sets)
+	for _, b := range x.sealing {
+		buffered += len(b.sets)
+	}
+	st := Stats{
+		Lambda:    x.lambda,
+		Sets:      x.total,
+		Shards:    len(x.shards),
+		Buffered:  buffered,
+		Appends:   x.appends,
+		Merges:    x.merges,
+		Partition: x.opt.Partition.String(),
+		Workers:   x.opt.Workers,
+	}
+	for _, sh := range x.shards {
+		st.ShardSizes = append(st.ShardSizes, sh.ix.Len())
+		st.Nodes += sh.ix.Nodes
+		st.Leaves += sh.ix.Leaves
+	}
+	return st
+}

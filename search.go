@@ -1,6 +1,16 @@
 package ssjoin
 
-import "repro/internal/cpindex"
+import (
+	"repro/internal/cpindex"
+	"repro/internal/exec"
+)
+
+// Match is one similarity search result: the id of an indexed set and its
+// exact Jaccard similarity to the query.
+type Match struct {
+	ID  int     `json:"id"`
+	Sim float64 `json:"sim"`
+}
 
 // SearchIndex answers approximate similarity search queries: given a query
 // set, find indexed sets with Jaccard similarity at least λ. It is the
@@ -9,6 +19,9 @@ import "repro/internal/cpindex"
 // a second joinable collection.
 type SearchIndex struct {
 	ix *cpindex.Index
+	// workers is the construction-time Workers option, reused as the
+	// default parallelism of QueryBatch.
+	workers int
 }
 
 // SearchOptions configures SearchIndex construction.
@@ -33,6 +46,7 @@ type SearchOptions struct {
 // threshold lambda. The collection is referenced, not copied.
 func NewSearchIndex(sets [][]uint32, lambda float64, opts *SearchOptions) *SearchIndex {
 	var o *cpindex.Options
+	workers := 0
 	if opts != nil {
 		o = &cpindex.Options{
 			Trees:    opts.Trees,
@@ -41,8 +55,9 @@ func NewSearchIndex(sets [][]uint32, lambda float64, opts *SearchOptions) *Searc
 			Seed:     opts.Seed,
 			Workers:  opts.Workers,
 		}
+		workers = opts.Workers
 	}
-	return &SearchIndex{ix: cpindex.Build(sets, lambda, o)}
+	return &SearchIndex{ix: cpindex.Build(sets, lambda, o), workers: workers}
 }
 
 // Query returns the id of an indexed set with J(q, result) >= λ and its
@@ -53,9 +68,48 @@ func (s *SearchIndex) Query(q []uint32) (id int, sim float64, ok bool) {
 	return s.ix.Query(q)
 }
 
-// QueryAll returns all indexed sets with J(q, y) >= λ that the search
-// reaches (high recall with the default tree count; exact-verified, so no
-// false positives).
+// QueryAll returns the ids of all indexed sets with J(q, y) >= λ that the
+// search reaches (high recall with the default tree count; exact-verified,
+// so no false positives). Use QueryAllSims to also get the similarities
+// without recomputing them.
 func (s *SearchIndex) QueryAll(q []uint32) []int {
-	return s.ix.QueryAll(q)
+	ms := s.ix.QueryAll(q)
+	if ms == nil {
+		return nil
+	}
+	ids := make([]int, len(ms))
+	for i, m := range ms {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// QueryAllSims is QueryAll with each match's exact Jaccard similarity —
+// already computed during verification, so callers never pay for it twice.
+func (s *SearchIndex) QueryAllSims(q []uint32) []Match {
+	return toMatches(s.ix.QueryAll(q))
+}
+
+// QueryBatch answers many queries at once, fanning them out as tasks on
+// the shared execution layer over the read-only index; results[i] is
+// QueryAllSims(qs[i]). Parallelism follows the construction-time Workers
+// option, and output is identical for any worker count.
+func (s *SearchIndex) QueryBatch(qs [][]uint32) [][]Match {
+	out := make([][]Match, len(qs))
+	exec.RunItems(exec.EffectiveWorkers(s.workers), len(qs), func(i int) {
+		out[i] = s.QueryAllSims(qs[i])
+	})
+	return out
+}
+
+// toMatches converts internal matches to the public type.
+func toMatches(ms []cpindex.Match) []Match {
+	if ms == nil {
+		return nil
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{ID: m.ID, Sim: m.Sim}
+	}
+	return out
 }

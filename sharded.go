@@ -1,0 +1,111 @@
+package ssjoin
+
+import "repro/internal/shard"
+
+// ShardedOptions configures a ShardedIndex.
+type ShardedOptions struct {
+	// Shards is the number of primary shards the collection is partitioned
+	// into (default 4). Each shard is an independent Chosen Path index.
+	Shards int
+	// HashPartition assigns sets to shards by a seeded id hash instead of
+	// contiguous ranges — use it when the input order is correlated with
+	// set structure (e.g. sorted by size) and shards should stay balanced.
+	HashPartition bool
+	// MergeThreshold is the buffered-append count at which Add seals the
+	// side shard into the ring as a full shard (default 1024).
+	MergeThreshold int
+	// Trees, LeafSize, T, Seed are the per-shard index parameters, as in
+	// SearchOptions; shard k is built with seed shard.SeedFor(Seed, k).
+	Trees    int
+	LeafSize int
+	T        int
+	Seed     uint64
+	// Workers parallelizes construction, sealing and QueryBatch on the
+	// shared execution layer: 0 sequential, negative GOMAXPROCS. Results
+	// are identical for any worker count.
+	Workers int
+}
+
+// ShardedIndex is a similarity search index partitioned into independently
+// built shards — the serving-scale counterpart of SearchIndex. Queries fan
+// out across shards and merge with global ids preserved; QueryBatch
+// processes query slices as parallel tasks; Add absorbs new sets into a
+// side shard without rebuilding (sealed into the ring past a threshold).
+// It is safe for concurrent use, including Add concurrent with queries.
+type ShardedIndex struct {
+	ix *shard.Index
+}
+
+// NewShardedIndex builds a sharded search index over the collection for
+// similarity threshold lambda. The collection is referenced, not copied.
+func NewShardedIndex(sets [][]uint32, lambda float64, opts *ShardedOptions) *ShardedIndex {
+	var o *shard.Options
+	if opts != nil {
+		o = &shard.Options{
+			Shards:         opts.Shards,
+			MergeThreshold: opts.MergeThreshold,
+			Trees:          opts.Trees,
+			LeafSize:       opts.LeafSize,
+			T:              opts.T,
+			Seed:           opts.Seed,
+			Workers:        opts.Workers,
+		}
+		if opts.HashPartition {
+			o.Partition = shard.PartitionHash
+		}
+	}
+	return &ShardedIndex{ix: shard.Build(sets, lambda, o)}
+}
+
+// Query returns the best match across all shards: a global id with
+// J(q, result) >= λ and its exact similarity, or ok = false when no shard
+// finds one.
+func (s *ShardedIndex) Query(q []uint32) (id int, sim float64, ok bool) {
+	return s.ix.Query(q)
+}
+
+// QueryAll returns every match across all shards (and any buffered
+// appends, which are scanned exactly), sorted by id.
+func (s *ShardedIndex) QueryAll(q []uint32) []Match {
+	return toMatches(s.ix.QueryAll(q))
+}
+
+// QueryBatch answers many queries at once as parallel tasks over a
+// read-only snapshot of the shards; results[i] is QueryAll(qs[i]) and the
+// output is identical for any worker count.
+func (s *ShardedIndex) QueryBatch(qs [][]uint32) [][]Match {
+	raw := s.ix.QueryBatch(qs)
+	out := make([][]Match, len(raw))
+	for i, ms := range raw {
+		out[i] = toMatches(ms)
+	}
+	return out
+}
+
+// Add appends sets (normalized, like the build input) to the index and
+// returns their global ids. Appended sets are findable immediately with
+// recall 1.0; once MergeThreshold of them accumulate they are sealed into
+// a new shard. Empty sets cannot be indexed and cause a panic before any
+// state changes.
+func (s *ShardedIndex) Add(sets [][]uint32) []int {
+	return s.ix.Add(sets)
+}
+
+// Flush seals any buffered appends into the shard ring immediately.
+func (s *ShardedIndex) Flush() {
+	s.ix.Flush()
+}
+
+// Len returns the total number of indexed sets, including buffered appends.
+func (s *ShardedIndex) Len() int {
+	return s.ix.Len()
+}
+
+// ShardStats describes the current shape of a ShardedIndex.
+type ShardStats = shard.Stats
+
+// Stats returns a point-in-time snapshot of the index shape: shard count
+// and sizes, buffered appends, seal/merge count, tree node totals.
+func (s *ShardedIndex) Stats() ShardStats {
+	return s.ix.Stats()
+}
