@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-go clean
+.PHONY: all build test race race-full vet fmt bench bench-smoke bench-go clean
 
 all: vet build test
 
@@ -10,11 +10,22 @@ build:
 test:
 	$(GO) test ./...
 
+# race is the quick local loop (-short skips the slowest suites);
+# race-full runs the entire suite under the race detector and is what CI
+# runs — same name, same meaning, locally and in CI.
 race:
 	$(GO) test -race -short ./...
 
+race-full:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
+
+# fmt fails (listing the offending files) if any file needs gofmt — the
+# same gate CI enforces.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # bench records the performance trajectory for cross-PR comparison:
 # parallel join scaling (every algorithm at every worker count, with the
@@ -25,6 +36,15 @@ bench:
 	@echo "wrote BENCH_parallel.json"
 	$(GO) run ./cmd/experiments -quiet -format json serving > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"
+
+# bench-smoke is the reduced bench CI runs on every PR (small synthetic
+# datasets, same JSON schema): the per-PR perf trajectory the ROADMAP
+# asks for, uploaded as workflow artifacts.
+bench-smoke:
+	$(GO) run ./cmd/experiments -quiet -format json -scale smoke parallel > BENCH_parallel.json
+	@echo "wrote BENCH_parallel.json (smoke scale)"
+	$(GO) run ./cmd/experiments -quiet -format json -scale smoke serving > BENCH_serving.json
+	@echo "wrote BENCH_serving.json (smoke scale)"
 
 # bench-go runs the Go testing benchmarks for the same scaling curves.
 bench-go:

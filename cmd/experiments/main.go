@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale small|paper] [-runs 1] [-seed 42] <subcommand>
+//	experiments [-scale smoke|small|paper] [-runs 1] [-seed 42] <subcommand>
 //
 // Subcommands:
 //
@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "workload scale: small or paper")
+		scaleName = flag.String("scale", "small", "workload scale: smoke, small or paper")
 		runs      = flag.Int("runs", 1, "timed runs per measurement (minimum reported)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		recall    = flag.Float64("recall", 0.9, "target recall for approximate methods")
@@ -54,6 +54,8 @@ func main() {
 
 	var scale bench.Scale
 	switch *scaleName {
+	case "smoke":
+		scale = bench.SmokeScale()
 	case "small":
 		scale = bench.DefaultScale()
 	case "paper":

@@ -10,6 +10,12 @@
 // Usage:
 //
 //	search -input catalogue.txt -threshold 0.6 [-queries q.txt] [-all] [-trees 10] [-workers N]
+//	       [-save-index ix.cps] [-load-index ix.cps]
+//
+// With -save-index the built index is snapshotted to a file after
+// construction; with -load-index the index is restored from such a file
+// instead of being built (so -input, -threshold, -trees and -seed are
+// not needed — they are part of the snapshot).
 package main
 
 import (
@@ -31,30 +37,48 @@ func main() {
 		trees     = flag.Int("trees", 0, "number of index trees (0 = default 10)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for index construction (1 = sequential; the built index is identical for any value)")
+		saveIndex = flag.String("save-index", "", "snapshot the built index to this file")
+		loadIndex = flag.String("load-index", "", "restore the index from a snapshot file instead of building from -input")
 	)
 	flag.Parse()
 
-	if *input == "" {
-		fmt.Fprintln(os.Stderr, "search: -input is required")
-		flag.Usage()
-		os.Exit(2)
+	var index *ssjoin.SearchIndex
+	if *loadIndex != "" {
+		var err error
+		index, err = ssjoin.LoadSearchIndex(*loadIndex, *workers)
+		if err != nil {
+			fatalf("restoring %s: %v", *loadIndex, err)
+		}
+		fmt.Fprintf(os.Stderr, "search: restored index from %s\n", *loadIndex)
+	} else {
+		if *input == "" {
+			fmt.Fprintln(os.Stderr, "search: -input is required (or -load-index)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *threshold <= 0 || *threshold >= 1 {
+			fatalf("threshold %v out of (0,1)", *threshold)
+		}
+		catalogue, err := ssjoin.LoadSets(*input)
+		if err != nil {
+			fatalf("loading %s: %v", *input, err)
+		}
+		index = ssjoin.NewSearchIndex(catalogue, *threshold, &ssjoin.SearchOptions{
+			Trees:   *trees,
+			Seed:    *seed,
+			Workers: *workers,
+		})
+		fmt.Fprintf(os.Stderr, "search: indexed %d sets\n", len(catalogue))
 	}
-	if *threshold <= 0 || *threshold >= 1 {
-		fatalf("threshold %v out of (0,1)", *threshold)
+	if *saveIndex != "" {
+		if err := index.Save(*saveIndex); err != nil {
+			fatalf("saving %s: %v", *saveIndex, err)
+		}
+		fmt.Fprintf(os.Stderr, "search: saved index to %s\n", *saveIndex)
 	}
-
-	catalogue, err := ssjoin.LoadSets(*input)
-	if err != nil {
-		fatalf("loading %s: %v", *input, err)
-	}
-	index := ssjoin.NewSearchIndex(catalogue, *threshold, &ssjoin.SearchOptions{
-		Trees:   *trees,
-		Seed:    *seed,
-		Workers: *workers,
-	})
-	fmt.Fprintf(os.Stderr, "search: indexed %d sets\n", len(catalogue))
 
 	var qsets [][]uint32
+	var err error
 	if *queries != "" {
 		qsets, err = ssjoin.LoadSets(*queries)
 		if err != nil {

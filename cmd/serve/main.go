@@ -1,24 +1,32 @@
 // Command serve runs the sharded similarity search service: it loads a
 // dataset, partitions it into shards (each an independent Chosen Path
 // index built in parallel on the execution layer), and serves queries,
-// batch queries and incremental appends over HTTP/JSON.
+// batch queries, incremental appends and deletes over HTTP/JSON.
 //
 // Usage:
 //
 //	serve -input catalogue.txt -threshold 0.6 [-addr :8321] [-shards 4]
 //	      [-hash] [-merge 1024] [-trees 10] [-seed 42] [-workers N]
+//	      [-data DIR] [-save-on-shutdown]
+//
+// Persistence: with -data, the service restores the index from DIR's
+// snapshot (manifest + per-shard files) when one exists — restart cost
+// becomes I/O instead of a rebuild — and otherwise builds from -input.
+// With -save-on-shutdown it snapshots the live index (including buffered
+// appends and tombstones) into DIR on graceful shutdown.
 //
 // Endpoints:
 //
 //	POST /query        {"set":[1,2,3], "all":true}   one query
 //	POST /query_batch  {"sets":[[1,2,3],[4,5,6]]}    many queries, one round trip
 //	POST /add          {"sets":[[7,8,9]]}            append sets (no rebuild)
+//	POST /delete       {"ids":[3,17]}                tombstone sets
 //	GET  /stats                                      index shape snapshot
 //	GET  /healthz                                    liveness
 //
 // Example:
 //
-//	serve -input catalogue.txt -threshold 0.5 &
+//	serve -input catalogue.txt -threshold 0.5 -data /var/lib/cps -save-on-shutdown &
 //	curl -s localhost:8321/query -d '{"set":[1,2,3],"all":true}'
 package main
 
@@ -30,55 +38,76 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	ssjoin "repro"
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 )
 
 func main() {
 	var (
-		input     = flag.String("input", "", "catalogue dataset file (required)")
+		input     = flag.String("input", "", "catalogue dataset file (required unless -data has a snapshot)")
 		addr      = flag.String("addr", ":8321", "listen address")
-		threshold = flag.Float64("threshold", 0.5, "Jaccard similarity threshold in (0,1)")
-		shards    = flag.Int("shards", 4, "number of primary shards")
-		hashPart  = flag.Bool("hash", false, "partition by id hash instead of contiguous ranges")
-		merge     = flag.Int("merge", 1024, "buffered appends before the side shard is sealed into the ring")
-		trees     = flag.Int("trees", 0, "index trees per shard (0 = default 10)")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for builds and batch queries")
+		threshold = flag.Float64("threshold", 0.5, "Jaccard similarity threshold in (0,1); ignored when restoring from -data")
+		shards    = flag.Int("shards", 4, "number of primary shards; ignored when restoring from -data")
+		hashPart  = flag.Bool("hash", false, "partition by id hash instead of contiguous ranges; ignored when restoring from -data")
+		merge     = flag.Int("merge", 1024, "buffered appends before the side shard is sealed into the ring; ignored when restoring from -data")
+		trees     = flag.Int("trees", 0, "index trees per shard (0 = default 10); ignored when restoring from -data")
+		seed      = flag.Uint64("seed", 42, "random seed; ignored when restoring from -data")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for builds, loads and batch queries")
+		dataDir   = flag.String("data", "", "snapshot directory: restore from it on start if it holds a manifest")
+		saveOnEnd = flag.Bool("save-on-shutdown", false, "snapshot the index into -data on graceful shutdown (requires -data)")
 	)
 	flag.Parse()
 
-	if *input == "" {
-		fmt.Fprintln(os.Stderr, "serve: -input is required")
+	if *saveOnEnd && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "serve: -save-on-shutdown requires -data")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *threshold <= 0 || *threshold >= 1 {
-		fatalf("threshold %v out of (0,1)", *threshold)
-	}
 
-	catalogue, err := ssjoin.LoadSets(*input)
-	if err != nil {
-		fatalf("loading %s: %v", *input, err)
-	}
-	opts := &shard.Options{
-		Shards:         *shards,
-		MergeThreshold: *merge,
-		Trees:          *trees,
-		Seed:           *seed,
-		Workers:        *workers,
-	}
-	if *hashPart {
-		opts.Partition = shard.PartitionHash
-	}
+	var ix *shard.Index
 	start := time.Now()
-	ix := shard.Build(catalogue, *threshold, opts)
-	st := ix.Stats()
-	fmt.Fprintf(os.Stderr, "serve: indexed %d sets in %d %s shards (%.2fs, %d nodes) — listening on %s\n",
-		st.Sets, st.Shards, st.Partition, time.Since(start).Seconds(), st.Nodes, *addr)
+	if *dataDir != "" && manifestExists(*dataDir) {
+		var err error
+		ix, err = shard.Load(*dataDir, *workers)
+		if err != nil {
+			fatalf("restoring %s: %v", *dataDir, err)
+		}
+		st := ix.Stats()
+		fmt.Fprintf(os.Stderr, "serve: restored %d sets in %d %s shards from %s (%.2fs) — listening on %s\n",
+			st.Sets, st.Shards, st.Partition, *dataDir, time.Since(start).Seconds(), *addr)
+	} else {
+		if *input == "" {
+			fmt.Fprintln(os.Stderr, "serve: -input is required (no snapshot in -data)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *threshold <= 0 || *threshold >= 1 {
+			fatalf("threshold %v out of (0,1)", *threshold)
+		}
+		catalogue, err := ssjoin.LoadSets(*input)
+		if err != nil {
+			fatalf("loading %s: %v", *input, err)
+		}
+		opts := &shard.Options{
+			Shards:         *shards,
+			MergeThreshold: *merge,
+			Trees:          *trees,
+			Seed:           *seed,
+			Workers:        *workers,
+		}
+		if *hashPart {
+			opts.Partition = shard.PartitionHash
+		}
+		ix = shard.Build(catalogue, *threshold, opts)
+		st := ix.Stats()
+		fmt.Fprintf(os.Stderr, "serve: indexed %d sets in %d %s shards (%.2fs, %d nodes) — listening on %s\n",
+			st.Sets, st.Shards, st.Partition, time.Since(start).Seconds(), st.Nodes, *addr)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: shard.NewServer(ix)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -98,7 +127,22 @@ func main() {
 	// Shutdown so in-flight requests finish draining before exit.
 	stop()
 	<-drained
+	if *saveOnEnd {
+		saveStart := time.Now()
+		if err := ix.Save(*dataDir); err != nil {
+			fatalf("saving %s: %v", *dataDir, err)
+		}
+		st := ix.Stats()
+		fmt.Fprintf(os.Stderr, "serve: saved %d sets in %d shards to %s (%.2fs)\n",
+			st.Sets, st.Shards, *dataDir, time.Since(saveStart).Seconds())
+	}
 	fmt.Fprintln(os.Stderr, "serve: shut down")
+}
+
+// manifestExists reports whether dir holds a snapshot to restore.
+func manifestExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, snapshot.ManifestFile))
+	return err == nil
 }
 
 func fatalf(format string, args ...any) {

@@ -42,6 +42,14 @@ func PaperScale() Scale {
 	return Scale{ProfileSets: 100_000, UniformSets: 100_000, TokensCap: 10_000, Seed: 2018}
 }
 
+// SmokeScale is the CI bench-smoke scale: the same workload structure as
+// DefaultScale, shrunk until the parallel and serving benchmarks finish
+// in seconds on a shared two-core runner, while timings stay far enough
+// from zero that the recorded trajectory is comparable across PRs.
+func SmokeScale() Scale {
+	return Scale{ProfileSets: 1200, UniformSets: 1200, TokensCap: 150, Seed: 2018}
+}
+
 // ProfileWorkloads generates the synthetic analogues of the ten real
 // datasets of Table I.
 func ProfileWorkloads(s Scale) []Workload {

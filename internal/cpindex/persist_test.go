@@ -1,0 +1,236 @@
+package cpindex
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/snapshot"
+)
+
+func persistWorkload(n int, seed uint64) [][]uint32 {
+	return datagen.Uniform(n, 20, 20000, seed).Sets
+}
+
+// matchesEqual compares QueryAll outputs exactly.
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEncodeDecodeRoundTrip pins the persistence contract: a decoded
+// index answers Query and QueryAll byte-identically to the index it was
+// encoded from, for every query.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sets := persistWorkload(700, 41)
+	ix := Build(sets, 0.5, &Options{Trees: 8, Seed: 9, Workers: 4})
+
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ix.Len() || back.Nodes != ix.Nodes || back.Leaves != ix.Leaves {
+		t.Fatalf("structure stats changed: %d/%d/%d -> %d/%d/%d",
+			ix.Len(), ix.Nodes, ix.Leaves, back.Len(), back.Nodes, back.Leaves)
+	}
+	// Workers is build-time parallelism, deliberately not persisted.
+	want := ix.Options()
+	want.Workers = 0
+	if back.Lambda() != ix.Lambda() || back.Options() != want {
+		t.Fatalf("lambda/options changed: %v %+v -> %v %+v",
+			ix.Lambda(), want, back.Lambda(), back.Options())
+	}
+	for qi := 0; qi < len(sets); qi += 3 {
+		q := sets[qi]
+		if !matchesEqual(ix.QueryAll(q), back.QueryAll(q)) {
+			t.Fatalf("query %d: QueryAll differs after round trip", qi)
+		}
+		id1, sim1, ok1 := ix.Query(q)
+		id2, sim2, ok2 := back.Query(q)
+		if id1 != id2 || sim1 != sim2 || ok1 != ok2 {
+			t.Fatalf("query %d: Query differs after round trip", qi)
+		}
+	}
+}
+
+// TestSnapshotDeterministic: encoding the same index twice yields the
+// same bytes (bucket maps are sorted before writing).
+func TestSnapshotDeterministic(t *testing.T) {
+	sets := persistWorkload(300, 43)
+	ix := Build(sets, 0.6, &Options{Trees: 4, Seed: 5})
+	var a, b bytes.Buffer
+	if err := ix.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same index differ")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	sets := persistWorkload(200, 47)
+	ix := Build(sets, 0.5, &Options{Trees: 4, Seed: 11})
+	path := filepath.Join(t.TempDir(), "ix.cps")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < len(sets); qi += 5 {
+		if !matchesEqual(ix.QueryAll(sets[qi]), back.QueryAll(sets[qi])) {
+			t.Fatalf("query %d differs after file round trip", qi)
+		}
+	}
+}
+
+// TestCorruptSnapshotRejected: truncation at any point, a flipped byte
+// anywhere, and a wrong format version must all return descriptive
+// errors — never panic, never a silently wrong index.
+func TestCorruptSnapshotRejected(t *testing.T) {
+	sets := persistWorkload(150, 53)
+	ix := Build(sets, 0.5, &Options{Trees: 3, Seed: 13})
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	decode := func(b []byte) error {
+		_, err := Decode(bytes.NewReader(b))
+		return err
+	}
+
+	for cut := 0; cut < len(raw); cut += 101 {
+		if err := decode(raw[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	for pos := 0; pos < len(raw); pos += 89 {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x20
+		if err := decode(bad); err == nil {
+			t.Errorf("flipped byte at %d accepted", pos)
+		}
+	}
+
+	// Wrong container version.
+	bad := append([]byte(nil), raw...)
+	bad[8] = 0xee
+	if err := decode(bad); !errors.Is(err, snapshot.ErrVersion) {
+		t.Errorf("wrong version: err = %v, want ErrVersion", err)
+	}
+
+	// Wrong kind (e.g. pointing Load at a prep index file).
+	var other bytes.Buffer
+	w, err := snapshot.NewWriter(&other, "prepidx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := decode(other.Bytes()); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("wrong kind: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// craftContainer builds a CRC-valid cpindex container from raw section
+// payloads — corruption the checksums cannot catch, which the decoder's
+// plausibility guards must.
+func craftContainer(t *testing.T, meta func(*snapshot.Buf), sets, trees []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := snapshot.NewWriter(&buf, SnapshotKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb snapshot.Buf
+	meta(&mb)
+	for _, s := range []struct {
+		name string
+		b    []byte
+	}{{"meta", mb.B}, {"sets", sets}, {"trees", trees}} {
+		if err := w.Section(s.name, s.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCraftedSnapshotsRejected pins the never-panic contract against
+// CRC-valid but adversarial payloads: size-sum overflow, allocation
+// bombs from tiny files, and stack-overflow-deep recursion all must
+// come back as errors.
+func TestCraftedSnapshotsRejected(t *testing.T) {
+	validMeta := func(b *snapshot.Buf) {
+		b.F64(0.5)
+		b.U32(4)  // T
+		b.U32(32) // LeafSize
+		b.U32(8)  // MaxDepth
+		b.U32(1)  // Trees
+		b.U64(7)  // Seed
+		b.U64(0)  // Nodes
+		b.U64(0)  // Leaves
+		b.U64(2)  // nsets
+	}
+
+	// Two set sizes of 2^63 wrap the size sum to 0: the overflow guard,
+	// not a slice-bounds panic, must reject it.
+	var overflow snapshot.Buf
+	overflow.Uvarint(1 << 63)
+	overflow.Uvarint(1 << 63)
+	raw := craftContainer(t, validMeta, overflow.B, nil)
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("size-sum overflow: err = %v, want ErrCorrupt", err)
+	}
+
+	// A set count far beyond the payload must fail before allocating.
+	bomb := func(b *snapshot.Buf) {
+		validMeta(b)
+		b.B = b.B[:len(b.B)-8]
+		b.U64(1 << 30) // nsets huge, sets payload empty
+	}
+	raw = craftContainer(t, bomb, nil, nil)
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("set-count bomb: err = %v, want ErrCorrupt", err)
+	}
+
+	// MaxDepth beyond any plausible build is rejected up front — it
+	// bounds the tree decoder's recursion depth.
+	deep := func(b *snapshot.Buf) {
+		b.F64(0.5)
+		b.U32(4)
+		b.U32(32)
+		b.U32(1 << 30) // MaxDepth absurd
+		b.U32(1)
+		b.U64(7)
+		b.U64(0)
+		b.U64(0)
+		b.U64(0)
+	}
+	raw = craftContainer(t, deep, nil, nil)
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("absurd MaxDepth: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,200 +1,170 @@
 package prep
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/snapshot"
 )
 
-// Binary index format: preprocessing a large collection costs a full
-// hashing pass per record, so production deployments persist the index
-// beside the data and reload it across joins (the paper's "preprocessing
-// only has to be performed once" measured in practice).
+// Persistence: preprocessing a large collection costs a full hashing
+// pass per record, so production deployments persist the index beside
+// the data and reload it across joins (the paper's "preprocessing only
+// has to be performed once" measured in practice).
 //
-// Layout (all little-endian):
+// The index serializes into the repository-wide snapshot container
+// (magic, format version, per-section CRC-32C — see internal/snapshot)
+// under kind "prepidx", with sections:
 //
-//	magic   [8]byte  "CPSIDX\x00\x01"
-//	seed    uint64
-//	n       uint64   number of sets
-//	t       uint32   signature length
-//	words   uint32   sketch width (0 = none)
-//	sizes   n × uint32
-//	tokens  sum(sizes) × uint32   concatenated set contents
-//	sigs    n*t × uint32
-//	sk      n*words × uint64
-//	crc     uint32   CRC-32C of everything above
+//	meta      seed, set count, signature length, sketch width
+//	sets      set sizes as varints, then all tokens (uint32, LE)
+//	sigs      the flattened n×T signature matrix
+//	sketches  the flattened n×Words sketch matrix (present iff Words > 0)
 //
-// The sets themselves are stored so a loaded index is self-contained: the
-// joins verify candidates against the exact token lists.
+// The sets themselves are stored so a loaded index is self-contained:
+// the joins verify candidates against the exact token lists.
 
-var magic = [8]byte{'C', 'P', 'S', 'I', 'D', 'X', 0, 1}
+// snapshotKind tags a prep index container.
+const snapshotKind = "prepidx"
 
-// ErrCorrupt is returned when the on-disk index fails validation.
+// ErrCorrupt is wrapped by every validation failure when loading an
+// on-disk index (including container-level corruption and version
+// mismatches, which also wrap snapshot.ErrCorrupt/ErrVersion).
 var ErrCorrupt = errors.New("prep: corrupt index file")
-
-type crcWriter struct {
-	w   io.Writer
-	crc uint32
-}
-
-func (c *crcWriter) Write(p []byte) (int, error) {
-	c.crc = crc32.Update(c.crc, crc32.MakeTable(crc32.Castagnoli), p)
-	return c.w.Write(p)
-}
-
-type crcReader struct {
-	r   io.Reader
-	crc uint32
-}
-
-func (c *crcReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.crc = crc32.Update(c.crc, crc32.MakeTable(crc32.Castagnoli), p[:n])
-	return n, err
-}
 
 // WriteTo serializes the index. It returns the number of bytes written.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	cw := &crcWriter{w: bw}
-	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
-
-	if _, err := cw.Write(magic[:]); err != nil {
+	sw, err := snapshot.NewWriter(w, snapshotKind)
+	if err != nil {
 		return 0, err
 	}
-	total := int64(0)
-	for _, set := range ix.Sets {
-		total += int64(len(set))
+	if err := ix.writeSections(sw); err != nil {
+		return sw.Count(), err
 	}
-	header := []any{
-		ix.Seed,
-		uint64(len(ix.Sets)),
-		uint32(ix.T),
-		uint32(ix.Words),
-	}
-	for _, h := range header {
-		if err := write(h); err != nil {
-			return 0, err
-		}
-	}
-	sizes := make([]uint32, len(ix.Sets))
-	for i, set := range ix.Sets {
-		sizes[i] = uint32(len(set))
-	}
-	if err := write(sizes); err != nil {
-		return 0, err
-	}
-	for _, set := range ix.Sets {
-		if err := write(set); err != nil {
-			return 0, err
-		}
-	}
-	if err := write(ix.Sigs); err != nil {
-		return 0, err
-	}
-	if ix.Words > 0 {
-		if err := write(ix.Sketches); err != nil {
-			return 0, err
-		}
-	}
-	crc := cw.crc
-	if err := binary.Write(bw, binary.LittleEndian, crc); err != nil {
-		return 0, err
-	}
-	if err := bw.Flush(); err != nil {
-		return 0, err
-	}
-	// 8 magic + 8 seed + 8 n + 4 t + 4 words + payload + 4 crc.
-	bytes := int64(8+8+8+4+4+4) + int64(4*len(sizes)) + 4*total +
-		int64(4*len(ix.Sigs)) + int64(8*len(ix.Sketches))
-	return bytes, nil
+	return sw.Count(), sw.Flush()
 }
 
-// ReadFrom deserializes an index written by WriteTo.
+// ReadFrom deserializes an index written by WriteTo. Corruption —
+// truncation, flipped bytes, wrong format version, implausible headers —
+// yields a descriptive error wrapping ErrCorrupt, never a panic.
 func ReadFrom(r io.Reader) (*Index, error) {
-	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20)}
-	read := func(v any) error { return binary.Read(cr, binary.LittleEndian, v) }
-
-	var m [8]byte
-	if _, err := io.ReadFull(cr, m[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	sr, err := snapshot.NewReader(r, snapshotKind)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
-	if m != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	var (
-		seed  uint64
-		n     uint64
-		t     uint32
-		words uint32
-	)
-	for _, v := range []any{&seed, &n, &t, &words} {
-		if err := read(v); err != nil {
-			return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
-		}
-	}
-	const maxSets = 1 << 31
-	if n > maxSets || t == 0 || t > 1<<20 || words > 1<<16 {
-		return nil, fmt.Errorf("%w: implausible header (n=%d t=%d words=%d)", ErrCorrupt, n, t, words)
-	}
-	sizes := make([]uint32, n)
-	if err := read(sizes); err != nil {
-		return nil, fmt.Errorf("%w: sizes: %v", ErrCorrupt, err)
-	}
-	ix := &Index{Seed: seed, T: int(t), Words: int(words)}
-	ix.Sets = make([][]uint32, n)
-	for i, size := range sizes {
-		if size > 1<<28 {
-			return nil, fmt.Errorf("%w: implausible set size %d", ErrCorrupt, size)
-		}
-		set := make([]uint32, size)
-		if err := read(set); err != nil {
-			return nil, fmt.Errorf("%w: set %d: %v", ErrCorrupt, i, err)
-		}
-		// Enforce the set invariant on load.
-		for j := 1; j < len(set); j++ {
-			if set[j] <= set[j-1] {
-				return nil, fmt.Errorf("%w: set %d not strictly increasing", ErrCorrupt, i)
-			}
-		}
-		ix.Sets[i] = set
-	}
-	ix.Sigs = make([]uint32, n*uint64(t))
-	if err := read(ix.Sigs); err != nil {
-		return nil, fmt.Errorf("%w: signatures: %v", ErrCorrupt, err)
-	}
-	if words > 0 {
-		ix.Sketches = make([]uint64, n*uint64(words))
-		if err := read(ix.Sketches); err != nil {
-			return nil, fmt.Errorf("%w: sketches: %v", ErrCorrupt, err)
-		}
-	}
-	gotCRC := cr.crc
-	var wantCRC uint32
-	if err := binary.Read(cr.r, binary.LittleEndian, &wantCRC); err != nil {
-		return nil, fmt.Errorf("%w: trailer: %v", ErrCorrupt, err)
-	}
-	if gotCRC != wantCRC {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	ix, err := decodeSections(sr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return ix, nil
 }
 
-// Save writes the index to a file.
-func (ix *Index) Save(path string) error {
-	f, err := os.Create(path)
+func decodeSections(sr *snapshot.Reader) (*Index, error) {
+	raw, err := sr.Section("meta")
 	if err != nil {
+		return nil, err
+	}
+	meta := snapshot.NewCursor("meta", raw)
+	seed := meta.U64()
+	n := meta.U64()
+	t := meta.U32()
+	words := meta.U32()
+	if err := meta.Done(); err != nil {
+		return nil, err
+	}
+	const maxSets = 1 << 31
+	if n > maxSets || t == 0 || t > 1<<20 || words > 1<<16 {
+		return nil, fmt.Errorf("implausible header (n=%d t=%d words=%d)", n, t, words)
+	}
+	ix := &Index{Seed: seed, T: int(t), Words: int(words)}
+
+	raw, err = sr.Section("sets")
+	if err != nil {
+		return nil, err
+	}
+	sc := snapshot.NewCursor("sets", raw)
+	ix.Sets = snapshot.DecodeSets(sc, n)
+	if err := sc.Done(); err != nil {
+		return nil, err
+	}
+
+	// The matrix sections are fixed-width, so their element counts are
+	// implied by the header; check the payload is exactly that long
+	// BEFORE allocating, so a corrupt header can never drive a huge
+	// allocation from a small file.
+	raw, err = sr.Section("sigs")
+	if err != nil {
+		return nil, err
+	}
+	if want := n * uint64(t) * 4; uint64(len(raw)) != want {
+		return nil, fmt.Errorf("section \"sigs\" has %d bytes, want %d", len(raw), want)
+	}
+	gc := snapshot.NewCursor("sigs", raw)
+	ix.Sigs = make([]uint32, n*uint64(t))
+	for i := range ix.Sigs {
+		ix.Sigs[i] = gc.U32()
+	}
+	if err := gc.Done(); err != nil {
+		return nil, err
+	}
+
+	if words > 0 {
+		raw, err = sr.Section("sketches")
+		if err != nil {
+			return nil, err
+		}
+		if want := n * uint64(words) * 8; uint64(len(raw)) != want {
+			return nil, fmt.Errorf("section \"sketches\" has %d bytes, want %d", len(raw), want)
+		}
+		kc := snapshot.NewCursor("sketches", raw)
+		ix.Sketches = make([]uint64, n*uint64(words))
+		for i := range ix.Sketches {
+			ix.Sketches[i] = kc.U64()
+		}
+		if err := kc.Done(); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Save writes the index to a file atomically (temp file + rename).
+func (ix *Index) Save(path string) error {
+	return snapshot.WriteFile(path, snapshotKind, ix.writeSections)
+}
+
+// writeSections mirrors WriteTo against an already-open container writer.
+func (ix *Index) writeSections(w *snapshot.Writer) error {
+	var meta snapshot.Buf
+	meta.U64(ix.Seed)
+	meta.U64(uint64(len(ix.Sets)))
+	meta.U32(uint32(ix.T))
+	meta.U32(uint32(ix.Words))
+	if err := w.Section("meta", meta.B); err != nil {
 		return err
 	}
-	if _, err := ix.WriteTo(f); err != nil {
-		f.Close()
+	var sets snapshot.Buf
+	snapshot.EncodeSets(&sets, ix.Sets)
+	if err := w.Section("sets", sets.B); err != nil {
 		return err
 	}
-	return f.Close()
+	var sigs snapshot.Buf
+	for _, s := range ix.Sigs {
+		sigs.U32(s)
+	}
+	if err := w.Section("sigs", sigs.B); err != nil {
+		return err
+	}
+	if ix.Words > 0 {
+		var sk snapshot.Buf
+		for _, s := range ix.Sketches {
+			sk.U64(s)
+		}
+		return w.Section("sketches", sk.B)
+	}
+	return nil
 }
 
 // Load reads an index from a file.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/datagen"
+	"repro/internal/snapshot"
 )
 
 func buildTestIndex(t *testing.T) *Index {
@@ -119,6 +120,36 @@ func TestBadMagic(t *testing.T) {
 	}
 }
 
+func TestWrongVersionRejected(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = 0x6e // container version field
+	_, err := ReadFrom(bytes.NewReader(raw))
+	if !errors.Is(err, ErrCorrupt) || !errors.Is(err, snapshot.ErrVersion) {
+		t.Fatalf("wrong version error = %v, want ErrCorrupt wrapping ErrVersion", err)
+	}
+}
+
+func TestWrongKindRejected(t *testing.T) {
+	// A cpindex/shard snapshot handed to prep.Load must be recognized by
+	// its kind tag, not half-decoded.
+	var buf bytes.Buffer
+	w, err := snapshot.NewWriter(&buf, "cpindex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong kind error = %v", err)
+	}
+}
+
 func TestTruncation(t *testing.T) {
 	ix := buildTestIndex(t)
 	var buf bytes.Buffer
@@ -133,15 +164,57 @@ func TestTruncation(t *testing.T) {
 	}
 }
 
-func TestImplausibleHeaderRejected(t *testing.T) {
-	// Craft a header claiming an absurd t.
+func TestMatrixSectionLengthChecked(t *testing.T) {
+	// A header claiming a large signature matrix over an empty sigs
+	// section must fail on the length check before allocating.
 	var buf bytes.Buffer
-	buf.Write(magic[:])
-	buf.Write(make([]byte, 8))                // seed
-	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0}) // n = 1
-	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // t huge
-	buf.Write([]byte{0, 0, 0, 0})             // words
-	if _, err := ReadFrom(&buf); !errors.Is(err, ErrCorrupt) {
+	w, err := snapshot.NewWriter(&buf, snapshotKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta snapshot.Buf
+	meta.U64(0)       // seed
+	meta.U64(1 << 25) // n
+	meta.U32(1 << 18) // t — n*t*4 would be 32 TiB
+	meta.U32(0)       // words
+	if err := w.Section("meta", meta.B); err != nil {
+		t.Fatal(err)
+	}
+	var sets snapshot.Buf
+	for i := 0; i < 1<<10; i++ { // some sizes, then truncation territory
+		sets.Uvarint(0)
+	}
+	if err := w.Section("sets", sets.B); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge matrix header accepted: %v", err)
+	}
+}
+
+func TestImplausibleHeaderRejected(t *testing.T) {
+	// Craft a meta section claiming an absurd t: the CRC is valid, so the
+	// plausibility check must catch it.
+	var buf bytes.Buffer
+	w, err := snapshot.NewWriter(&buf, snapshotKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta snapshot.Buf
+	meta.U64(0)          // seed
+	meta.U64(1)          // n = 1
+	meta.U32(0x7fffffff) // t huge
+	meta.U32(0)          // words
+	if err := w.Section("meta", meta.B); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("implausible header accepted: %v", err)
 	}
 }

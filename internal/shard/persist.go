@@ -1,0 +1,307 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cpindex"
+	"repro/internal/exec"
+	"repro/internal/snapshot"
+)
+
+// Persistence: a sharded index saves as one directory — a JSON manifest
+// (snapshot.Manifest: options, counters, side-shard contents, tombstones,
+// shard file list) plus one binary container per sealed shard. Shards are
+// independent immutable structures, so saves and loads fan out per shard
+// on the execution layer and a restart costs I/O instead of a rebuild.
+//
+// The manifest is written last: a directory with a manifest always names
+// only fully written shard files (each itself written temp-and-rename),
+// so a crash mid-save leaves the previous complete snapshot readable.
+
+// shardKind tags a per-shard container: cpindex sections plus the
+// local-to-global id map.
+const shardKind = "cpshard"
+
+// shardFileName names shard i of save generation gen. Generations make
+// overwriting saves atomic at the directory level: a new save never
+// renames over a file the current manifest references, so a crash at
+// any point leaves the previous manifest naming only intact files.
+func shardFileName(gen, i int) string {
+	return fmt.Sprintf("shard-g%06d-%04d.cps", gen, i)
+}
+
+// nextGeneration scans dir for existing shard files and returns one
+// generation past the highest found — derived from the file names, not
+// the manifest, so it works even when a previous save crashed or the
+// manifest is unreadable.
+func nextGeneration(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	maxGen := 0
+	for _, e := range entries {
+		var g, i int
+		if n, _ := fmt.Sscanf(e.Name(), "shard-g%d-%d.cps", &g, &i); n == 2 && g > maxGen {
+			maxGen = g
+		}
+	}
+	return maxGen + 1, nil
+}
+
+// Save writes the index to dir (created if needed), overwriting any
+// snapshot already there. It runs against one read-locked snapshot of
+// the index: sealed shards, every exactly-scanned buffer (in-flight
+// seals included — they reload as side-shard state), tombstones and
+// counters, so a concurrent Add or Delete lands entirely before or
+// entirely after the snapshot point. Shard files are written in parallel
+// on the execution layer.
+func (x *Index) Save(dir string) error {
+	// One save at a time per index: concurrent saves into the same
+	// directory would race on the generation number and prune each
+	// other's files. Queries and Add are not blocked — they synchronize
+	// on x.mu, which Save only holds for the in-memory snapshot below.
+	x.saveMu.Lock()
+	defer x.saveMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gen, err := nextGeneration(dir)
+	if err != nil {
+		return err
+	}
+
+	x.mu.RLock()
+	shards := append([]*subIndex(nil), x.shards...)
+	side := snapshot.SideState{}
+	for _, b := range x.sealing {
+		side.IDs = append(side.IDs, b.ids...)
+		side.Sets = append(side.Sets, b.sets...)
+	}
+	side.IDs = append(side.IDs, x.side.ids...)
+	side.Sets = append(side.Sets, x.side.sets...)
+	m := &snapshot.Manifest{
+		FormatVersion:  snapshot.Version,
+		Lambda:         x.lambda,
+		Partition:      x.opt.Partition.String(),
+		PrimaryShards:  x.opt.Shards,
+		MergeThreshold: x.opt.MergeThreshold,
+		Trees:          x.opt.Trees,
+		LeafSize:       x.opt.LeafSize,
+		T:              x.opt.T,
+		Seed:           x.opt.Seed,
+		NextSlot:       x.nextSlot,
+		Total:          x.total,
+		Appends:        x.appends,
+		Merges:         x.merges,
+		Deletes:        x.deletes,
+		Side:           side,
+		Tombstones:     sortedTombstones(x.tombs),
+	}
+	x.mu.RUnlock()
+
+	m.Shards = make([]snapshot.ShardEntry, len(shards))
+	errs := make([]error, len(shards))
+	exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(shards), func(i int) {
+		file := shardFileName(gen, i)
+		m.Shards[i] = snapshot.ShardEntry{
+			File: file,
+			Seed: shards[i].ix.Options().Seed,
+			Sets: shards[i].ix.Len(),
+		}
+		errs[i] = saveShard(filepath.Join(dir, file), shards[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if err := snapshot.WriteManifest(dir, m); err != nil {
+		return err
+	}
+	return pruneUnreferenced(dir, m)
+}
+
+func sortedTombstones(tombs map[int]struct{}) []int {
+	if len(tombs) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(tombs))
+	for id := range tombs {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: tombstone sets are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func saveShard(path string, sh *subIndex) error {
+	return snapshot.WriteFile(path, shardKind, func(w *snapshot.Writer) error {
+		if err := sh.ix.EncodeSections(w); err != nil {
+			return err
+		}
+		var ids snapshot.Buf
+		ids.Uvarint(uint64(len(sh.ids)))
+		for _, id := range sh.ids {
+			ids.Uvarint(uint64(id))
+		}
+		return w.Section("ids", ids.B)
+	})
+}
+
+// pruneUnreferenced deletes every shard file the freshly written
+// manifest does not name: earlier generations, shards of a larger
+// previous snapshot, and leftovers of crashed saves. It runs only after
+// the manifest landed, so nothing the directory's reader could need is
+// ever removed.
+func pruneUnreferenced(dir string, m *snapshot.Manifest) error {
+	keep := make(map[string]bool, len(m.Shards))
+	for _, e := range m.Shards {
+		keep[e.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "shard-") || !strings.HasSuffix(name, ".cps") || keep[name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reopens an index saved by Save. Shard files load as parallel
+// tasks on the execution layer with the given worker count (0 =
+// sequential, negative = GOMAXPROCS), which also becomes the loaded
+// index's Workers option for future seals and batch queries; everything
+// else — options, counters, side shard, tombstones — comes from the
+// manifest. A corrupt or truncated snapshot returns a descriptive error
+// wrapping snapshot.ErrCorrupt (or ErrVersion), never a panic.
+func Load(dir string, workers int) (*Index, error) {
+	m, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var part Partition
+	switch m.Partition {
+	case PartitionContiguous.String():
+		part = PartitionContiguous
+	case PartitionHash.String():
+		part = PartitionHash
+	default:
+		return nil, fmt.Errorf("%s: %w: unknown partition scheme %q",
+			dir, snapshot.ErrCorrupt, m.Partition)
+	}
+	// The side shard arrives pre-decoded from JSON, so it gets the same
+	// invariant checks the binary decoders enforce: non-empty (a seal
+	// must be able to MinHash-sign every buffered set) and strictly
+	// increasing (what Jaccard verification assumes).
+	if err := snapshot.ValidateSets(m.Side.Sets); err != nil {
+		return nil, fmt.Errorf("%s: side shard: %w", dir, err)
+	}
+
+	x := &Index{
+		lambda: m.Lambda,
+		opt: Options{
+			Shards:         m.PrimaryShards,
+			Partition:      part,
+			MergeThreshold: m.MergeThreshold,
+			Trees:          m.Trees,
+			LeafSize:       m.LeafSize,
+			T:              m.T,
+			Seed:           m.Seed,
+			Workers:        workers,
+		},
+		side:     &sideBuffer{sets: m.Side.Sets, ids: m.Side.IDs},
+		nextSlot: m.NextSlot,
+		total:    m.Total,
+		appends:  m.Appends,
+		merges:   m.Merges,
+		deletes:  m.Deletes,
+	}
+	if len(m.Tombstones) > 0 {
+		x.tombs = make(map[int]struct{}, len(m.Tombstones))
+		for _, id := range m.Tombstones {
+			x.tombs[id] = struct{}{}
+		}
+	}
+
+	x.shards = make([]*subIndex, len(m.Shards))
+	errs := make([]error, len(m.Shards))
+	exec.RunItems(exec.EffectiveWorkers(workers), len(m.Shards), func(i int) {
+		x.shards[i], errs[i] = loadShard(filepath.Join(dir, m.Shards[i].File), m.Shards[i], m.Total)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// live is derived, not stored: every physically present id minus the
+	// tombstones (which ReadManifest bounds-checked and loadShard keeps
+	// within [0, total), so the subtraction cannot go negative).
+	x.live = len(x.side.ids) - len(x.tombs)
+	for _, sh := range x.shards {
+		x.live += sh.ix.Len()
+	}
+	return x, nil
+}
+
+// loadShard reads one per-shard container and cross-checks it against
+// its manifest entry.
+func loadShard(path string, entry snapshot.ShardEntry, total int) (*subIndex, error) {
+	var sub *subIndex
+	err := snapshot.ReadFile(path, shardKind, func(r *snapshot.Reader) error {
+		ix, err := cpindex.DecodeSections(r)
+		if err != nil {
+			return err
+		}
+		raw, err := r.Section("ids")
+		if err != nil {
+			return err
+		}
+		c := snapshot.NewCursor("ids", raw)
+		n := c.Count(total)
+		ids := make([]int, n)
+		for i := range ids {
+			id := c.Uvarint()
+			if id >= uint64(total) {
+				c.Fail("global id %d out of [0,%d)", id, total)
+				break
+			}
+			ids[i] = int(id)
+		}
+		if err := c.Done(); err != nil {
+			return err
+		}
+		if len(ids) != ix.Len() {
+			return fmt.Errorf("%w: shard has %d ids for %d sets",
+				snapshot.ErrCorrupt, len(ids), ix.Len())
+		}
+		if ix.Len() != entry.Sets {
+			return fmt.Errorf("%w: shard holds %d sets, manifest says %d",
+				snapshot.ErrCorrupt, ix.Len(), entry.Sets)
+		}
+		if got := ix.Options().Seed; got != entry.Seed {
+			return fmt.Errorf("%w: shard built with seed %d, manifest says %d (files shuffled?)",
+				snapshot.ErrCorrupt, got, entry.Seed)
+		}
+		sub = &subIndex{ix: ix, ids: ids}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}

@@ -1,0 +1,530 @@
+package shard
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestSaveLoadRoundTrip pins the acceptance contract: for contiguous and
+// hashed partitioning, any shard count and any worker count,
+// Load(Save(idx)) returns byte-identical Query/QueryBatch results to the
+// original index — including appends still buffered in the side shard at
+// save time.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sets, _ := workload(900, 0.8, 301)
+	extra, _ := workload(70, 0.8, 303) // 150 sets: workload plants extra pairs
+	queries := append(append([][]uint32{}, sets[:150]...), extra...)
+
+	for _, part := range []Partition{PartitionContiguous, PartitionHash} {
+		for _, shards := range []int{1, 3, 5} {
+			x := Build(sets, 0.5, &Options{
+				Shards: shards, Partition: part, Seed: 7, MergeThreshold: 100, Workers: 4,
+			})
+			// First Add seals into a new shard; second stays buffered, so
+			// the save covers sealed appends AND live side-shard state.
+			x.Add(extra[:100])
+			x.Add(extra[100:])
+			if st := x.Stats(); st.Merges != 1 || st.Buffered != len(extra)-100 {
+				t.Fatalf("%v/%d: setup produced %+v", part, shards, st)
+			}
+
+			dir := t.TempDir()
+			if err := x.Save(dir); err != nil {
+				t.Fatalf("%v/%d: Save: %v", part, shards, err)
+			}
+			want := x.QueryBatch(queries)
+
+			for _, workers := range []int{0, 1, 4, 8} {
+				y, err := Load(dir, workers)
+				if err != nil {
+					t.Fatalf("%v/%d/w=%d: Load: %v", part, shards, workers, err)
+				}
+				if y.Len() != x.Len() {
+					t.Fatalf("%v/%d/w=%d: Len %d != %d", part, shards, workers, y.Len(), x.Len())
+				}
+				got := y.QueryBatch(queries)
+				for i := range got {
+					if !equalMatches(t, got[i], want[i]) {
+						t.Fatalf("%v/%d/w=%d: query %d differs after reload", part, shards, workers, i)
+					}
+				}
+				for _, q := range queries[:40] {
+					id1, sim1, ok1 := x.Query(q)
+					id2, sim2, ok2 := y.Query(q)
+					if id1 != id2 || sim1 != sim2 || ok1 != ok2 {
+						t.Fatalf("%v/%d/w=%d: Query differs after reload", part, shards, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSaveLoadStatsAndResume: counters survive a reload, and ids keep
+// growing from the high-water mark so appends after Load never collide.
+func TestSaveLoadStatsAndResume(t *testing.T) {
+	sets, _ := workload(300, 0.8, 305)
+	extra, _ := workload(120, 0.8, 307)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 9, MergeThreshold: 60, Workers: 2})
+	x.Add(extra) // crosses the threshold: one seal, 0 buffered
+
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := x.Stats(), y.Stats()
+	if ys.Sets != xs.Sets || ys.Shards != xs.Shards || ys.Appends != xs.Appends ||
+		ys.Merges != xs.Merges || ys.Buffered != xs.Buffered || ys.Partition != xs.Partition {
+		t.Fatalf("stats changed across reload:\n  saved  %+v\n  loaded %+v", xs, ys)
+	}
+
+	more, _ := workload(80, 0.8, 309)
+	gotIDs := y.Add(more)
+	wantFirst := len(sets) + len(extra)
+	if gotIDs[0] != wantFirst {
+		t.Fatalf("first id after reload = %d, want %d", gotIDs[0], wantFirst)
+	}
+	// The post-reload seal claimed a fresh slot: its seed must differ
+	// from every sealed shard's (slots are never reused).
+	y.Flush()
+	seeds := map[uint64]int{}
+	for i, sh := range y.shards {
+		s := sh.ix.Options().Seed
+		if prev, dup := seeds[s]; dup {
+			t.Fatalf("shards %d and %d share seed %d", prev, i, s)
+		}
+		seeds[s] = i
+	}
+}
+
+// TestDeleteTombstones covers the delete semantics end to end: deleted
+// ids — sealed or side-buffered — never appear in results, survive a
+// save/load cycle, and compact away when the side shard seals.
+func TestDeleteTombstones(t *testing.T) {
+	sets, _ := workload(400, 0.8, 311)
+	extra, _ := workload(30, 0.8, 313)
+	x := Build(sets, 0.5, &Options{Shards: 3, Seed: 11, MergeThreshold: 500, Workers: 2})
+	ids := x.Add(extra) // all buffered: threshold not reached
+	if st := x.Stats(); st.Buffered != len(extra) {
+		t.Fatalf("setup: %d buffered, want %d", st.Buffered, len(extra))
+	}
+
+	sealedVictim := 17   // lives in a primary shard
+	sideVictim := ids[5] // lives in the unsealed side shard
+	if !x.Delete(sealedVictim) || !x.Delete(sideVictim) {
+		t.Fatal("Delete of live ids returned false")
+	}
+	if x.Delete(sealedVictim) {
+		t.Error("double Delete returned true")
+	}
+	if x.Delete(-1) || x.Delete(1<<30) {
+		t.Error("Delete of unknown ids returned true")
+	}
+	if st := x.Stats(); st.Deletes != 2 || st.Tombstones != 2 || st.Sets != len(sets)+len(extra)-2 {
+		t.Fatalf("stats after delete: %+v", st)
+	}
+
+	checkGone := func(t *testing.T, x *Index, label string) {
+		t.Helper()
+		for _, victim := range []int{sealedVictim, sideVictim} {
+			var q []uint32
+			if victim < len(sets) {
+				q = sets[victim]
+			} else {
+				q = extra[victim-len(sets)]
+			}
+			if id, _, ok := x.Query(q); ok && id == victim {
+				t.Fatalf("%s: Query returned deleted id %d", label, victim)
+			}
+			for _, m := range x.QueryAll(q) {
+				if m.ID == victim {
+					t.Fatalf("%s: QueryAll returned deleted id %d", label, victim)
+				}
+			}
+			for _, ms := range x.QueryBatch([][]uint32{q}) {
+				for _, m := range ms {
+					if m.ID == victim {
+						t.Fatalf("%s: QueryBatch returned deleted id %d", label, victim)
+					}
+				}
+			}
+		}
+	}
+	checkGone(t, x, "in-memory")
+
+	// Tombstones persist through save/load.
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGone(t, y, "reloaded")
+	if st := y.Stats(); st.Tombstones != 2 || st.Sets != x.Stats().Sets {
+		t.Fatalf("reloaded stats: %+v", st)
+	}
+
+	// Sealing compacts the side-shard tombstone away; the sealed-shard
+	// tombstone stays until shard compaction exists.
+	y.Flush()
+	if st := y.Stats(); st.Tombstones != 1 || st.Deletes != 2 {
+		t.Fatalf("stats after compacting seal: %+v", st)
+	}
+	checkGone(t, y, "after seal")
+	// The sealed shard must not contain the compacted entry physically:
+	// total sealed sizes = all sets minus the one compacted side victim.
+	st := y.Stats()
+	sealed := 0
+	for _, n := range st.ShardSizes {
+		sealed += n
+	}
+	if want := len(sets) + len(extra) - 1; sealed != want {
+		t.Fatalf("sealed sizes sum to %d, want %d (victim not compacted)", sealed, want)
+	}
+}
+
+// TestDeleteEverythingInBuffer: a seal whose buffer compacts to nothing
+// must not build an empty shard or leak a seed slot.
+func TestDeleteEverythingInBuffer(t *testing.T) {
+	sets, _ := workload(200, 0.8, 315)
+	extra, _ := workload(10, 0.8, 317)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 13, MergeThreshold: 100})
+	ids := x.Add(extra)
+	if n := x.DeleteBatch(ids); n != len(ids) {
+		t.Fatalf("DeleteBatch deleted %d, want %d", n, len(ids))
+	}
+	before := x.Stats()
+	x.Flush()
+	after := x.Stats()
+	if after.Shards != before.Shards || after.Merges != before.Merges {
+		t.Fatalf("empty seal built a shard: %+v -> %+v", before, after)
+	}
+	if after.Tombstones != 0 || after.Buffered != 0 {
+		t.Fatalf("tombstones not fully compacted: %+v", after)
+	}
+	if after.Sets != len(sets) {
+		t.Fatalf("live count %d, want %d", after.Sets, len(sets))
+	}
+}
+
+// TestQueryFallbackPastTombstone: deleting the best match must not hide
+// other matches living in the same shard (Query rescans past a dead best).
+func TestQueryFallbackPastTombstone(t *testing.T) {
+	// Two identical sets in one shard: both match any self-query with
+	// sim 1.0; delete the lower id and the other must still be found.
+	base := []uint32{2, 4, 6, 8, 10, 12}
+	sets := [][]uint32{base, base, {100, 200, 300}}
+	x := Build(sets, 0.5, &Options{Shards: 1, Seed: 17})
+	if !x.Delete(0) {
+		t.Fatal("Delete(0) failed")
+	}
+	id, sim, ok := x.Query(base)
+	if !ok || id != 1 || sim != 1.0 {
+		t.Fatalf("Query after deleting best: id=%d sim=%v ok=%v, want id=1 sim=1", id, sim, ok)
+	}
+}
+
+// TestLoadCorruptionRejected: truncated shard files, flipped bytes and
+// wrong format versions all produce descriptive errors from Load — never
+// a panic, never a silently wrong index.
+func TestLoadCorruptionRejected(t *testing.T) {
+	sets, _ := workload(300, 0.8, 319)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 19, Workers: 2})
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	m0, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardPath := filepath.Join(dir, m0.Shards[0].File)
+	pristine, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(shardPath, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Baseline loads.
+	if _, err := Load(dir, 1); err != nil {
+		t.Fatalf("pristine snapshot failed to load: %v", err)
+	}
+
+	// Truncated shard file.
+	if err := os.WriteFile(shardPath, pristine[:len(pristine)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 1); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("truncated shard file: err = %v, want ErrCorrupt", err)
+	}
+	restore()
+
+	// Flipped byte (CRC mismatch) in the middle of the shard file.
+	bad := append([]byte(nil), pristine...)
+	bad[len(bad)/2] ^= 0x01
+	if err := os.WriteFile(shardPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 1); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("flipped byte: err = %v, want ErrCorrupt", err)
+	}
+	restore()
+
+	// Wrong container format version in the shard file.
+	bad = append([]byte(nil), pristine...)
+	bad[8] = 0x7f
+	if err := os.WriteFile(shardPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 1); !errors.Is(err, snapshot.ErrVersion) {
+		t.Errorf("wrong shard version: err = %v, want ErrVersion", err)
+	}
+	restore()
+
+	// Shard files swapped: the manifest seed cross-check catches it.
+	other, err := os.ReadFile(filepath.Join(dir, m0.Shards[1].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shardPath, other, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 1); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("swapped shard files: err = %v, want ErrCorrupt", err)
+	}
+	restore()
+
+	// Missing shard file.
+	if err := os.Remove(shardPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 1); err == nil {
+		t.Error("missing shard file: Load succeeded")
+	}
+	restore()
+
+	// Wrong manifest version.
+	m, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FormatVersion = 99
+	// WriteManifest validates nothing; ReadManifest must reject.
+	if err := snapshot.WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 1); !errors.Is(err, snapshot.ErrVersion) {
+		t.Errorf("wrong manifest version: err = %v, want ErrVersion", err)
+	}
+
+	// Missing manifest entirely.
+	if err := os.Remove(filepath.Join(dir, snapshot.ManifestFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 1); err == nil {
+		t.Error("missing manifest: Load succeeded")
+	}
+}
+
+// TestConcurrentSaveDeleteQuery races Save against Add, Delete and
+// queries: every snapshot taken must be internally consistent and
+// loadable (the race job's guard for the persistence path).
+func TestConcurrentSaveDeleteQuery(t *testing.T) {
+	sets, _ := workload(300, 0.8, 331)
+	extra, _ := workload(100, 0.8, 333)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 31, MergeThreshold: 40, Workers: 2})
+	dir := t.TempDir()
+
+	done := make(chan error, 3)
+	go func() {
+		for i := range extra {
+			x.Add(extra[i : i+1])
+			if i%7 == 0 {
+				x.Delete(i % len(sets))
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for pass := 0; pass < 6; pass++ {
+			if err := x.Save(dir); err != nil {
+				done <- err
+				return
+			}
+			if _, err := Load(dir, 2); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for pass := 0; pass < 4; pass++ {
+			x.QueryBatch(sets[:40])
+			for i := 0; i < len(sets); i += 11 {
+				x.QueryAll(sets[i])
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Final save/load reflects the settled state exactly.
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Len() != x.Len() {
+		t.Fatalf("final reload Len %d != %d", y.Len(), x.Len())
+	}
+	want := x.QueryBatch(sets[:60])
+	got := y.QueryBatch(sets[:60])
+	for i := range got {
+		if !equalMatches(t, got[i], want[i]) {
+			t.Fatalf("query %d differs after settled reload", i)
+		}
+	}
+}
+
+// TestCrashedSaveLeavesPreviousSnapshotReadable: a save that dies after
+// writing shard files but before the manifest must not disturb the
+// previous snapshot — generations keep new files out of the old
+// manifest's namespace, and the next successful save prunes the debris.
+func TestCrashedSaveLeavesPreviousSnapshotReadable(t *testing.T) {
+	sets, _ := workload(300, 0.8, 341)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 37, Workers: 2})
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := x.QueryBatch(sets[:50])
+
+	// Simulate the crash window of a DIFFERENT index's save: its shard
+	// files landed (next generation), the manifest write never happened.
+	other := Build(sets[:80], 0.5, &Options{Shards: 2, Seed: 99})
+	gen, err := nextGeneration(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range other.shards {
+		if err := saveShard(filepath.Join(dir, shardFileName(gen, i)), sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The previous snapshot still loads, bit-for-bit.
+	y, err := Load(dir, 2)
+	if err != nil {
+		t.Fatalf("snapshot unreadable after crashed save: %v", err)
+	}
+	got := y.QueryBatch(sets[:50])
+	for i := range got {
+		if !equalMatches(t, got[i], want[i]) {
+			t.Fatalf("query %d differs after crashed save", i)
+		}
+	}
+
+	// The next successful save prunes the debris.
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".cps" {
+			cps++
+		}
+	}
+	if cps != len(m.Shards) {
+		t.Fatalf("%d shard files on disk, manifest names %d (debris not pruned)", cps, len(m.Shards))
+	}
+}
+
+// TestSaveOverwriteShrinks: saving a smaller index over a larger snapshot
+// removes the stale extra shard files.
+func TestSaveOverwriteShrinks(t *testing.T) {
+	sets, _ := workload(400, 0.8, 321)
+	big := Build(sets, 0.5, &Options{Shards: 6, Seed: 23})
+	small := Build(sets[:100], 0.5, &Options{Shards: 2, Seed: 23})
+	dir := t.TempDir()
+	if err := big.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := small.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".cps" {
+			files++
+		}
+	}
+	if files != 2 {
+		t.Fatalf("%d shard files after shrinking save, want 2", files)
+	}
+	y, err := Load(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Len() != 100 {
+		t.Fatalf("loaded %d sets, want 100", y.Len())
+	}
+}
+
+// TestSaveLoadEmptyIndex: the degenerate cases survive the cycle.
+func TestSaveLoadEmptyIndex(t *testing.T) {
+	x := Build(nil, 0.5, &Options{Shards: 4, Seed: 29})
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Len() != 0 {
+		t.Fatalf("empty index loaded with %d sets", y.Len())
+	}
+	if _, _, ok := y.Query([]uint32{1, 2, 3}); ok {
+		t.Error("reloaded empty index found a match")
+	}
+	ids := y.Add([][]uint32{{1, 2, 3}})
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("Add after empty reload: ids %v", ids)
+	}
+	if id, _, ok := y.Query([]uint32{1, 2, 3}); !ok || id != 0 {
+		t.Fatal("appended set not found after empty reload")
+	}
+}

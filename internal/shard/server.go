@@ -17,6 +17,7 @@ import (
 //	POST /query        {"set":[...], "all":bool} -> best match or all matches
 //	POST /query_batch  {"sets":[[...],...]}      -> per-query match lists
 //	POST /add          {"sets":[[...],...]}      -> assigned global ids
+//	POST /delete       {"ids":[...]}             -> tombstone ids
 //	GET  /stats                                  -> index shape snapshot
 //	GET  /healthz                                -> 200 ok
 type Server struct {
@@ -35,6 +36,7 @@ func NewServer(ix *Index) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query_batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/add", s.handleAdd)
+	s.mux.HandleFunc("/delete", s.handleDelete)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -75,6 +77,18 @@ type addResponse struct {
 	Total    int   `json:"total"`
 	Buffered int   `json:"buffered"`
 	Shards   int   `json:"shards"`
+}
+
+type deleteRequest struct {
+	IDs []int `json:"ids"`
+}
+
+type deleteResponse struct {
+	// Deleted counts ids that were live (unknown and already-deleted ids
+	// are skipped, not errors — deletes are idempotent on the wire).
+	Deleted    int `json:"deleted"`
+	Live       int `json:"live"`
+	Tombstones int `json:"tombstones"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -127,6 +141,16 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	ids := s.ix.Add(req.Sets)
 	st := s.ix.Stats()
 	writeJSON(w, addResponse{IDs: ids, Total: st.Sets, Buffered: st.Buffered, Shards: st.Shards})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	deleted := s.ix.DeleteBatch(req.IDs)
+	st := s.ix.Stats()
+	writeJSON(w, deleteResponse{Deleted: deleted, Live: st.Sets, Tombstones: st.Tombstones})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -155,6 +155,35 @@ func TestServerAddAndStats(t *testing.T) {
 	}
 }
 
+func TestServerDelete(t *testing.T) {
+	ts, sets := newTestServer(t)
+
+	var dr deleteResponse
+	if resp := post(t, ts.URL+"/delete", deleteRequest{IDs: []int{7, 9}}, &dr); resp.StatusCode != 200 {
+		t.Fatalf("/delete status %d", resp.StatusCode)
+	}
+	if dr.Deleted != 2 || dr.Live != len(sets)-2 || dr.Tombstones != 2 {
+		t.Fatalf("delete response %+v", dr)
+	}
+
+	// The deleted set no longer matches; its near-neighbors still do.
+	var qr queryResponse
+	post(t, ts.URL+"/query", queryRequest{Set: sets[7], All: true}, &qr)
+	for _, m := range qr.Matches {
+		if m.ID == 7 || m.ID == 9 {
+			t.Fatalf("deleted id %d still served: %+v", m.ID, qr)
+		}
+	}
+
+	// Idempotent: deleting again (plus an unknown id) deletes nothing and
+	// is not an error.
+	dr = deleteResponse{}
+	post(t, ts.URL+"/delete", deleteRequest{IDs: []int{7, 1 << 30}}, &dr)
+	if dr.Deleted != 0 || dr.Live != len(sets)-2 {
+		t.Fatalf("repeat delete response %+v", dr)
+	}
+}
+
 func TestServerErrors(t *testing.T) {
 	ts, _ := newTestServer(t)
 

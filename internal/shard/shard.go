@@ -130,10 +130,11 @@ func ContiguousRanges(n, k int) [][2]int {
 
 // subIndex is one sealed shard: a built cpindex over a subset of the
 // collection, with the map from shard-local ids back to global ids.
+// (The per-shard set slices live inside the cpindex, which verifies
+// candidates against them during its own queries.)
 type subIndex struct {
-	ix   *cpindex.Index
-	sets [][]uint32
-	ids  []int // local id -> global id
+	ix  *cpindex.Index
+	ids []int // local id -> global id
 }
 
 // Index is a sharded Chosen Path search structure. It is safe for
@@ -142,6 +143,11 @@ type subIndex struct {
 type Index struct {
 	lambda float64
 	opt    Options
+
+	// saveMu serializes Save calls (generation numbering and pruning in
+	// the target directory); it is never held together with mu writes,
+	// so saving stalls neither queries nor appends.
+	saveMu sync.Mutex
 
 	mu     sync.RWMutex
 	shards []*subIndex
@@ -157,9 +163,21 @@ type Index struct {
 	// every seal claims the next slot at seal start, so seeds are stable
 	// for a given Build+Add sequence even with concurrent seals.
 	nextSlot int
-	total    int
-	appends  int
-	merges   int
+	// total is the id high-water mark: ids are assigned from it and never
+	// reused, even after deletes. live counts non-deleted sets.
+	total   int
+	live    int
+	appends int
+	merges  int
+	deletes int
+	// tombs is the shared tombstone set: global ids deleted but still
+	// physically present in a sealed shard or a buffer. It is copy-on-
+	// write — Delete publishes a new map, never mutates the old — so
+	// query snapshots read it without locks. Sealing compacts away the
+	// tombstones whose sets lived in the sealed buffer; tombstones in
+	// sealed shards persist until shard compaction (a future item). nil
+	// means no tombstones.
+	tombs map[int]struct{}
 }
 
 type sideBuffer struct {
@@ -185,6 +203,7 @@ func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 		side:     &sideBuffer{},
 		nextSlot: opt.Shards,
 		total:    len(sets),
+		live:     len(sets),
 	}
 
 	// Assign global ids to shards.
@@ -245,28 +264,30 @@ func buildShard(sets [][]uint32, ids []int, lambda float64, opt Options, seed ui
 			Seed:     seed,
 			Workers:  workers,
 		}),
-		sets: sub,
-		ids:  ids,
+		ids: ids,
 	}
 }
 
 // Lambda returns the similarity threshold the index was built for.
 func (x *Index) Lambda() float64 { return x.lambda }
 
-// Len returns the total number of indexed sets, including buffered appends.
+// Len returns the number of live indexed sets (buffered appends included,
+// deleted sets excluded).
 func (x *Index) Len() int {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	return x.total
+	return x.live
 }
 
-// snapshot returns the current sealed shards and exactly-scanned buffers
-// (in-flight seals plus the live side buffer) under the read lock. Sealed
-// shards and sealing buffers are immutable, and the side buffer's visible
-// prefix is capped with a full slice expression, so the snapshot stays
-// valid after the lock is released; entries appended after the snapshot
-// are simply not seen — the usual read-committed serving semantics.
-func (x *Index) snapshot() ([]*subIndex, []sideBuffer) {
+// snapshot returns the current sealed shards, exactly-scanned buffers
+// (in-flight seals plus the live side buffer) and the tombstone set under
+// the read lock. Sealed shards, sealing buffers and the tombstone map are
+// immutable (the latter by the copy-on-write discipline), and the side
+// buffer's visible prefix is capped with a full slice expression, so the
+// snapshot stays valid after the lock is released; entries appended after
+// the snapshot are simply not seen — the usual read-committed serving
+// semantics.
+func (x *Index) snapshot() ([]*subIndex, []sideBuffer, map[int]struct{}) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	buffers := make([]sideBuffer, 0, len(x.sealing)+1)
@@ -277,31 +298,49 @@ func (x *Index) snapshot() ([]*subIndex, []sideBuffer) {
 		sets: x.side.sets[:len(x.side.sets):len(x.side.sets)],
 		ids:  x.side.ids[:len(x.side.ids):len(x.side.ids)],
 	})
-	return x.shards, buffers
+	return x.shards, buffers, x.tombs
 }
 
 // Query returns the best match across all shards: the global id of an
 // indexed set with J(q, result) >= λ and its exact similarity, or
 // ok = false if no shard finds one. Ties on similarity break toward the
 // lower id, so the answer is independent of shard iteration details.
+// Tombstoned ids are never returned: if a shard's chosen match turns out
+// to be deleted, that shard is rescanned for its best live match, so a
+// delete hides exactly one set instead of masking its neighbors.
 func (x *Index) Query(q []uint32) (id int, sim float64, ok bool) {
 	if len(q) == 0 {
 		return -1, 0, false
 	}
-	shards, buffers := x.snapshot()
+	shards, buffers, tombs := x.snapshot()
 	best, bestSim := -1, 0.0
 	better := func(id int, sim float64) bool {
 		return sim > bestSim || (sim == bestSim && (best < 0 || id < best))
 	}
 	for _, sh := range shards {
-		if local, s, found := sh.ix.Query(q); found {
-			if g := sh.ids[local]; better(g, s) {
-				best, bestSim = g, s
+		local, s, found := sh.ix.Query(q)
+		if !found {
+			continue
+		}
+		g := sh.ids[local]
+		if _, dead := tombs[g]; dead {
+			for _, m := range sh.ix.QueryAll(q) {
+				g = sh.ids[m.ID]
+				if _, dead := tombs[g]; !dead && better(g, m.Sim) {
+					best, bestSim = g, m.Sim
+				}
 			}
+			continue
+		}
+		if better(g, s) {
+			best, bestSim = g, s
 		}
 	}
 	for _, side := range buffers {
 		for i, set := range side.sets {
+			if _, dead := tombs[side.ids[i]]; dead {
+				continue
+			}
 			if s := intset.Jaccard(q, set); s >= x.lambda && better(side.ids[i], s) {
 				best, bestSim = side.ids[i], s
 			}
@@ -312,22 +351,30 @@ func (x *Index) Query(q []uint32) (id int, sim float64, ok bool) {
 
 // QueryAll returns every match across all shards and the side buffer,
 // sorted by global id — shards are disjoint, so the merge is a plain
-// concatenation with no deduplication.
+// concatenation with no deduplication. Tombstoned ids are filtered here,
+// at merge time.
 func (x *Index) QueryAll(q []uint32) []cpindex.Match {
-	shards, buffers := x.snapshot()
-	return queryAll(shards, buffers, x.lambda, q)
+	shards, buffers, tombs := x.snapshot()
+	return queryAll(shards, buffers, tombs, x.lambda, q)
 }
 
-func queryAll(shards []*subIndex, buffers []sideBuffer, lambda float64, q []uint32) []cpindex.Match {
+func queryAll(shards []*subIndex, buffers []sideBuffer, tombs map[int]struct{}, lambda float64, q []uint32) []cpindex.Match {
 	var out []cpindex.Match
 	for _, sh := range shards {
 		for _, m := range sh.ix.QueryAll(q) {
-			out = append(out, cpindex.Match{ID: sh.ids[m.ID], Sim: m.Sim})
+			g := sh.ids[m.ID]
+			if _, dead := tombs[g]; dead {
+				continue
+			}
+			out = append(out, cpindex.Match{ID: g, Sim: m.Sim})
 		}
 	}
 	if len(q) > 0 {
 		for _, side := range buffers {
 			for i, set := range side.sets {
+				if _, dead := tombs[side.ids[i]]; dead {
+					continue
+				}
 				if sim := intset.Jaccard(q, set); sim >= lambda {
 					out = append(out, cpindex.Match{ID: side.ids[i], Sim: sim})
 				}
@@ -344,10 +391,10 @@ func queryAll(shards []*subIndex, buffers []sideBuffer, lambda float64, q []uint
 // QueryAll(qs[i]) against that snapshot. Output is deterministic for any
 // worker count (each query writes only its own slot).
 func (x *Index) QueryBatch(qs [][]uint32) [][]cpindex.Match {
-	shards, buffers := x.snapshot()
+	shards, buffers, tombs := x.snapshot()
 	out := make([][]cpindex.Match, len(qs))
 	exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(qs), func(i int) {
-		out[i] = queryAll(shards, buffers, x.lambda, qs[i])
+		out[i] = queryAll(shards, buffers, tombs, x.lambda, qs[i])
 	})
 	return out
 }
@@ -378,6 +425,7 @@ func (x *Index) Add(sets [][]uint32) []int {
 		x.side.sets = append(x.side.sets, s)
 		x.side.ids = append(x.side.ids, ids[i])
 	}
+	x.live += len(sets)
 	x.appends += len(sets)
 	var pending *sideBuffer
 	slot := 0
@@ -395,9 +443,46 @@ func (x *Index) Add(sets [][]uint32) []int {
 // next shard seed slot. Caller holds the write lock. The detached buffer
 // joins x.sealing, so queries keep scanning it exactly while the shard
 // build runs outside the lock.
+//
+// Sealing is also where tombstones are compacted: entries deleted while
+// buffered are dropped before the shard is built, and their tombstones
+// retire with them — a delete that never reaches a sealed shard costs
+// nothing forever after. (Deletes that land after this point still serve
+// correctly: the built shard contains the set, but query merges filter
+// it through the tombstone set.) If compaction empties the buffer, no
+// slot is claimed and no shard is built.
 func (x *Index) beginSealLocked() (*sideBuffer, int) {
 	b := x.side
 	x.side = &sideBuffer{}
+	if len(x.tombs) > 0 {
+		// Copy-on-write on both sides: in-flight queries may still hold
+		// the old buffer slices and the old tombstone map, so filter into
+		// fresh slices and publish a fresh map.
+		remaining := make(map[int]struct{}, len(x.tombs))
+		for id := range x.tombs {
+			remaining[id] = struct{}{}
+		}
+		kept := &sideBuffer{}
+		for i, id := range b.ids {
+			if _, dead := remaining[id]; dead {
+				delete(remaining, id)
+				continue
+			}
+			kept.sets = append(kept.sets, b.sets[i])
+			kept.ids = append(kept.ids, id)
+		}
+		if len(kept.ids) != len(b.ids) {
+			b = kept
+			if len(remaining) == 0 {
+				x.tombs = nil
+			} else {
+				x.tombs = remaining
+			}
+		}
+	}
+	if len(b.sets) == 0 {
+		return nil, 0
+	}
 	x.sealing = append(x.sealing, b)
 	slot := x.nextSlot
 	x.nextSlot++
@@ -416,7 +501,7 @@ func (x *Index) finishSeal(b *sideBuffer, slot int) {
 	})
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	x.shards = append(x.shards, &subIndex{ix: ix, sets: b.sets, ids: b.ids})
+	x.shards = append(x.shards, &subIndex{ix: ix, ids: b.ids})
 	for i, s := range x.sealing {
 		if s == b {
 			x.sealing = append(x.sealing[:i:i], x.sealing[i+1:]...)
@@ -424,6 +509,51 @@ func (x *Index) finishSeal(b *sideBuffer, slot int) {
 		}
 	}
 	x.merges++
+}
+
+// Delete removes the set with the given global id from query results. It
+// reports whether the id was live (false for out-of-range or already
+// deleted ids). The set is tombstoned, not unbuilt: sealed shards are
+// immutable, so query merges filter the id out, and the physical entry
+// is reclaimed when its side buffer seals (buffered entries) or when
+// shards are compacted (sealed entries, a future item).
+func (x *Index) Delete(id int) bool {
+	return x.DeleteBatch([]int{id}) == 1
+}
+
+// DeleteBatch deletes many ids at once with a single copy of the
+// tombstone set, returning how many were live. Unknown and already
+// deleted ids are skipped.
+func (x *Index) DeleteBatch(ids []int) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var next map[int]struct{}
+	deleted := 0
+	for _, id := range ids {
+		if id < 0 || id >= x.total {
+			continue
+		}
+		if _, dead := x.tombs[id]; dead {
+			continue
+		}
+		if next == nil {
+			next = make(map[int]struct{}, len(x.tombs)+len(ids))
+			for t := range x.tombs {
+				next[t] = struct{}{}
+			}
+		}
+		if _, dead := next[id]; dead {
+			continue
+		}
+		next[id] = struct{}{}
+		deleted++
+	}
+	if deleted > 0 {
+		x.tombs = next
+		x.deletes += deleted
+		x.live -= deleted
+	}
+	return deleted
 }
 
 // Flush seals the side buffer into the ring immediately, regardless of
@@ -443,17 +573,23 @@ func (x *Index) Flush() {
 
 // Stats describes the current shape of a sharded index.
 type Stats struct {
-	Lambda     float64 `json:"lambda"`
-	Sets       int     `json:"sets"`
-	Shards     int     `json:"shards"`
-	ShardSizes []int   `json:"shard_sizes"`
-	Buffered   int     `json:"buffered"`
-	Appends    int     `json:"appends"`
-	Merges     int     `json:"merges"`
-	Nodes      int     `json:"nodes"`
-	Leaves     int     `json:"leaves"`
-	Partition  string  `json:"partition"`
-	Workers    int     `json:"workers"`
+	Lambda float64 `json:"lambda"`
+	// Sets counts live sets (deleted sets excluded, buffered included).
+	Sets       int   `json:"sets"`
+	Shards     int   `json:"shards"`
+	ShardSizes []int `json:"shard_sizes"`
+	Buffered   int   `json:"buffered"`
+	Appends    int   `json:"appends"`
+	Merges     int   `json:"merges"`
+	// Deletes counts lifetime Delete calls that hit a live id;
+	// Tombstones counts the deleted ids still physically present (and
+	// thus filtered at query time) — seals compact buffered ones away.
+	Deletes    int    `json:"deletes"`
+	Tombstones int    `json:"tombstones"`
+	Nodes      int    `json:"nodes"`
+	Leaves     int    `json:"leaves"`
+	Partition  string `json:"partition"`
+	Workers    int    `json:"workers"`
 }
 
 // Stats returns a point-in-time snapshot of the index shape.
@@ -465,14 +601,16 @@ func (x *Index) Stats() Stats {
 		buffered += len(b.sets)
 	}
 	st := Stats{
-		Lambda:    x.lambda,
-		Sets:      x.total,
-		Shards:    len(x.shards),
-		Buffered:  buffered,
-		Appends:   x.appends,
-		Merges:    x.merges,
-		Partition: x.opt.Partition.String(),
-		Workers:   x.opt.Workers,
+		Lambda:     x.lambda,
+		Sets:       x.live,
+		Shards:     len(x.shards),
+		Buffered:   buffered,
+		Appends:    x.appends,
+		Merges:     x.merges,
+		Deletes:    x.deletes,
+		Tombstones: len(x.tombs),
+		Partition:  x.opt.Partition.String(),
+		Workers:    x.opt.Workers,
 	}
 	for _, sh := range x.shards {
 		st.ShardSizes = append(st.ShardSizes, sh.ix.Len())

@@ -1,0 +1,134 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestFile is the file name of a sharded-index directory manifest.
+const ManifestFile = "manifest.json"
+
+// Manifest is the JSON root of a persisted sharded index: everything
+// needed to reopen the directory — shard files and their seeds, the
+// partition scheme and build options for future seals, the unsealed
+// side-shard contents, tombstones, and the counters that make a restarted
+// service indistinguishable from one that never stopped. It is JSON (not
+// the binary container) on purpose: the manifest is the part an operator
+// inspects and tooling diffs, while the bulk per-shard structures stay
+// binary.
+type Manifest struct {
+	FormatVersion  int     `json:"format_version"`
+	Lambda         float64 `json:"lambda"`
+	Partition      string  `json:"partition"`
+	PrimaryShards  int     `json:"primary_shards"`
+	MergeThreshold int     `json:"merge_threshold"`
+	Trees          int     `json:"trees"`
+	LeafSize       int     `json:"leaf_size"`
+	T              int     `json:"t"`
+	Seed           uint64  `json:"seed"`
+	// NextSlot is the next unclaimed shard seed slot; it only grows, so
+	// seeds stay unique across save/load cycles and concurrent seals.
+	NextSlot int `json:"next_slot"`
+	// Total is the id high-water mark (ids are never reused, even after
+	// deletes); Appends/Merges/Deletes are the lifetime counters.
+	Total   int `json:"total"`
+	Appends int `json:"appends"`
+	Merges  int `json:"merges"`
+	Deletes int `json:"deletes"`
+	// Shards lists the sealed shard files in ring order.
+	Shards []ShardEntry `json:"shards"`
+	// Side is the unsealed side-shard state, stored inline: it is bounded
+	// by the merge threshold, so JSON keeps the whole directory readable
+	// with one binary format instead of two.
+	Side SideState `json:"side"`
+	// Tombstones are the deleted ids still physically present in some
+	// shard or in Side, sorted ascending. Query merges filter them; a
+	// seal compacts away the ones that lived in the sealed buffer.
+	Tombstones []int `json:"tombstones,omitempty"`
+}
+
+// ShardEntry describes one sealed shard file.
+type ShardEntry struct {
+	File string `json:"file"`
+	Seed uint64 `json:"seed"`
+	Sets int    `json:"sets"`
+}
+
+// SideState is the persisted unsealed side shard: parallel id/set lists.
+type SideState struct {
+	IDs  []int      `json:"ids,omitempty"`
+	Sets [][]uint32 `json:"sets,omitempty"`
+}
+
+// WriteManifest writes dir's manifest atomically (temp file + rename),
+// and last: Save orders it after the shard files so a directory with a
+// manifest always has every file the manifest names.
+func WriteManifest(dir string, m *Manifest) (err error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ManifestFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, ManifestFile))
+}
+
+// ReadManifest reads and validates dir's manifest. Version mismatches
+// wrap ErrVersion; structural problems wrap ErrCorrupt.
+func ReadManifest(dir string) (*Manifest, error) {
+	path := filepath.Join(dir, ManifestFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w: %v", path, ErrCorrupt, err)
+	}
+	if m.FormatVersion != Version {
+		return nil, fmt.Errorf("%s: %w: manifest has version %d, this build reads version %d",
+			path, ErrVersion, m.FormatVersion, Version)
+	}
+	if m.Lambda <= 0 || m.Lambda >= 1 {
+		return nil, fmt.Errorf("%s: %w: lambda %v out of (0,1)", path, ErrCorrupt, m.Lambda)
+	}
+	if len(m.Side.IDs) != len(m.Side.Sets) {
+		return nil, fmt.Errorf("%s: %w: side shard has %d ids for %d sets",
+			path, ErrCorrupt, len(m.Side.IDs), len(m.Side.Sets))
+	}
+	if m.Total < 0 || m.NextSlot < 0 {
+		return nil, fmt.Errorf("%s: %w: negative counters (total=%d next_slot=%d)",
+			path, ErrCorrupt, m.Total, m.NextSlot)
+	}
+	for _, id := range m.Tombstones {
+		if id < 0 || id >= m.Total {
+			return nil, fmt.Errorf("%s: %w: tombstone id %d out of [0,%d)", path, ErrCorrupt, id, m.Total)
+		}
+	}
+	for _, id := range m.Side.IDs {
+		if id < 0 || id >= m.Total {
+			return nil, fmt.Errorf("%s: %w: side shard id %d out of [0,%d)", path, ErrCorrupt, id, m.Total)
+		}
+	}
+	return &m, nil
+}

@@ -102,6 +102,27 @@ func (s *SearchIndex) QueryBatch(qs [][]uint32) [][]Match {
 	return out
 }
 
+// Save writes the built index (trees, hash seeds, options, and the
+// collection it points into) to path as one versioned, checksummed
+// snapshot file, atomically. A LoadSearchIndex of that file answers
+// queries identically to this index, for the cost of reading the bytes
+// instead of rebuilding.
+func (s *SearchIndex) Save(path string) error {
+	return s.ix.Save(path)
+}
+
+// LoadSearchIndex reopens an index written by Save. workers sets the
+// QueryBatch parallelism of the loaded index (0 = sequential, negative =
+// GOMAXPROCS); it does not affect results. Corrupt, truncated or
+// wrong-version files yield descriptive errors, never a panic.
+func LoadSearchIndex(path string, workers int) (*SearchIndex, error) {
+	ix, err := cpindex.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchIndex{ix: ix, workers: workers}, nil
+}
+
 // toMatches converts internal matches to the public type.
 func toMatches(ms []cpindex.Match) []Match {
 	if ms == nil {

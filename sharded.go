@@ -96,9 +96,48 @@ func (s *ShardedIndex) Flush() {
 	s.ix.Flush()
 }
 
-// Len returns the total number of indexed sets, including buffered appends.
+// Delete removes the set with the given global id from all query results,
+// reporting whether the id was live. Deletes are tombstones: sealed
+// shards are immutable, so the id is filtered out at query-merge time and
+// the physical entry is reclaimed when its side buffer seals. Safe to
+// call concurrently with queries and Add.
+func (s *ShardedIndex) Delete(id int) bool {
+	return s.ix.Delete(id)
+}
+
+// DeleteBatch deletes many ids at once, returning how many were live;
+// unknown and already-deleted ids are skipped.
+func (s *ShardedIndex) DeleteBatch(ids []int) int {
+	return s.ix.DeleteBatch(ids)
+}
+
+// Len returns the number of live indexed sets (buffered appends included,
+// deleted sets excluded).
 func (s *ShardedIndex) Len() int {
 	return s.ix.Len()
+}
+
+// Save writes the index to dir: one versioned, checksummed binary file
+// per sealed shard plus a JSON manifest (options, counters, buffered
+// appends, tombstones). Shard files are written in parallel on the
+// execution layer, and the manifest goes last, so an interrupted save
+// leaves the previous snapshot readable.
+func (s *ShardedIndex) Save(dir string) error {
+	return s.ix.Save(dir)
+}
+
+// LoadShardedIndex reopens an index saved by Save, loading shard files as
+// parallel tasks with the given worker count (which also becomes the
+// loaded index's Workers option). The loaded index answers Query,
+// QueryAll and QueryBatch identically to the one that was saved, and Add
+// continues assigning ids from where it left off. Corrupt, truncated or
+// wrong-version snapshots yield descriptive errors, never a panic.
+func LoadShardedIndex(dir string, workers int) (*ShardedIndex, error) {
+	ix, err := shard.Load(dir, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{ix: ix}, nil
 }
 
 // ShardStats describes the current shape of a ShardedIndex.
