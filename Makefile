@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race race-full vet fmt bench bench-smoke bench-go clean
+.PHONY: all build test race race-full vet fmt bench bench-smoke bench-go fuzz-smoke clean
 
 all: vet build test
 
@@ -49,6 +50,16 @@ bench-smoke:
 # bench-go runs the Go testing benchmarks for the same scaling curves.
 bench-go:
 	$(GO) test -run '^$$' -bench 'Parallel' -benchmem .
+
+# fuzz-smoke runs each native fuzz target briefly (FUZZTIME per target,
+# default 10s) against the decode surfaces: the snapshot container, the
+# directory manifest, and the cpindex codec. The corpus seeds are valid
+# snapshots; the contract is error-not-panic on any mutation. CI runs
+# this on every PR; crashers land in testdata/fuzz/ for replay.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzContainer$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/cpindex
 
 clean:
 	rm -f BENCH_parallel.json BENCH_serving.json

@@ -21,9 +21,14 @@
 //	theory    depth/space bounds                    (Lemma 4, Remark 9)
 //	parallel  join time vs -workers scaling         (Section VII; -format
 //	          json emits the BENCH_parallel.json schema used by `make bench`)
-//	serving   sharded-index batch-query throughput vs shards and workers
-//	          (-format json emits the BENCH_serving.json schema)
-//	all       everything above except parallel and serving
+//	serving   sharded-index batch-query throughput vs shards and workers,
+//	          plus the compaction churn workload (-format json emits the
+//	          BENCH_serving.json schema with both row arrays)
+//	compaction  add/delete churn, one Compact pass, post-compaction
+//	          queries: ring shrinkage, reclaimed tombstones, and the
+//	          equivalence/determinism flags (table view of the compaction
+//	          rows inside BENCH_serving.json)
+//	all       everything above except parallel, serving and compaction
 package main
 
 import (
@@ -75,8 +80,8 @@ func main() {
 	if *format != "table" && *format != "csv" && *format != "json" {
 		fatalf("unknown format %q (want table, csv or json)", *format)
 	}
-	if jsonOut && flag.Arg(0) != "parallel" && flag.Arg(0) != "serving" {
-		fatalf("-format json is only supported by the parallel and serving subcommands")
+	if jsonOut && flag.Arg(0) != "parallel" && flag.Arg(0) != "serving" && flag.Arg(0) != "compaction" {
+		fatalf("-format json is only supported by the parallel, serving and compaction subcommands")
 	}
 	banner := func(s string) {
 		if !csvOut && !jsonOut {
@@ -184,11 +189,23 @@ func main() {
 			banner("== Serving: sharded batch-query throughput vs shards and workers (λ=0.5) ==")
 			// UNIFORM005 only: one workload keeps the cell grid (shards ×
 			// workers) affordable on every `make bench`.
-			rows := bench.RunServingBench(bench.SyntheticWorkloads(scale)[:1], bench.DefaultShardCounts(), bench.DefaultWorkerCounts(), cfg, progress)
+			ws := bench.SyntheticWorkloads(scale)[:1]
+			rows := bench.RunServingBench(ws, bench.DefaultShardCounts(), bench.DefaultWorkerCounts(), cfg, progress)
+			comp := bench.RunCompactionBench(ws, []int{2, 4}, bench.DefaultWorkerCounts(), cfg, progress)
 			if jsonOut {
-				check(bench.WriteServingJSON(out, rows))
+				check(bench.WriteServingJSON(out, rows, comp))
 			} else {
 				bench.PrintServing(out, rows)
+				banner("== Compaction: churn, one pass, post-compaction queries (λ=0.5) ==")
+				bench.PrintCompaction(out, comp)
+			}
+		case "compaction":
+			banner("== Compaction: churn, one pass, post-compaction queries (λ=0.5) ==")
+			comp := bench.RunCompactionBench(bench.SyntheticWorkloads(scale)[:1], []int{2, 4}, bench.DefaultWorkerCounts(), cfg, progress)
+			if jsonOut {
+				check(bench.WriteServingJSON(out, nil, comp))
+			} else {
+				bench.PrintCompaction(out, comp)
 			}
 		default:
 			fatalf("unknown subcommand %q", name)

@@ -7,7 +7,7 @@
 //
 //	serve -input catalogue.txt -threshold 0.6 [-addr :8321] [-shards 4]
 //	      [-hash] [-merge 1024] [-trees 10] [-seed 42] [-workers N]
-//	      [-data DIR] [-save-on-shutdown]
+//	      [-data DIR] [-save-on-shutdown] [-auto-compact]
 //
 // Persistence: with -data, the service restores the index from DIR's
 // snapshot (manifest + per-shard files) when one exists — restart cost
@@ -21,8 +21,16 @@
 //	POST /query_batch  {"sets":[[1,2,3],[4,5,6]]}    many queries, one round trip
 //	POST /add          {"sets":[[7,8,9]]}            append sets (no rebuild)
 //	POST /delete       {"ids":[3,17]}                tombstone sets
+//	POST /compact      merge small shards, reclaim tombstones (non-blocking for queries)
 //	GET  /stats                                      index shape snapshot
 //	GET  /healthz                                    liveness
+//
+// Compaction: every seal appends a small shard and every delete against a
+// sealed shard leaves a tombstone, so a long-running service degrades
+// without maintenance. With -auto-compact the index merges small shards
+// and reclaims tombstones in the background after each seal; without it,
+// POST /compact runs one pass on demand. Either way queries keep being
+// served from the old ring until the rebuilt shard swaps in.
 //
 // Example:
 //
@@ -60,6 +68,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for builds, loads and batch queries")
 		dataDir   = flag.String("data", "", "snapshot directory: restore from it on start if it holds a manifest")
 		saveOnEnd = flag.Bool("save-on-shutdown", false, "snapshot the index into -data on graceful shutdown (requires -data)")
+		autoComp  = flag.Bool("auto-compact", false, "background-compact small and tombstone-heavy shards after each seal")
 	)
 	flag.Parse()
 
@@ -77,6 +86,7 @@ func main() {
 		if err != nil {
 			fatalf("restoring %s: %v", *dataDir, err)
 		}
+		ix.SetAutoCompact(*autoComp)
 		st := ix.Stats()
 		fmt.Fprintf(os.Stderr, "serve: restored %d sets in %d %s shards from %s (%.2fs) — listening on %s\n",
 			st.Sets, st.Shards, st.Partition, *dataDir, time.Since(start).Seconds(), *addr)
@@ -99,6 +109,7 @@ func main() {
 			Trees:          *trees,
 			Seed:           *seed,
 			Workers:        *workers,
+			AutoCompact:    *autoComp,
 		}
 		if *hashPart {
 			opts.Partition = shard.PartitionHash

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cpindex"
+	"repro/internal/shard"
+)
+
+// CompactionRow is one measurement of the compaction benchmark: an
+// add/delete churn workload sealed into many small shards, one Compact
+// pass, and a post-compaction batch query — the maintenance cycle a
+// long-running service lives through. Two flags guard the correctness
+// contracts every run: post-compaction results must equal pre-compaction
+// results (compaction changes no answers), and every worker count must
+// produce the first worker count's results (the repository-wide
+// determinism contract).
+type CompactionRow struct {
+	Dataset string  `json:"dataset"`
+	Lambda  float64 `json:"lambda"`
+	Shards  int     `json:"shards"`
+	Workers int     `json:"workers"`
+	// Appends/Deletes is the churn volume; ShardsBefore/ShardsAfter the
+	// ring size around the Compact pass; Reclaimed the tombstones whose
+	// entries the pass dropped.
+	Appends      int `json:"appends"`
+	Deletes      int `json:"deletes"`
+	ShardsBefore int `json:"shards_before"`
+	ShardsAfter  int `json:"shards_after"`
+	Reclaimed    int `json:"reclaimed"`
+	// CompactSeconds times the Compact pass; QPS is post-compaction
+	// batch-query throughput over Queries queries in Seconds.
+	CompactSeconds float64 `json:"compact_seconds"`
+	Queries        int     `json:"queries"`
+	Seconds        float64 `json:"seconds"`
+	QPS            float64 `json:"qps"`
+	// IdenticalAfterCompaction: post-compaction results == pre-compaction
+	// results. Identical: this cell's results == the first worker count's.
+	IdenticalAfterCompaction bool `json:"identical_after_compaction"`
+	Identical                bool `json:"identical_to_sequential"`
+}
+
+// RunCompactionBench measures the compaction maintenance cycle on each
+// workload: build over two thirds of the sets, churn the rest through
+// Add in seal-sized batches with every third appended id deleted, then
+// Compact and query everything back. The op sequence is identical per
+// (dataset, shards) cell across the worker ladder, so result equality is
+// meaningful.
+//
+// The cells run in exact mode (LeafSize above any shard size): rebuilt
+// shards use fresh seeds, so at production leaf sizes pre/post result
+// lists could differ by recall noise and the flags would be statistics;
+// in exact mode they are contracts, checked on every `make bench`.
+func RunCompactionBench(workloads []Workload, shardCounts, workerCounts []int, cfg Config, progress io.Writer) []CompactionRow {
+	const lambda = 0.5
+	var rows []CompactionRow
+	for _, w := range workloads {
+		base := w.Sets[:2*len(w.Sets)/3]
+		extra := w.Sets[2*len(w.Sets)/3:]
+		merge := maxInt(len(extra)/12, 8)
+		for _, shards := range shardCounts {
+			var first [][]cpindex.Match
+			for _, workers := range workerCounts {
+				opts := &shard.Options{
+					Shards:         shards,
+					MergeThreshold: merge,
+					Trees:          2,
+					LeafSize:       1 << 30,
+					Seed:           cfg.Seed,
+					Workers:        workers,
+				}
+				ix := shard.Build(base, lambda, opts)
+				deletes := 0
+				for i := 0; i < len(extra); i += merge {
+					end := i + merge
+					if end > len(extra) {
+						end = len(extra)
+					}
+					ids := ix.Add(extra[i:end])
+					for j := 0; j < len(ids); j += 3 {
+						ix.Delete(ids[j])
+						deletes++
+					}
+				}
+				before := ix.Stats()
+				pre := ix.QueryBatch(w.Sets)
+
+				var res shard.CompactResult
+				compactT := timed(1, func() { res = ix.Compact() })
+
+				var post [][]cpindex.Match
+				d := timed(cfg.Runs, func() { post = ix.QueryBatch(w.Sets) })
+
+				row := CompactionRow{
+					Dataset:                  w.Name,
+					Lambda:                   lambda,
+					Shards:                   shards,
+					Workers:                  workers,
+					Appends:                  len(extra),
+					Deletes:                  deletes,
+					ShardsBefore:             before.Shards,
+					ShardsAfter:              ix.Stats().Shards,
+					Reclaimed:                res.Reclaimed,
+					CompactSeconds:           compactT.Seconds(),
+					Queries:                  len(w.Sets),
+					Seconds:                  d.Seconds(),
+					QPS:                      float64(len(w.Sets)) / d.Seconds(),
+					IdenticalAfterCompaction: equalBatches(pre, post),
+				}
+				if workers == workerCounts[0] {
+					first = post
+				}
+				row.Identical = equalBatches(first, post)
+				rows = append(rows, row)
+				if progress != nil {
+					fmt.Fprintf(progress, "compaction %-12s shards=%-2d workers=%-2d ring %d->%d reclaimed=%-5d qps=%9.0f stable=%v deterministic=%v\n",
+						w.Name, shards, workers, row.ShardsBefore, row.ShardsAfter,
+						row.Reclaimed, row.QPS, row.IdenticalAfterCompaction, row.Identical)
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// PrintCompaction writes the compaction table for human consumption.
+func PrintCompaction(w io.Writer, rows []CompactionRow) {
+	fmt.Fprintf(w, "%-12s %7s %8s %6s %6s %10s %10s %12s %8s %10s\n",
+		"Dataset", "shards", "workers", "ring<", "ring>", "reclaimed", "compact_s", "qps", "stable", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %7d %8d %6d %6d %10d %10.3f %12.0f %8v %10v\n",
+			r.Dataset, r.Shards, r.Workers, r.ShardsBefore, r.ShardsAfter,
+			r.Reclaimed, r.CompactSeconds, r.QPS, r.IdenticalAfterCompaction, r.Identical)
+	}
+}

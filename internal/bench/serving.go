@@ -105,16 +105,18 @@ func equalBatches(a, b [][]cpindex.Match) bool {
 	return true
 }
 
-// WriteServingJSON emits the serving measurements as indented JSON — the
-// BENCH_serving.json artifact recorded by `make bench` alongside
-// BENCH_parallel.json.
-func WriteServingJSON(w io.Writer, rows []ServingRow) error {
+// WriteServingJSON emits the serving and compaction measurements as
+// indented JSON — the BENCH_serving.json artifact recorded by
+// `make bench` alongside BENCH_parallel.json. Both row arrays carry
+// identical_to_sequential flags; CI fails the bench job if any is false.
+func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		GOMAXPROCS int          `json:"gomaxprocs"`
-		Rows       []ServingRow `json:"rows"`
-	}{runtime.GOMAXPROCS(0), rows})
+		GOMAXPROCS int             `json:"gomaxprocs"`
+		Rows       []ServingRow    `json:"rows"`
+		Compaction []CompactionRow `json:"compaction,omitempty"`
+	}{runtime.GOMAXPROCS(0), rows, compaction})
 }
 
 // PrintServing writes the serving table for human consumption.

@@ -1,0 +1,47 @@
+package cpindex
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the full index codec with attacker-controlled bytes.
+// The decode contract: a corrupt, truncated or wrong-version snapshot
+// yields a descriptive error — never a panic, unbounded allocation or a
+// structurally invalid index. Anything that does decode must be usable:
+// the target runs queries against it, so a decoder that ever let an
+// out-of-range leaf id or position through would crash right here.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid snapshots of two differently shaped indexes, so
+	// mutation explores the format rather than rediscovering the magic.
+	for _, seed := range []uint64{1, 99} {
+		sets := [][]uint32{{1, 2, 3}, {2, 3, 4}, {5, 6}, {1, 9, 12, 40}}
+		ix := Build(sets, 0.5, &Options{Trees: 2, LeafSize: 2, Seed: seed})
+		var buf bytes.Buffer
+		if err := ix.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()*2/3]) // truncation
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A decoded index must answer queries without panicking and obey
+		// the result contract (verified sims above lambda).
+		for _, q := range [][]uint32{{1, 2, 3}, {5, 6}, {7}} {
+			if id, sim, ok := ix.Query(q); ok {
+				if id < 0 || id >= ix.Len() || sim < ix.Lambda() {
+					t.Fatalf("decoded index returned invalid match (%d, %v)", id, sim)
+				}
+			}
+			for _, m := range ix.QueryAll(q) {
+				if m.ID < 0 || m.ID >= ix.Len() || m.Sim < ix.Lambda() {
+					t.Fatalf("decoded index returned invalid match %+v", m)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/cpindex"
+)
+
+// Compaction: the background maintenance pass that keeps a long-running
+// index from degrading. Every seal appends a small shard to the ring and
+// every delete against a sealed shard leaves a tombstone filtered on each
+// query — left alone, fan-out and memory grow monotonically (the LSM
+// "many small sealed shards" hazard). Compact selects the eligible shards
+// — small ones, and any shard whose tombstone ratio crossed the threshold
+// — rebuilds them into one merged shard entirely outside the index lock
+// on the shared execution layer, then swaps it into the ring atomically
+// under a generation bump. Queries never block: in-flight queries finish
+// against their snapshot of the old ring, and a query that starts during
+// the rebuild simply sees the old shards.
+//
+// The rewrite preserves the indexed content exactly: global ids are kept
+// (the merged shard carries the same local→global map entries, re-sorted
+// by global id), live sets are copied verbatim, and only sets that were
+// already tombstoned — and therefore already invisible to every query —
+// are dropped. Their tombstones retire with them, and the ids join the
+// dropped set so a later Delete of the same id stays a no-op. In exact
+// mode (LeafSize at or above every shard size) query results are
+// therefore byte-identical before and after a pass — the model-based
+// harness in the root package pins this across partition schemes, shard
+// counts and worker counts. At approximate LeafSize the merged shard's
+// fresh seed draws different randomized tries, so individual results can
+// shift within recall noise, exactly as rebuilding any index would.
+
+// CompactResult reports what one Compact pass did.
+type CompactResult struct {
+	// Merged is the number of ring shards removed or rewritten; 0 means
+	// the policy found nothing eligible and the ring is unchanged.
+	Merged int `json:"merged"`
+	// Sets is the live set count of the merged shard (0 when every
+	// victim entry was tombstoned and no merged shard was built).
+	Sets int `json:"sets"`
+	// Reclaimed is the number of tombstoned entries physically dropped;
+	// their tombstones are retired permanently.
+	Reclaimed int `json:"reclaimed"`
+	// Generation is the ring generation after the swap.
+	Generation int `json:"generation"`
+}
+
+// Compact runs one compaction pass and reports what it did. Passes are
+// serialized per index; queries, appends and saves proceed concurrently
+// throughout (the rebuild holds no index lock — only the final swap takes
+// the write lock briefly). The side buffer is not touched: buffered
+// appends reach the ring through seals, which already reclaim their
+// deleted entries.
+func (x *Index) Compact() CompactResult {
+	x.compactMu.Lock()
+	defer x.compactMu.Unlock()
+
+	victims, tombs := x.selectVictims()
+	if len(victims) == 0 {
+		x.mu.RLock()
+		gen := x.generation
+		x.mu.RUnlock()
+		return CompactResult{Generation: gen}
+	}
+
+	// Gather the victims' live entries, re-sorted by global id so the
+	// merged shard's leaf order — and therefore Query's within-shard
+	// tie-break toward the lowest id — is independent of ring order.
+	ids, sets, dropped := collectLive(victims, tombs)
+
+	// Build the merged shard off-lock. It claims the next seed slot like
+	// a seal does, so its seed is unique for the index's lifetime and
+	// Save/Load cross-checks keep working. An all-tombstoned selection
+	// builds nothing: the victims simply leave the ring.
+	var merged *subIndex
+	if len(ids) > 0 {
+		x.mu.Lock()
+		slot := x.nextSlot
+		x.nextSlot++
+		x.mu.Unlock()
+		ix := cpindex.Build(sets, x.lambda, &cpindex.Options{
+			Trees:    x.opt.Trees,
+			LeafSize: x.opt.LeafSize,
+			T:        x.opt.T,
+			Seed:     SeedFor(x.opt.Seed, slot),
+			Workers:  x.opt.Workers,
+		})
+		merged = &subIndex{ix: ix, ids: ids}
+	}
+
+	// Swap. Between selection and here the ring can only have grown
+	// (seals append; removal happens only under compactMu, which we
+	// hold), so every victim is still present and pointer identity
+	// selects exactly them. The tombstones of dropped entries are still
+	// in x.tombs for the same reason — only this pass may retire them.
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	gone := make(map[*subIndex]struct{}, len(victims))
+	for _, v := range victims {
+		gone[v] = struct{}{}
+	}
+	ring := make([]*subIndex, 0, len(x.shards)-len(victims)+1)
+	for _, sh := range x.shards {
+		if _, dead := gone[sh]; !dead {
+			ring = append(ring, sh)
+		}
+	}
+	if merged != nil {
+		ring = append(ring, merged)
+	}
+	x.shards = ring
+	if len(dropped) > 0 {
+		// Copy-on-write like Delete: in-flight queries may hold the old
+		// map (they would filter the dropped ids anyway, but must never
+		// see a map mutate under them).
+		next := make(map[int]struct{}, len(x.tombs))
+		for id := range x.tombs {
+			next[id] = struct{}{}
+		}
+		for _, id := range dropped {
+			delete(next, id)
+		}
+		if len(next) == 0 {
+			x.tombs = nil
+		} else {
+			x.tombs = next
+		}
+		x.markDroppedLocked(dropped)
+	}
+	x.generation++
+	x.compactions++
+	x.compactedShards += len(victims)
+	return CompactResult{
+		Merged:     len(victims),
+		Sets:       len(ids),
+		Reclaimed:  len(dropped),
+		Generation: x.generation,
+	}
+}
+
+// selectVictims applies the compaction policy to a read snapshot of the
+// ring: every shard at or below CompactSmall is a merge candidate
+// (merged only when at least CompactMinShards of them exist, since fewer
+// cannot shrink the ring), and any shard whose tombstone ratio reaches
+// CompactTombstoneRatio is rewritten regardless of size. A single
+// candidate with nothing to reclaim is left alone — rewriting it would
+// churn bytes without improving anything.
+func (x *Index) selectVictims() ([]*subIndex, map[int]struct{}) {
+	x.mu.RLock()
+	shards := x.shards
+	tombs := x.tombs
+	x.mu.RUnlock()
+
+	// withDefaults (applied on both the Build and Load paths) guarantees
+	// the policy knobs are set.
+	small := x.opt.CompactSmall
+	minShards := x.opt.CompactMinShards
+	ratio := x.opt.CompactTombstoneRatio
+
+	var smalls, heavies []*subIndex
+	dead := 0
+	for _, sh := range shards {
+		n := sh.ix.Len()
+		shardDead := 0
+		// The id scan only pays when deletes exist; the common post-seal
+		// pass of a delete-free service stays O(shards).
+		if len(tombs) > 0 {
+			for _, id := range sh.ids {
+				if _, d := tombs[id]; d {
+					shardDead++
+				}
+			}
+		}
+		switch {
+		case n > 0 && float64(shardDead)/float64(n) >= ratio:
+			heavies = append(heavies, sh)
+			dead += shardDead
+		case n <= small:
+			smalls = append(smalls, sh)
+			dead += shardDead
+		}
+	}
+	victims := heavies
+	if len(smalls) >= minShards {
+		victims = append(victims, smalls...)
+	}
+	if len(victims) == 1 && dead == 0 {
+		return nil, tombs
+	}
+	return victims, tombs
+}
+
+// collectLive gathers the victims' non-tombstoned entries sorted by
+// global id, plus the ids of the tombstoned entries being dropped.
+func collectLive(victims []*subIndex, tombs map[int]struct{}) (ids []int, sets [][]uint32, dropped []int) {
+	total := 0
+	for _, v := range victims {
+		total += len(v.ids)
+	}
+	ids = make([]int, 0, total)
+	order := make([]int, 0, total) // index into flat below, sorted by id
+	flat := make([][]uint32, 0, total)
+	for _, v := range victims {
+		vsets := v.ix.Sets()
+		for i, id := range v.ids {
+			if _, d := tombs[id]; d {
+				dropped = append(dropped, id)
+				continue
+			}
+			ids = append(ids, id)
+			order = append(order, len(flat))
+			flat = append(flat, vsets[i])
+		}
+	}
+	sort.Sort(&byGlobalID{ids: ids, order: order})
+	sets = make([][]uint32, len(order))
+	for i, f := range order {
+		sets[i] = flat[f]
+	}
+	sort.Ints(dropped)
+	return ids, sets, dropped
+}
+
+// byGlobalID co-sorts the id list and the set-permutation by global id.
+type byGlobalID struct {
+	ids   []int
+	order []int
+}
+
+func (s *byGlobalID) Len() int           { return len(s.ids) }
+func (s *byGlobalID) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *byGlobalID) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.order[i], s.order[j] = s.order[j], s.order[i]
+}
+
+// compactAsync runs Compact in a background goroutine — the
+// seal-triggered auto-compaction path. At most one goroutine is in
+// flight; triggers that arrive while a pass is running are coalesced
+// into one follow-up pass rather than dropped, so a shard sealed during
+// a running pass is compacted even if append traffic then stops.
+func (x *Index) compactAsync() {
+	x.compactPending.Store(true)
+	if !x.autoCompacting.CompareAndSwap(false, true) {
+		return // the in-flight goroutine will observe compactPending
+	}
+	go func() {
+		for {
+			for x.compactPending.CompareAndSwap(true, false) {
+				x.Compact()
+			}
+			x.autoCompacting.Store(false)
+			// A trigger landing between the last CompareAndSwap and the
+			// Store above saw autoCompacting still true and returned; it
+			// must not be lost. Re-acquire and loop if one did — unless a
+			// newer trigger's own CompareAndSwap won, in which case its
+			// goroutine owns the pending flag now.
+			if !x.compactPending.Load() || !x.autoCompacting.CompareAndSwap(false, true) {
+				return
+			}
+		}
+	}()
+}

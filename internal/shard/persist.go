@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/cpindex"
@@ -84,22 +85,29 @@ func (x *Index) Save(dir string) error {
 	side.IDs = append(side.IDs, x.side.ids...)
 	side.Sets = append(side.Sets, x.side.sets...)
 	m := &snapshot.Manifest{
-		FormatVersion:  snapshot.Version,
-		Lambda:         x.lambda,
-		Partition:      x.opt.Partition.String(),
-		PrimaryShards:  x.opt.Shards,
-		MergeThreshold: x.opt.MergeThreshold,
-		Trees:          x.opt.Trees,
-		LeafSize:       x.opt.LeafSize,
-		T:              x.opt.T,
-		Seed:           x.opt.Seed,
-		NextSlot:       x.nextSlot,
-		Total:          x.total,
-		Appends:        x.appends,
-		Merges:         x.merges,
-		Deletes:        x.deletes,
-		Side:           side,
-		Tombstones:     sortedTombstones(x.tombs),
+		FormatVersion:         snapshot.Version,
+		Lambda:                x.lambda,
+		Partition:             x.opt.Partition.String(),
+		PrimaryShards:         x.opt.Shards,
+		MergeThreshold:        x.opt.MergeThreshold,
+		Trees:                 x.opt.Trees,
+		LeafSize:              x.opt.LeafSize,
+		T:                     x.opt.T,
+		Seed:                  x.opt.Seed,
+		NextSlot:              x.nextSlot,
+		Total:                 x.total,
+		Appends:               x.appends,
+		Merges:                x.merges,
+		Deletes:               x.deletes,
+		Compactions:           x.compactions,
+		CompactedShards:       x.compactedShards,
+		RingGeneration:        x.generation,
+		CompactSmall:          x.opt.CompactSmall,
+		CompactMinShards:      x.opt.CompactMinShards,
+		CompactTombstoneRatio: x.opt.CompactTombstoneRatio,
+		Side:                  side,
+		Tombstones:            sortedTombstones(x.tombs),
+		Dropped:               sortedTombstones(x.dropped),
 	}
 	x.mu.RUnlock()
 
@@ -125,19 +133,15 @@ func (x *Index) Save(dir string) error {
 	return pruneUnreferenced(dir, m)
 }
 
-func sortedTombstones(tombs map[int]struct{}) []int {
-	if len(tombs) == 0 {
+func sortedTombstones(ids map[int]struct{}) []int {
+	if len(ids) == 0 {
 		return nil
 	}
-	out := make([]int, 0, len(tombs))
-	for id := range tombs {
+	out := make([]int, 0, len(ids))
+	for id := range ids {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ { // insertion sort: tombstone sets are small
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out
 }
 
@@ -211,29 +215,61 @@ func Load(dir string, workers int) (*Index, error) {
 		return nil, fmt.Errorf("%s: side shard: %w", dir, err)
 	}
 
+	// The compaction-policy knobs come from the manifest so a loaded index
+	// compacts under the policy it was built with; withDefaults fills them
+	// exactly as Build would when they are absent (pre-compaction
+	// manifests store zeros).
+	opt := (&Options{
+		Shards:                m.PrimaryShards,
+		Partition:             part,
+		MergeThreshold:        m.MergeThreshold,
+		Trees:                 m.Trees,
+		LeafSize:              m.LeafSize,
+		T:                     m.T,
+		Seed:                  m.Seed,
+		Workers:               workers,
+		CompactSmall:          m.CompactSmall,
+		CompactMinShards:      m.CompactMinShards,
+		CompactTombstoneRatio: m.CompactTombstoneRatio,
+	}).withDefaults()
 	x := &Index{
-		lambda: m.Lambda,
-		opt: Options{
-			Shards:         m.PrimaryShards,
-			Partition:      part,
-			MergeThreshold: m.MergeThreshold,
-			Trees:          m.Trees,
-			LeafSize:       m.LeafSize,
-			T:              m.T,
-			Seed:           m.Seed,
-			Workers:        workers,
-		},
-		side:     &sideBuffer{sets: m.Side.Sets, ids: m.Side.IDs},
-		nextSlot: m.NextSlot,
-		total:    m.Total,
-		appends:  m.Appends,
-		merges:   m.Merges,
-		deletes:  m.Deletes,
+		lambda:          m.Lambda,
+		opt:             opt,
+		side:            &sideBuffer{sets: m.Side.Sets, ids: m.Side.IDs},
+		nextSlot:        m.NextSlot,
+		total:           m.Total,
+		appends:         m.Appends,
+		merges:          m.Merges,
+		deletes:         m.Deletes,
+		compactions:     m.Compactions,
+		compactedShards: m.CompactedShards,
+		generation:      m.RingGeneration,
 	}
 	if len(m.Tombstones) > 0 {
 		x.tombs = make(map[int]struct{}, len(m.Tombstones))
 		for _, id := range m.Tombstones {
 			x.tombs[id] = struct{}{}
+		}
+	}
+	if len(m.Dropped) > 0 {
+		x.dropped = make(map[int]struct{}, len(m.Dropped))
+		for _, id := range m.Dropped {
+			x.dropped[id] = struct{}{}
+		}
+		// A dropped id is physically absent: it must not double as a
+		// tombstone (that would wrongly debit the live count below) or
+		// still sit in the side shard.
+		for _, id := range m.Tombstones {
+			if _, gone := x.dropped[id]; gone {
+				return nil, fmt.Errorf("%s: %w: id %d both dropped and tombstoned",
+					dir, snapshot.ErrCorrupt, id)
+			}
+		}
+		for _, id := range m.Side.IDs {
+			if _, gone := x.dropped[id]; gone {
+				return nil, fmt.Errorf("%s: %w: dropped id %d still in side shard",
+					dir, snapshot.ErrCorrupt, id)
+			}
 		}
 	}
 
@@ -247,10 +283,38 @@ func Load(dir string, workers int) (*Index, error) {
 			return nil, err
 		}
 	}
+	// One pass over every physically present id checks the remaining
+	// cross-invariants: a dropped id must be absent from every shard (a
+	// manifest claiming otherwise would resurrect a reclaimed entry as
+	// live data that Delete, which skips dropped ids, could never remove),
+	// and every tombstone must be physically present somewhere (a ghost
+	// tombstone would debit the live count below for an id that does not
+	// exist).
+	present := 0
+	for _, id := range m.Side.IDs {
+		if _, dead := x.tombs[id]; dead {
+			present++
+		}
+	}
+	for _, sh := range x.shards {
+		for _, id := range sh.ids {
+			if _, gone := x.dropped[id]; gone {
+				return nil, fmt.Errorf("%s: %w: dropped id %d still present in a shard",
+					dir, snapshot.ErrCorrupt, id)
+			}
+			if _, dead := x.tombs[id]; dead {
+				present++
+			}
+		}
+	}
+	if present != len(x.tombs) {
+		return nil, fmt.Errorf("%s: %w: %d of %d tombstoned ids not present in any shard",
+			dir, snapshot.ErrCorrupt, len(x.tombs)-present, len(x.tombs))
+	}
 
 	// live is derived, not stored: every physically present id minus the
-	// tombstones (which ReadManifest bounds-checked and loadShard keeps
-	// within [0, total), so the subtraction cannot go negative).
+	// tombstones (all physically present, per the check above, so the
+	// subtraction cannot go negative).
 	x.live = len(x.side.ids) - len(x.tombs)
 	for _, sh := range x.shards {
 		x.live += sh.ix.Len()

@@ -340,6 +340,123 @@ func TestLoadCorruptionRejected(t *testing.T) {
 	}
 }
 
+// TestLoadPreservesCompactionPolicy: custom compaction knobs survive a
+// Save/Load round trip (a ratio above 1 is the documented way to disable
+// ratio-triggered rewrites — resetting it to the default on restart
+// would compact shards the operator excluded), while zeroed knobs in a
+// pre-compaction manifest still select the defaults.
+func TestLoadPreservesCompactionPolicy(t *testing.T) {
+	sets, _ := workload(40, 0.8, 341)
+	x := Build(sets, 0.5, &Options{
+		Shards: 2, Seed: 41, MergeThreshold: 10,
+		CompactSmall: 7, CompactMinShards: 3, CompactTombstoneRatio: 1.5,
+	})
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.opt.CompactSmall != 7 || y.opt.CompactMinShards != 3 || y.opt.CompactTombstoneRatio != 1.5 {
+		t.Errorf("loaded policy = {%d %d %v}, want {7 3 1.5}",
+			y.opt.CompactSmall, y.opt.CompactMinShards, y.opt.CompactTombstoneRatio)
+	}
+
+	// A manifest without the knobs (pre-compaction snapshot) defaults.
+	m, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CompactSmall, m.CompactMinShards, m.CompactTombstoneRatio = 0, 0, 0
+	if err := snapshot.WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	z, err := Load(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.opt.CompactSmall != 2*m.MergeThreshold || z.opt.CompactMinShards != 2 || z.opt.CompactTombstoneRatio != 0.3 {
+		t.Errorf("defaulted policy = {%d %d %v}, want {%d 2 0.3}",
+			z.opt.CompactSmall, z.opt.CompactMinShards, z.opt.CompactTombstoneRatio, 2*m.MergeThreshold)
+	}
+}
+
+// TestLoadDroppedInvariantsRejected: the manifest's Dropped list must be
+// disjoint from the tombstones, the side shard and every sealed shard's
+// ids — a manifest violating any of these would resurrect a reclaimed id
+// as live-but-undeletable data or debit the live count twice.
+func TestLoadDroppedInvariantsRejected(t *testing.T) {
+	sets, _ := workload(60, 0.8, 337)
+	extra, _ := workload(10, 0.8, 339)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 37, MergeThreshold: 100})
+	x.Add(extra) // stays buffered in the side shard
+	x.Delete(3)  // a genuine tombstone in a sealed shard
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	m0, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func(m *snapshot.Manifest)) {
+		m := *m0
+		mutate(&m)
+		if err := snapshot.WriteManifest(dir, &m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir, 1); !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// Id 0 lives in a sealed shard; claiming it was dropped is corruption.
+	corrupt("dropped id present in shard", func(m *snapshot.Manifest) {
+		m.Dropped = []int{0}
+	})
+	// Id 3 is tombstoned; dropped means its tombstone was retired.
+	corrupt("id both dropped and tombstoned", func(m *snapshot.Manifest) {
+		m.Dropped = []int{3}
+	})
+	// The first appended id sits in the side shard.
+	corrupt("dropped id still in side shard", func(m *snapshot.Manifest) {
+		m.Dropped = []int{len(sets)}
+	})
+	// A ghost tombstone: reclassifying a genuinely absent id (dropped in
+	// a real snapshot) as tombstoned would debit the live count for an id
+	// that exists nowhere.
+	y := Build(sets, 0.5, &Options{Shards: 2, Seed: 37, MergeThreshold: 10})
+	ids := y.Add(extra[:4]) // stays buffered (4 < MergeThreshold)
+	y.Delete(ids[0])
+	y.Flush() // seal reclaims the deleted buffered entry: ids[0] is dropped
+	ghostDir := t.TempDir()
+	if err := y.Save(ghostDir); err != nil {
+		t.Fatal(err)
+	}
+	gm, err := snapshot.ReadManifest(ghostDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gm.Dropped) != 1 {
+		t.Fatalf("expected one dropped id, manifest has %v", gm.Dropped)
+	}
+	gm.Tombstones, gm.Dropped = gm.Dropped, nil
+	if err := snapshot.WriteManifest(ghostDir, gm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(ghostDir, 1); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("ghost tombstone: err = %v, want ErrCorrupt", err)
+	}
+	// Pristine manifest still loads.
+	if err := snapshot.WriteManifest(dir, m0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 1); err != nil {
+		t.Errorf("pristine manifest failed to load: %v", err)
+	}
+}
+
 // TestConcurrentSaveDeleteQuery races Save against Add, Delete and
 // queries: every snapshot taken must be internally consistent and
 // loadable (the race job's guard for the persistence path).

@@ -18,6 +18,7 @@ import (
 //	POST /query_batch  {"sets":[[...],...]}      -> per-query match lists
 //	POST /add          {"sets":[[...],...]}      -> assigned global ids
 //	POST /delete       {"ids":[...]}             -> tombstone ids
+//	POST /compact      (no body)                 -> run one compaction pass
 //	GET  /stats                                  -> index shape snapshot
 //	GET  /healthz                                -> 200 ok
 type Server struct {
@@ -37,6 +38,7 @@ func NewServer(ix *Index) *Server {
 	s.mux.HandleFunc("/query_batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/add", s.handleAdd)
 	s.mux.HandleFunc("/delete", s.handleDelete)
+	s.mux.HandleFunc("/compact", s.handleCompact)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -151,6 +153,27 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	deleted := s.ix.DeleteBatch(req.IDs)
 	st := s.ix.Stats()
 	writeJSON(w, deleteResponse{Deleted: deleted, Live: st.Sets, Tombstones: st.Tombstones})
+}
+
+type compactResponse struct {
+	CompactResult
+	// Shards and Tombstones describe the ring after the pass.
+	Shards     int `json:"shards"`
+	Tombstones int `json:"tombstones"`
+}
+
+// handleCompact runs one synchronous compaction pass; the response says
+// what it did (merged=0 means nothing was eligible). Queries and appends
+// are served throughout — the pass only swaps the ring at the end — so
+// calling this on a live service is safe; concurrent calls serialize.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	res := s.ix.Compact()
+	st := s.ix.Stats()
+	writeJSON(w, compactResponse{CompactResult: res, Shards: st.Shards, Tombstones: st.Tombstones})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

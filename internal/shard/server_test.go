@@ -184,6 +184,101 @@ func TestServerDelete(t *testing.T) {
 	}
 }
 
+// TestServerCompact drives the maintenance endpoint end to end: churn
+// the service with appends and deletes over the wire, compact, and check
+// the ring shrank while answers are preserved.
+func TestServerCompact(t *testing.T) {
+	sets, _ := workload(300, 0.8, 311)
+	extra, _ := workload(160, 0.8, 313)
+	ix := Build(sets, 0.5, &Options{
+		Shards: 2, Seed: 43, MergeThreshold: 40, Workers: 2,
+		Trees: 2, LeafSize: 1 << 20, // exact mode: answers comparable bit-for-bit
+	})
+	ts := httptest.NewServer(NewServer(ix))
+	t.Cleanup(ts.Close)
+
+	// Append in merge-threshold-sized chunks so several small sealed
+	// shards accumulate — the shape compaction exists to clean up.
+	var del []int
+	for i := 0; i < len(extra); i += 40 {
+		end := i + 40
+		if end > len(extra) {
+			end = len(extra)
+		}
+		var ar addResponse
+		post(t, ts.URL+"/add", batchRequest{Sets: extra[i:end]}, &ar)
+		for j, id := range ar.IDs {
+			if j%3 == 0 {
+				del = append(del, id)
+			}
+		}
+	}
+	var dr deleteResponse
+	post(t, ts.URL+"/delete", deleteRequest{IDs: del}, &dr)
+	if dr.Deleted != len(del) {
+		t.Fatalf("delete response %+v, want %d deleted", dr, len(del))
+	}
+
+	var before batchResponse
+	post(t, ts.URL+"/query_batch", batchRequest{Sets: extra}, &before)
+	var preStats Stats
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&preStats)
+	resp.Body.Close()
+
+	// GET must be rejected — compaction is a state change.
+	resp, err = http.Get(ts.URL + "/compact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /compact status %d, want 405", resp.StatusCode)
+	}
+
+	var cr compactResponse
+	post(t, ts.URL+"/compact", struct{}{}, &cr)
+	if cr.Merged == 0 || cr.Reclaimed != len(del) {
+		t.Fatalf("compact response %+v, want merged shards and %d reclaimed", cr, len(del))
+	}
+	if cr.Shards >= preStats.Shards {
+		t.Fatalf("ring did not shrink over the wire: %d -> %d", preStats.Shards, cr.Shards)
+	}
+	if cr.Tombstones != 0 {
+		t.Fatalf("tombstones survived compaction: %+v", cr)
+	}
+
+	var after batchResponse
+	post(t, ts.URL+"/query_batch", batchRequest{Sets: extra}, &after)
+	if len(after.Results) != len(before.Results) {
+		t.Fatalf("result count changed: %d -> %d", len(before.Results), len(after.Results))
+	}
+	for i := range after.Results {
+		if len(after.Results[i]) != len(before.Results[i]) {
+			t.Fatalf("query %d: match count changed across /compact", i)
+		}
+		for j := range after.Results[i] {
+			if after.Results[i][j] != before.Results[i][j] {
+				t.Fatalf("query %d match %d changed across /compact", i, j)
+			}
+		}
+	}
+
+	var st Stats
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Compactions != 1 || st.Generation != cr.Generation {
+		t.Fatalf("stats after compaction: %+v vs %+v", st, cr)
+	}
+}
+
 func TestServerErrors(t *testing.T) {
 	ts, _ := newTestServer(t)
 

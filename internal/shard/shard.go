@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpindex"
 	"repro/internal/exec"
@@ -82,6 +83,24 @@ type Options struct {
 	// execution layer: 0 runs sequentially, negative selects GOMAXPROCS.
 	// Results are identical for any worker count.
 	Workers int
+
+	// AutoCompact runs Compact in a background goroutine after every seal,
+	// so a long-running service reclaims small shards and tombstones
+	// without operator intervention. Queries are never blocked either way;
+	// see Compact for the policy knobs below.
+	AutoCompact bool
+	// CompactSmall is the shard size at or below which a ring shard is a
+	// merge candidate (default 2*MergeThreshold — sealed side shards
+	// qualify, full-size primaries do not).
+	CompactSmall int
+	// CompactMinShards is the number of small shards required before a
+	// size-triggered merge runs (default 2: merging fewer cannot shrink
+	// the ring).
+	CompactMinShards int
+	// CompactTombstoneRatio is the dead fraction at which a shard of any
+	// size is rewritten to reclaim its tombstones (default 0.3; values
+	// above 1 disable ratio-triggered rewrites).
+	CompactTombstoneRatio float64
 }
 
 func (o *Options) withDefaults() Options {
@@ -94,6 +113,15 @@ func (o *Options) withDefaults() Options {
 	}
 	if opt.MergeThreshold <= 0 {
 		opt.MergeThreshold = 1024
+	}
+	if opt.CompactSmall <= 0 {
+		opt.CompactSmall = 2 * opt.MergeThreshold
+	}
+	if opt.CompactMinShards <= 0 {
+		opt.CompactMinShards = 2
+	}
+	if opt.CompactTombstoneRatio <= 0 {
+		opt.CompactTombstoneRatio = 0.3
 	}
 	return opt
 }
@@ -149,6 +177,17 @@ type Index struct {
 	// so saving stalls neither queries nor appends.
 	saveMu sync.Mutex
 
+	// compactMu serializes compactions: one merged-shard rebuild at a time
+	// per index. It is held across the off-lock build, never together with
+	// a held mu, so compacting stalls neither queries nor appends.
+	compactMu sync.Mutex
+	// autoCompacting gates the seal-triggered background compaction
+	// goroutine (at most one in flight); compactPending coalesces
+	// triggers that arrive while a pass is running into one follow-up
+	// pass. See compactAsync.
+	autoCompacting atomic.Bool
+	compactPending atomic.Bool
+
 	mu     sync.RWMutex
 	shards []*subIndex
 	// side buffers appended sets (with their global ids) until sealing;
@@ -175,9 +214,25 @@ type Index struct {
 	// write — Delete publishes a new map, never mutates the old — so
 	// query snapshots read it without locks. Sealing compacts away the
 	// tombstones whose sets lived in the sealed buffer; tombstones in
-	// sealed shards persist until shard compaction (a future item). nil
-	// means no tombstones.
+	// sealed shards persist until Compact rewrites the shard. nil means
+	// no tombstones.
 	tombs map[int]struct{}
+	// dropped records ids whose physical entries have been reclaimed — by
+	// a seal that compacted a deleted buffered entry, or by Compact
+	// dropping a tombstoned set from a rewritten shard. Their tombstones
+	// are retired, so Delete must consult this set to stay idempotent: a
+	// reclaimed id is gone, not live, and re-deleting it must not touch
+	// the live count. Mutated only under the write lock (queries never
+	// read it: dropped ids appear in no shard or buffer).
+	dropped map[int]struct{}
+	// generation counts ring changes (seals and compaction swaps). A
+	// bumped generation tells observers the shard set they snapshotted has
+	// been superseded; in-flight queries finish against their snapshot.
+	generation int
+	// compactions / compactedShards count completed Compact passes and the
+	// shards they removed or rewrote.
+	compactions     int
+	compactedShards int
 }
 
 type sideBuffer struct {
@@ -432,9 +487,13 @@ func (x *Index) Add(sets [][]uint32) []int {
 	if len(x.side.sets) >= x.opt.MergeThreshold {
 		pending, slot = x.beginSealLocked()
 	}
+	auto := x.opt.AutoCompact
 	x.mu.Unlock()
 	if pending != nil {
 		x.finishSeal(pending, slot)
+		if auto {
+			x.compactAsync()
+		}
 	}
 	return ids
 }
@@ -463,21 +522,24 @@ func (x *Index) beginSealLocked() (*sideBuffer, int) {
 			remaining[id] = struct{}{}
 		}
 		kept := &sideBuffer{}
+		var reclaimed []int
 		for i, id := range b.ids {
 			if _, dead := remaining[id]; dead {
 				delete(remaining, id)
+				reclaimed = append(reclaimed, id)
 				continue
 			}
 			kept.sets = append(kept.sets, b.sets[i])
 			kept.ids = append(kept.ids, id)
 		}
-		if len(kept.ids) != len(b.ids) {
+		if len(reclaimed) > 0 {
 			b = kept
 			if len(remaining) == 0 {
 				x.tombs = nil
 			} else {
 				x.tombs = remaining
 			}
+			x.markDroppedLocked(reclaimed)
 		}
 	}
 	if len(b.sets) == 0 {
@@ -509,6 +571,19 @@ func (x *Index) finishSeal(b *sideBuffer, slot int) {
 		}
 	}
 	x.merges++
+	x.generation++
+}
+
+// markDroppedLocked records ids whose physical entries have just been
+// reclaimed, so later deletes of the same ids stay no-ops. Caller holds
+// the write lock.
+func (x *Index) markDroppedLocked(ids []int) {
+	if x.dropped == nil {
+		x.dropped = make(map[int]struct{}, len(ids))
+	}
+	for _, id := range ids {
+		x.dropped[id] = struct{}{}
+	}
 }
 
 // Delete removes the set with the given global id from query results. It
@@ -516,14 +591,16 @@ func (x *Index) finishSeal(b *sideBuffer, slot int) {
 // deleted ids). The set is tombstoned, not unbuilt: sealed shards are
 // immutable, so query merges filter the id out, and the physical entry
 // is reclaimed when its side buffer seals (buffered entries) or when
-// shards are compacted (sealed entries, a future item).
+// Compact rewrites its shard (sealed entries).
 func (x *Index) Delete(id int) bool {
 	return x.DeleteBatch([]int{id}) == 1
 }
 
 // DeleteBatch deletes many ids at once with a single copy of the
 // tombstone set, returning how many were live. Unknown and already
-// deleted ids are skipped.
+// deleted ids are skipped — including ids whose physical entries were
+// already reclaimed by a seal or a compaction, which would otherwise be
+// re-tombstoned and corrupt the live count.
 func (x *Index) DeleteBatch(ids []int) int {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -531,6 +608,9 @@ func (x *Index) DeleteBatch(ids []int) int {
 	deleted := 0
 	for _, id := range ids {
 		if id < 0 || id >= x.total {
+			continue
+		}
+		if _, gone := x.dropped[id]; gone {
 			continue
 		}
 		if _, dead := x.tombs[id]; dead {
@@ -565,10 +645,23 @@ func (x *Index) Flush() {
 	if len(x.side.sets) > 0 {
 		pending, slot = x.beginSealLocked()
 	}
+	auto := x.opt.AutoCompact
 	x.mu.Unlock()
 	if pending != nil {
 		x.finishSeal(pending, slot)
+		if auto {
+			x.compactAsync()
+		}
 	}
+}
+
+// SetAutoCompact enables or disables seal-triggered background compaction
+// on a built or loaded index (the loaded path is how cmd/serve applies
+// -auto-compact to a restored snapshot, whose manifest predates the flag).
+func (x *Index) SetAutoCompact(on bool) {
+	x.mu.Lock()
+	x.opt.AutoCompact = on
+	x.mu.Unlock()
 }
 
 // Stats describes the current shape of a sharded index.
@@ -583,9 +676,19 @@ type Stats struct {
 	Merges     int   `json:"merges"`
 	// Deletes counts lifetime Delete calls that hit a live id;
 	// Tombstones counts the deleted ids still physically present (and
-	// thus filtered at query time) — seals compact buffered ones away.
-	Deletes    int    `json:"deletes"`
-	Tombstones int    `json:"tombstones"`
+	// thus filtered at query time) — seals compact buffered ones away,
+	// Compact reclaims the rest.
+	Deletes    int `json:"deletes"`
+	Tombstones int `json:"tombstones"`
+	// Compactions counts completed Compact passes, CompactedShards the
+	// ring shards they removed or rewrote, and Reclaimed the deleted ids
+	// whose physical entries have been dropped (by seals and compactions)
+	// and whose tombstones are retired for good.
+	Compactions     int `json:"compactions"`
+	CompactedShards int `json:"compacted_shards"`
+	Reclaimed       int `json:"reclaimed"`
+	// Generation counts ring changes: seals and compaction swaps.
+	Generation int    `json:"generation"`
 	Nodes      int    `json:"nodes"`
 	Leaves     int    `json:"leaves"`
 	Partition  string `json:"partition"`
@@ -601,16 +704,20 @@ func (x *Index) Stats() Stats {
 		buffered += len(b.sets)
 	}
 	st := Stats{
-		Lambda:     x.lambda,
-		Sets:       x.live,
-		Shards:     len(x.shards),
-		Buffered:   buffered,
-		Appends:    x.appends,
-		Merges:     x.merges,
-		Deletes:    x.deletes,
-		Tombstones: len(x.tombs),
-		Partition:  x.opt.Partition.String(),
-		Workers:    x.opt.Workers,
+		Lambda:          x.lambda,
+		Sets:            x.live,
+		Shards:          len(x.shards),
+		Buffered:        buffered,
+		Appends:         x.appends,
+		Merges:          x.merges,
+		Deletes:         x.deletes,
+		Tombstones:      len(x.tombs),
+		Compactions:     x.compactions,
+		CompactedShards: x.compactedShards,
+		Reclaimed:       len(x.dropped),
+		Generation:      x.generation,
+		Partition:       x.opt.Partition.String(),
+		Workers:         x.opt.Workers,
 	}
 	for _, sh := range x.shards {
 		st.ShardSizes = append(st.ShardSizes, sh.ix.Len())

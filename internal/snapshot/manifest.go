@@ -37,6 +37,20 @@ type Manifest struct {
 	Appends int `json:"appends"`
 	Merges  int `json:"merges"`
 	Deletes int `json:"deletes"`
+	// Compactions/CompactedShards count completed compaction passes and
+	// the ring shards they removed or rewrote; RingGeneration counts ring
+	// changes (seals and compaction swaps). All informational — a reopened
+	// index continues the counts rather than restarting them.
+	Compactions     int `json:"compactions,omitempty"`
+	CompactedShards int `json:"compacted_shards,omitempty"`
+	RingGeneration  int `json:"ring_generation,omitempty"`
+	// Compaction policy knobs, persisted so a loaded index compacts under
+	// the policy it was built with (an operator may have raised the ratio
+	// past 1 to disable rewrites, for example). Zero/absent — as in
+	// pre-compaction manifests — selects the defaults on load.
+	CompactSmall          int     `json:"compact_small,omitempty"`
+	CompactMinShards      int     `json:"compact_min_shards,omitempty"`
+	CompactTombstoneRatio float64 `json:"compact_tombstone_ratio,omitempty"`
 	// Shards lists the sealed shard files in ring order.
 	Shards []ShardEntry `json:"shards"`
 	// Side is the unsealed side-shard state, stored inline: it is bounded
@@ -45,8 +59,15 @@ type Manifest struct {
 	Side SideState `json:"side"`
 	// Tombstones are the deleted ids still physically present in some
 	// shard or in Side, sorted ascending. Query merges filter them; a
-	// seal compacts away the ones that lived in the sealed buffer.
+	// seal compacts away the ones that lived in the sealed buffer and a
+	// compaction reclaims the ones in its victim shards.
 	Tombstones []int `json:"tombstones,omitempty"`
+	// Dropped are the deleted ids whose physical entries have been
+	// reclaimed (their tombstones are retired), sorted ascending. The
+	// loaded index needs them so a repeat Delete of a reclaimed id stays
+	// a no-op instead of corrupting the live count. Disjoint from
+	// Tombstones and from Side.IDs by construction.
+	Dropped []int `json:"dropped,omitempty"`
 }
 
 // ShardEntry describes one sealed shard file.
@@ -101,6 +122,13 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeManifest(path, data)
+}
+
+// decodeManifest parses and validates raw manifest bytes; path only
+// labels errors. Split from ReadManifest so the fuzz target can drive
+// the validation logic without touching the filesystem.
+func decodeManifest(path string, data []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%s: %w: %v", path, ErrCorrupt, err)
@@ -123,6 +151,11 @@ func ReadManifest(dir string) (*Manifest, error) {
 	for _, id := range m.Tombstones {
 		if id < 0 || id >= m.Total {
 			return nil, fmt.Errorf("%s: %w: tombstone id %d out of [0,%d)", path, ErrCorrupt, id, m.Total)
+		}
+	}
+	for _, id := range m.Dropped {
+		if id < 0 || id >= m.Total {
+			return nil, fmt.Errorf("%s: %w: dropped id %d out of [0,%d)", path, ErrCorrupt, id, m.Total)
 		}
 	}
 	for _, id := range m.Side.IDs {

@@ -1,0 +1,8 @@
+//go:build race
+
+package ssjoin
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the model harness trims its op count so the CI race job (the
+// full suite under -race) stays fast.
+const raceEnabled = true

@@ -24,6 +24,15 @@ type ShardedOptions struct {
 	// shared execution layer: 0 sequential, negative GOMAXPROCS. Results
 	// are identical for any worker count.
 	Workers int
+	// AutoCompact runs Compact in the background after every seal, so a
+	// long-lived index reclaims small shards and tombstones on its own.
+	AutoCompact bool
+	// CompactSmall, CompactMinShards and CompactTombstoneRatio tune the
+	// compaction policy (see Compact); zero values select the defaults
+	// (2*MergeThreshold, 2 and 0.3).
+	CompactSmall          int
+	CompactMinShards      int
+	CompactTombstoneRatio float64
 }
 
 // ShardedIndex is a similarity search index partitioned into independently
@@ -42,13 +51,17 @@ func NewShardedIndex(sets [][]uint32, lambda float64, opts *ShardedOptions) *Sha
 	var o *shard.Options
 	if opts != nil {
 		o = &shard.Options{
-			Shards:         opts.Shards,
-			MergeThreshold: opts.MergeThreshold,
-			Trees:          opts.Trees,
-			LeafSize:       opts.LeafSize,
-			T:              opts.T,
-			Seed:           opts.Seed,
-			Workers:        opts.Workers,
+			Shards:                opts.Shards,
+			MergeThreshold:        opts.MergeThreshold,
+			Trees:                 opts.Trees,
+			LeafSize:              opts.LeafSize,
+			T:                     opts.T,
+			Seed:                  opts.Seed,
+			Workers:               opts.Workers,
+			AutoCompact:           opts.AutoCompact,
+			CompactSmall:          opts.CompactSmall,
+			CompactMinShards:      opts.CompactMinShards,
+			CompactTombstoneRatio: opts.CompactTombstoneRatio,
 		}
 		if opts.HashPartition {
 			o.Partition = shard.PartitionHash
@@ -94,6 +107,27 @@ func (s *ShardedIndex) Add(sets [][]uint32) []int {
 // Flush seals any buffered appends into the shard ring immediately.
 func (s *ShardedIndex) Flush() {
 	s.ix.Flush()
+}
+
+// CompactResult reports what one Compact pass did.
+type CompactResult = shard.CompactResult
+
+// Compact runs one compaction pass: small ring shards (sealed appends
+// accumulate them) and shards whose tombstone ratio crossed the policy
+// threshold are rebuilt — minus their tombstoned sets — into one merged
+// shard, which swaps into the ring atomically. Query results are
+// provably unchanged: global ids are preserved and only already-deleted
+// sets are dropped (their tombstones retire with them). Queries and
+// appends proceed concurrently; in-flight queries finish against the old
+// ring. Passes serialize; Merged == 0 means nothing was eligible.
+func (s *ShardedIndex) Compact() CompactResult {
+	return s.ix.Compact()
+}
+
+// SetAutoCompact enables or disables background compaction after each
+// seal (also settable up front via ShardedOptions.AutoCompact).
+func (s *ShardedIndex) SetAutoCompact(on bool) {
+	s.ix.SetAutoCompact(on)
 }
 
 // Delete removes the set with the given global id from all query results,
