@@ -22,7 +22,10 @@
 //	parallel  join time vs -workers scaling         (Section VII; -format
 //	          json emits the BENCH_parallel.json schema used by `make bench`)
 //	serving   sharded-index batch-query throughput vs shards and workers,
-//	          plus the compaction churn workload (-format json emits the
+//	          in both topologies — all-local and distributed over two
+//	          in-process HTTP peers with every shard moved (the
+//	          local/remote equivalence flag checked per cell) — plus the
+//	          compaction churn workload (-format json emits the
 //	          BENCH_serving.json schema with both row arrays)
 //	compaction  add/delete churn, one Compact pass, post-compaction
 //	          queries: ring shrinkage, reclaimed tombstones, and the

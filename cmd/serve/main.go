@@ -8,6 +8,7 @@
 //	serve -input catalogue.txt -threshold 0.6 [-addr :8321] [-shards 4]
 //	      [-hash] [-merge 1024] [-trees 10] [-seed 42] [-workers N]
 //	      [-data DIR] [-save-on-shutdown] [-auto-compact]
+//	      [-peers URL,URL,...] [-replicas N] [-keep-local] [-peer]
 //
 // Persistence: with -data, the service restores the index from DIR's
 // snapshot (manifest + per-shard files) when one exists — restart cost
@@ -32,6 +33,20 @@
 // POST /compact runs one pass on demand. Either way queries keep being
 // served from the old ring until the rebuilt shard swaps in.
 //
+// Distributed serving: with -peers, the service becomes a coordinator —
+// after building or restoring its index it ships every sealed shard's
+// snapshot to -replicas peers (a static round-robin assignment over the
+// peer list) and fans queries out to them, failing over down each
+// shard's replica list and, with -keep-local (the default), to the
+// retained in-process copy, so answers stay byte-identical to the
+// all-local index even with peers down. With -keep-local=false shards
+// are moved, not replicated: RAM for the bulk structures is freed, and a
+// shard whose replicas are all dead makes queries fail with 502 rather
+// than silently answering from partial topology. Peers are ordinary
+// serve instances — any instance accepts shipped shards on
+// /shard/snapshot and answers /shard/query — and -peer starts one with
+// an empty index of its own, purely to host shards for coordinators.
+//
 // Example:
 //
 //	serve -input catalogue.txt -threshold 0.5 -data /var/lib/cps -save-on-shutdown &
@@ -48,6 +63,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	ssjoin "repro"
@@ -69,6 +85,10 @@ func main() {
 		dataDir   = flag.String("data", "", "snapshot directory: restore from it on start if it holds a manifest")
 		saveOnEnd = flag.Bool("save-on-shutdown", false, "snapshot the index into -data on graceful shutdown (requires -data)")
 		autoComp  = flag.Bool("auto-compact", false, "background-compact small and tombstone-heavy shards after each seal")
+		peers     = flag.String("peers", "", "comma-separated peer base URLs: ship every sealed shard to peers and serve as coordinator")
+		replicas  = flag.Int("replicas", 1, "peers each shard is shipped to (N-way replication; requires -peers)")
+		keepLocal = flag.Bool("keep-local", true, "retain in-process shard copies as last-resort replicas (false moves shards instead of replicating)")
+		peerMode  = flag.Bool("peer", false, "start with an empty index and host shards shipped by coordinators")
 	)
 	flag.Parse()
 
@@ -80,7 +100,15 @@ func main() {
 
 	var ix *shard.Index
 	start := time.Now()
-	if *dataDir != "" && manifestExists(*dataDir) {
+	if *peerMode && *input == "" && (*dataDir == "" || !manifestExists(*dataDir)) {
+		// A pure peer serves no collection of its own; it exists to host
+		// shards shipped to /shard/snapshot by coordinators.
+		if *threshold <= 0 || *threshold >= 1 {
+			fatalf("threshold %v out of (0,1)", *threshold)
+		}
+		ix = shard.Build(nil, *threshold, &shard.Options{Workers: *workers, Seed: *seed, AutoCompact: *autoComp})
+		fmt.Fprintf(os.Stderr, "serve: peer mode (empty index) — listening on %s\n", *addr)
+	} else if *dataDir != "" && manifestExists(*dataDir) {
 		var err error
 		ix, err = shard.Load(*dataDir, *workers)
 		if err != nil {
@@ -118,6 +146,21 @@ func main() {
 		st := ix.Stats()
 		fmt.Fprintf(os.Stderr, "serve: indexed %d sets in %d %s shards (%.2fs, %d nodes) — listening on %s\n",
 			st.Sets, st.Shards, st.Partition, time.Since(start).Seconds(), st.Nodes, *addr)
+	}
+
+	if *peers != "" {
+		peerList := strings.Split(*peers, ",")
+		distStart := time.Now()
+		err := ix.Distribute(peerList, &shard.DistributeOptions{
+			Replicas:  *replicas,
+			KeepLocal: *keepLocal,
+		})
+		if err != nil {
+			fatalf("distributing shards: %v", err)
+		}
+		st := ix.Stats()
+		fmt.Fprintf(os.Stderr, "serve: placed %d shards on %d peers (%d-way replication, keep-local=%v, %.2fs)\n",
+			st.RemoteShards, len(peerList), *replicas, *keepLocal, time.Since(distStart).Seconds())
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: shard.NewServer(ix)}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"runtime"
+	"time"
 
 	"repro/internal/cpindex"
 	"repro/internal/shard"
@@ -19,18 +21,23 @@ type ServingRow struct {
 	Lambda  float64 `json:"lambda"`
 	Shards  int     `json:"shards"`
 	Workers int     `json:"workers"`
-	Queries int     `json:"queries"`
-	Seconds float64 `json:"seconds"`
+	// Topology is "local" (all shards in-process) or "remote" (every
+	// primary shard moved to one of two in-process HTTP peers, 2-way
+	// replicated, no local copies — the distributed serving path).
+	Topology string  `json:"topology"`
+	Queries  int     `json:"queries"`
+	Seconds  float64 `json:"seconds"`
 	// QPS is batch-query throughput: queries answered per second.
 	QPS float64 `json:"qps"`
 	// BuildSeconds is the sharded index construction time for this cell
-	// (outside the query timing).
+	// (outside the query timing); remote cells include shard shipping.
 	BuildSeconds float64 `json:"build_seconds"`
 	// Matches is the total match count across the batch.
 	Matches int `json:"matches"`
 	// Identical reports whether this cell's full result lists equal the
-	// single-worker results of the same (dataset, shards) cell — the
-	// serving layer's determinism contract, verified every run.
+	// single-worker local results of the same (dataset, shards) cell —
+	// the serving layer's determinism contract (and, for remote cells,
+	// the local/remote equivalence contract), verified every run.
 	Identical bool `json:"identical_to_sequential"`
 }
 
@@ -41,28 +48,55 @@ func DefaultShardCounts() []int {
 
 // RunServingBench measures ShardedIndex.QueryBatch throughput: every set
 // of each workload is queried back against the sharded index (λ=0.5,
-// QueryAll semantics) in one batch, across shard and worker counts. The
-// index is rebuilt per cell — builds are deterministic, so the worker
-// ladder queries identical structures and result equality is meaningful.
+// QueryAll semantics) in one batch, across shard and worker counts and
+// both topologies — all-local, and distributed with every primary shard
+// moved to one of two in-process HTTP peers (2-way replication, no local
+// copies), so the recorded trajectory covers the remote fan-out/merge
+// path and its equivalence flag. The index is rebuilt per cell — builds
+// are deterministic, so the ladder queries identical structures and
+// result equality is meaningful.
 func RunServingBench(workloads []Workload, shardCounts, workerCounts []int, cfg Config, progress io.Writer) []ServingRow {
 	const lambda = 0.5
 	var rows []ServingRow
 	for _, w := range workloads {
 		for _, shards := range shardCounts {
 			var base [][]cpindex.Match
-			for _, workers := range workerCounts {
+			measure := func(workers int, topology string, build func(opts *shard.Options) (*shard.Index, error)) {
 				opts := &shard.Options{Shards: shards, Seed: cfg.Seed, Workers: workers}
 				var ix *shard.Index
-				buildT := timed(1, func() { ix = shard.Build(w.Sets, lambda, opts) })
+				var buildErr error
+				buildT := timed(1, func() { ix, buildErr = build(opts) })
 				var results [][]cpindex.Match
-				d := timed(cfg.Runs, func() {
-					results = ix.QueryBatch(w.Sets)
-				})
+				var queryErr error
+				var d time.Duration
+				if buildErr == nil {
+					d = timed(cfg.Runs, func() {
+						results, queryErr = ix.QueryBatchErr(w.Sets)
+					})
+				}
+				if err := buildErr; err != nil || queryErr != nil {
+					if err == nil {
+						err = queryErr
+					}
+					// A failed cell still emits its row — with the
+					// equivalence flag false, so the CI gate fails loudly
+					// instead of silently losing the topology's coverage.
+					rows = append(rows, ServingRow{
+						Dataset: w.Name, Lambda: lambda, Shards: shards,
+						Workers: workers, Topology: topology, Queries: len(w.Sets),
+					})
+					if progress != nil {
+						fmt.Fprintf(progress, "serving  %-12s shards=%-2d workers=%-2d topology=%s FAILED: %v\n",
+							w.Name, shards, workers, topology, err)
+					}
+					return
+				}
 				row := ServingRow{
 					Dataset:      w.Name,
 					Lambda:       lambda,
 					Shards:       shards,
 					Workers:      workers,
+					Topology:     topology,
 					Queries:      len(w.Sets),
 					Seconds:      d.Seconds(),
 					QPS:          float64(len(w.Sets)) / d.Seconds(),
@@ -71,16 +105,38 @@ func RunServingBench(workloads []Workload, shardCounts, workerCounts []int, cfg 
 				for _, ms := range results {
 					row.Matches += len(ms)
 				}
-				if workers == workerCounts[0] {
+				if base == nil {
 					base = results
 				}
 				row.Identical = equalBatches(base, results)
 				rows = append(rows, row)
 				if progress != nil {
-					fmt.Fprintf(progress, "serving  %-12s shards=%-2d workers=%-2d qps=%10.0f matches=%-7d identical=%v\n",
-						w.Name, shards, workers, row.QPS, row.Matches, row.Identical)
+					fmt.Fprintf(progress, "serving  %-12s shards=%-2d workers=%-2d topology=%-6s qps=%10.0f matches=%-7d identical=%v\n",
+						w.Name, shards, workers, topology, row.QPS, row.Matches, row.Identical)
 				}
 			}
+			for _, workers := range workerCounts {
+				measure(workers, "local", func(opts *shard.Options) (*shard.Index, error) {
+					return shard.Build(w.Sets, lambda, opts), nil
+				})
+			}
+			// The distributed ladder: two in-process peers, each primary
+			// shard shipped to both (2-way replication) with the local
+			// copies released, so every answer crosses the wire. The base
+			// results are the single-worker local cell's — the Identical
+			// flag is the local/remote equivalence contract in CI.
+			peerA := httptest.NewServer(shard.NewServer(shard.Build(nil, lambda, &shard.Options{})))
+			peerB := httptest.NewServer(shard.NewServer(shard.Build(nil, lambda, &shard.Options{})))
+			peers := []string{peerA.URL, peerB.URL}
+			for _, workers := range workerCounts {
+				measure(workers, "remote", func(opts *shard.Options) (*shard.Index, error) {
+					ix := shard.Build(w.Sets, lambda, opts)
+					err := ix.Distribute(peers, &shard.DistributeOptions{Replicas: 2, KeepLocal: false})
+					return ix, err
+				})
+			}
+			peerA.Close()
+			peerB.Close()
 		}
 	}
 	return rows
@@ -121,10 +177,10 @@ func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow
 
 // PrintServing writes the serving table for human consumption.
 func PrintServing(w io.Writer, rows []ServingRow) {
-	fmt.Fprintf(w, "%-12s %7s %8s %8s %12s %9s %10s\n",
-		"Dataset", "shards", "workers", "queries", "qps", "matches", "identical")
+	fmt.Fprintf(w, "%-12s %7s %8s %-8s %8s %12s %9s %10s\n",
+		"Dataset", "shards", "workers", "topology", "queries", "qps", "matches", "identical")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %7d %8d %8d %12.0f %9d %10v\n",
-			r.Dataset, r.Shards, r.Workers, r.Queries, r.QPS, r.Matches, r.Identical)
+		fmt.Fprintf(w, "%-12s %7d %8d %-8s %8d %12.0f %9d %10v\n",
+			r.Dataset, r.Shards, r.Workers, r.Topology, r.Queries, r.QPS, r.Matches, r.Identical)
 	}
 }

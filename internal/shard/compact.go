@@ -96,11 +96,11 @@ func (x *Index) Compact() CompactResult {
 	// in x.tombs for the same reason — only this pass may retire them.
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	gone := make(map[*subIndex]struct{}, len(victims))
+	gone := make(map[shardBackend]struct{}, len(victims))
 	for _, v := range victims {
 		gone[v] = struct{}{}
 	}
-	ring := make([]*subIndex, 0, len(x.shards)-len(victims)+1)
+	ring := make([]shardBackend, 0, len(x.shards)-len(victims)+1)
 	for _, sh := range x.shards {
 		if _, dead := gone[sh]; !dead {
 			ring = append(ring, sh)
@@ -161,12 +161,23 @@ func (x *Index) selectVictims() ([]*subIndex, map[int]struct{}) {
 	var smalls, heavies []*subIndex
 	dead := 0
 	for _, sh := range shards {
-		n := sh.ix.Len()
+		sub, ok := sh.(*subIndex)
+		if !ok {
+			// Remote-backed shards are never compaction victims: their
+			// sets live on peers, and rewriting them would mean fetching
+			// the shard back first. They are full-size primaries by
+			// construction (only ring shards present at Distribute time
+			// become remote), so the small-shard pressure compaction
+			// relieves comes from post-distribution seals, which stay
+			// local until the next Distribute.
+			continue
+		}
+		n := sub.ix.Len()
 		shardDead := 0
 		// The id scan only pays when deletes exist; the common post-seal
 		// pass of a delete-free service stays O(shards).
 		if len(tombs) > 0 {
-			for _, id := range sh.ids {
+			for _, id := range sub.ids {
 				if _, d := tombs[id]; d {
 					shardDead++
 				}
@@ -174,10 +185,10 @@ func (x *Index) selectVictims() ([]*subIndex, map[int]struct{}) {
 		}
 		switch {
 		case n > 0 && float64(shardDead)/float64(n) >= ratio:
-			heavies = append(heavies, sh)
+			heavies = append(heavies, sub)
 			dead += shardDead
 		case n <= small:
-			smalls = append(smalls, sh)
+			smalls = append(smalls, sub)
 			dead += shardDead
 		}
 	}

@@ -432,7 +432,7 @@ func TestCompactPreservesStandaloneEquivalence(t *testing.T) {
 		t.Fatalf("nothing compacted: %+v", st)
 	}
 	x.mu.RLock()
-	merged := x.shards[len(x.shards)-1]
+	merged := x.shards[len(x.shards)-1].(*subIndex)
 	x.mu.RUnlock()
 	if merged.ix.Len() != res.Sets {
 		t.Fatalf("merged shard holds %d sets, result says %d", merged.ix.Len(), res.Sets)

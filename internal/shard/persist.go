@@ -76,7 +76,7 @@ func (x *Index) Save(dir string) error {
 	}
 
 	x.mu.RLock()
-	shards := append([]*subIndex(nil), x.shards...)
+	shards := append([]shardBackend(nil), x.shards...)
 	side := snapshot.SideState{}
 	for _, b := range x.sealing {
 		side.IDs = append(side.IDs, b.ids...)
@@ -107,20 +107,39 @@ func (x *Index) Save(dir string) error {
 		CompactTombstoneRatio: x.opt.CompactTombstoneRatio,
 		Side:                  side,
 		Tombstones:            sortedTombstones(x.tombs),
-		Dropped:               sortedTombstones(x.dropped),
+		DroppedBitmap:         x.dropped.Bytes(),
 	}
 	x.mu.RUnlock()
 
+	// Snapshots are topology-free: a remote-backed shard saves the same
+	// cpshard bytes as a local one — from the retained local copy when
+	// there is one, otherwise fetched back (and re-verified) from a live
+	// replica — so Load always restores a complete all-local index that
+	// the operator can re-Distribute.
 	m.Shards = make([]snapshot.ShardEntry, len(shards))
 	errs := make([]error, len(shards))
 	exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(shards), func(i int) {
 		file := shardFileName(gen, i)
-		m.Shards[i] = snapshot.ShardEntry{
-			File: file,
-			Seed: shards[i].ix.Options().Seed,
-			Sets: shards[i].ix.Len(),
+		path := filepath.Join(dir, file)
+		switch sh := shards[i].(type) {
+		case *subIndex:
+			m.Shards[i] = snapshot.ShardEntry{File: file, Seed: sh.ix.Options().Seed, Sets: sh.ix.Len()}
+			errs[i] = saveShard(path, sh)
+		case *remoteShard:
+			m.Shards[i] = snapshot.ShardEntry{File: file, Seed: sh.seed, Sets: len(sh.ids)}
+			if sh.local != nil {
+				errs[i] = saveShard(path, sh.local)
+				return
+			}
+			raw, err := sh.fetchSnapshot()
+			if err != nil {
+				errs[i] = fmt.Errorf("fetching remote shard %d for save: %w", i, err)
+				return
+			}
+			errs[i] = snapshot.WriteRawFile(path, raw)
+		default:
+			errs[i] = fmt.Errorf("shard %d: unknown backend %T", i, shards[i])
 		}
-		errs[i] = saveShard(filepath.Join(dir, file), shards[i])
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -147,16 +166,23 @@ func sortedTombstones(ids map[int]struct{}) []int {
 
 func saveShard(path string, sh *subIndex) error {
 	return snapshot.WriteFile(path, shardKind, func(w *snapshot.Writer) error {
-		if err := sh.ix.EncodeSections(w); err != nil {
-			return err
-		}
-		var ids snapshot.Buf
-		ids.Uvarint(uint64(len(sh.ids)))
-		for _, id := range sh.ids {
-			ids.Uvarint(uint64(id))
-		}
-		return w.Section("ids", ids.B)
+		return encodeShardSections(w, sh)
 	})
+}
+
+// encodeShardSections writes one shard's container body — cpindex
+// sections plus the local→global id map. Shared by disk saves and shard
+// shipping, so a shipped shard is bit-for-bit a saved one.
+func encodeShardSections(w *snapshot.Writer, sh *subIndex) error {
+	if err := sh.ix.EncodeSections(w); err != nil {
+		return err
+	}
+	var ids snapshot.Buf
+	ids.Uvarint(uint64(len(sh.ids)))
+	for _, id := range sh.ids {
+		ids.Uvarint(uint64(id))
+	}
+	return w.Section("ids", ids.B)
 }
 
 // pruneUnreferenced deletes every shard file the freshly written
@@ -251,29 +277,26 @@ func Load(dir string, workers int) (*Index, error) {
 			x.tombs[id] = struct{}{}
 		}
 	}
-	if len(m.Dropped) > 0 {
-		x.dropped = make(map[int]struct{}, len(m.Dropped))
-		for _, id := range m.Dropped {
-			x.dropped[id] = struct{}{}
-		}
-		// A dropped id is physically absent: it must not double as a
-		// tombstone (that would wrongly debit the live count below) or
-		// still sit in the side shard.
+	// The dropped set arrives as a dense bitmap (or the legacy id list of
+	// pre-bitmap snapshots — DroppedIDs reads either). A dropped id is
+	// physically absent: it must not double as a tombstone (that would
+	// wrongly debit the live count below) or still sit in the side shard.
+	if x.dropped = m.DroppedIDs(); x.dropped != nil {
 		for _, id := range m.Tombstones {
-			if _, gone := x.dropped[id]; gone {
+			if x.dropped.Get(id) {
 				return nil, fmt.Errorf("%s: %w: id %d both dropped and tombstoned",
 					dir, snapshot.ErrCorrupt, id)
 			}
 		}
 		for _, id := range m.Side.IDs {
-			if _, gone := x.dropped[id]; gone {
+			if x.dropped.Get(id) {
 				return nil, fmt.Errorf("%s: %w: dropped id %d still in side shard",
 					dir, snapshot.ErrCorrupt, id)
 			}
 		}
 	}
 
-	x.shards = make([]*subIndex, len(m.Shards))
+	x.shards = make([]shardBackend, len(m.Shards))
 	errs := make([]error, len(m.Shards))
 	exec.RunItems(exec.EffectiveWorkers(workers), len(m.Shards), func(i int) {
 		x.shards[i], errs[i] = loadShard(filepath.Join(dir, m.Shards[i].File), m.Shards[i], m.Total)
@@ -297,8 +320,8 @@ func Load(dir string, workers int) (*Index, error) {
 		}
 	}
 	for _, sh := range x.shards {
-		for _, id := range sh.ids {
-			if _, gone := x.dropped[id]; gone {
+		for _, id := range sh.globalIDs() {
+			if x.dropped.Get(id) {
 				return nil, fmt.Errorf("%s: %w: dropped id %d still present in a shard",
 					dir, snapshot.ErrCorrupt, id)
 			}
@@ -317,7 +340,7 @@ func Load(dir string, workers int) (*Index, error) {
 	// subtraction cannot go negative).
 	x.live = len(x.side.ids) - len(x.tombs)
 	for _, sh := range x.shards {
-		x.live += sh.ix.Len()
+		x.live += sh.size()
 	}
 	return x, nil
 }
@@ -327,45 +350,54 @@ func Load(dir string, workers int) (*Index, error) {
 func loadShard(path string, entry snapshot.ShardEntry, total int) (*subIndex, error) {
 	var sub *subIndex
 	err := snapshot.ReadFile(path, shardKind, func(r *snapshot.Reader) error {
-		ix, err := cpindex.DecodeSections(r)
-		if err != nil {
-			return err
-		}
-		raw, err := r.Section("ids")
-		if err != nil {
-			return err
-		}
-		c := snapshot.NewCursor("ids", raw)
-		n := c.Count(total)
-		ids := make([]int, n)
-		for i := range ids {
-			id := c.Uvarint()
-			if id >= uint64(total) {
-				c.Fail("global id %d out of [0,%d)", id, total)
-				break
-			}
-			ids[i] = int(id)
-		}
-		if err := c.Done(); err != nil {
-			return err
-		}
-		if len(ids) != ix.Len() {
-			return fmt.Errorf("%w: shard has %d ids for %d sets",
-				snapshot.ErrCorrupt, len(ids), ix.Len())
-		}
-		if ix.Len() != entry.Sets {
-			return fmt.Errorf("%w: shard holds %d sets, manifest says %d",
-				snapshot.ErrCorrupt, ix.Len(), entry.Sets)
-		}
-		if got := ix.Options().Seed; got != entry.Seed {
-			return fmt.Errorf("%w: shard built with seed %d, manifest says %d (files shuffled?)",
-				snapshot.ErrCorrupt, got, entry.Seed)
-		}
-		sub = &subIndex{ix: ix, ids: ids}
-		return nil
+		var err error
+		sub, err = decodeSubIndex(r, entry, total)
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	return sub, nil
+}
+
+// decodeSubIndex decodes one cpshard container body and cross-checks it
+// against its manifest-level identity: id bounds, id/set count agreement,
+// and the build seed. Shared by disk loads and shard shipping, so a peer
+// accepting an upload enforces exactly the guards a restart would.
+func decodeSubIndex(r *snapshot.Reader, entry snapshot.ShardEntry, total int) (*subIndex, error) {
+	ix, err := cpindex.DecodeSections(r)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := r.Section("ids")
+	if err != nil {
+		return nil, err
+	}
+	c := snapshot.NewCursor("ids", raw)
+	n := c.Count(total)
+	ids := make([]int, n)
+	for i := range ids {
+		id := c.Uvarint()
+		if id >= uint64(total) {
+			c.Fail("global id %d out of [0,%d)", id, total)
+			break
+		}
+		ids[i] = int(id)
+	}
+	if err := c.Done(); err != nil {
+		return nil, err
+	}
+	if len(ids) != ix.Len() {
+		return nil, fmt.Errorf("%w: shard has %d ids for %d sets",
+			snapshot.ErrCorrupt, len(ids), ix.Len())
+	}
+	if ix.Len() != entry.Sets {
+		return nil, fmt.Errorf("%w: shard holds %d sets, manifest says %d",
+			snapshot.ErrCorrupt, ix.Len(), entry.Sets)
+	}
+	if got := ix.Options().Seed; got != entry.Seed {
+		return nil, fmt.Errorf("%w: shard built with seed %d, manifest says %d (files shuffled?)",
+			snapshot.ErrCorrupt, got, entry.Seed)
+	}
+	return &subIndex{ix: ix, ids: ids}, nil
 }

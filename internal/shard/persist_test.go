@@ -97,7 +97,7 @@ func TestSaveLoadStatsAndResume(t *testing.T) {
 	y.Flush()
 	seeds := map[uint64]int{}
 	for i, sh := range y.shards {
-		s := sh.ix.Options().Seed
+		s := sh.(*subIndex).ix.Options().Seed
 		if prev, dup := seeds[s]; dup {
 			t.Fatalf("shards %d and %d share seed %d", prev, i, s)
 		}
@@ -438,10 +438,11 @@ func TestLoadDroppedInvariantsRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(gm.Dropped) != 1 {
-		t.Fatalf("expected one dropped id, manifest has %v", gm.Dropped)
+	dropped := gm.DroppedIDs().Ints()
+	if len(dropped) != 1 {
+		t.Fatalf("expected one dropped id, manifest has %v", dropped)
 	}
-	gm.Tombstones, gm.Dropped = gm.Dropped, nil
+	gm.Tombstones, gm.DroppedBitmap = dropped, nil
 	if err := snapshot.WriteManifest(ghostDir, gm); err != nil {
 		t.Fatal(err)
 	}
@@ -545,7 +546,7 @@ func TestCrashedSaveLeavesPreviousSnapshotReadable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, sh := range other.shards {
-		if err := saveShard(filepath.Join(dir, shardFileName(gen, i)), sh); err != nil {
+		if err := saveShard(filepath.Join(dir, shardFileName(gen, i)), sh.(*subIndex)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -3,10 +3,15 @@ package shard
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net/http"
+	"strconv"
+	"sync"
 
 	"repro/internal/cpindex"
 	"repro/internal/intset"
+	"repro/internal/snapshot"
 )
 
 // Server wraps a sharded index as an HTTP/JSON query service — the
@@ -21,9 +26,35 @@ import (
 //	POST /compact      (no body)                 -> run one compaction pass
 //	GET  /stats                                  -> index shape snapshot
 //	GET  /healthz                                -> 200 ok
+//
+// The /shard/* endpoints make any serve instance a peer in a distributed
+// topology: a coordinator ships cpshard snapshot files here and then fans
+// per-shard queries out to them (see Distribute). They operate on the
+// hosted-shard registry, not on the instance's own index, so one process
+// can serve its own ring and host replicas for others simultaneously.
+//
+//	POST   /shard/snapshot?shard=K&seed=S&sets=N&total=T  (body: cpshard bytes) -> validated receipt
+//	GET    /shard/snapshot?shard=K                        -> the hosted container bytes back
+//	DELETE /shard/snapshot?shard=K                        -> evict a hosted shard
+//	POST   /shard/query        {"shard":K, "set":[...], "all":bool} -> matches with global ids
+//	POST   /shard/query_batch  {"shard":K, "sets":[[...],...]}      -> per-query match lists
 type Server struct {
 	ix  *Index
 	mux *http.ServeMux
+
+	// hosted is the peer-side shard registry: shards shipped here by
+	// coordinators, keyed by their coordinator-assigned name. The decoded
+	// structure answers /shard/query*; the raw container bytes are kept
+	// so /shard/snapshot GETs (re-replication, save-time fetch-back,
+	// transfer verification) return exactly what was shipped.
+	hostedMu sync.RWMutex
+	hosted   map[string]*hostedShard
+}
+
+type hostedShard struct {
+	sub *subIndex
+	raw []byte
+	crc uint32
 }
 
 // maxRequestBytes bounds a single request body (64 MiB covers batches of
@@ -31,15 +62,24 @@ type Server struct {
 // client from exhausting memory).
 const maxRequestBytes = 64 << 20
 
+// maxShardSnapshotBytes bounds one shard container upload. Shards are
+// bulk structures, not query batches, so the bound is deliberately much
+// larger (1 GiB ≈ hundreds of millions of tokens per shard) — a shard
+// the coordinator could build must also be shippable.
+const maxShardSnapshotBytes = 1 << 30
+
 // NewServer returns the HTTP handler serving the index.
 func NewServer(ix *Index) *Server {
-	s := &Server{ix: ix, mux: http.NewServeMux()}
+	s := &Server{ix: ix, mux: http.NewServeMux(), hosted: make(map[string]*hostedShard)}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query_batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/add", s.handleAdd)
 	s.mux.HandleFunc("/delete", s.handleDelete)
 	s.mux.HandleFunc("/compact", s.handleCompact)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/shard/snapshot", s.handleShardSnapshot)
+	s.mux.HandleFunc("/shard/query", s.handleShardQuery)
+	s.mux.HandleFunc("/shard/query_batch", s.handleShardQueryBatch)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -101,10 +141,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := intset.Normalize(req.Set)
 	resp := queryResponse{ID: -1}
 	if req.All {
-		resp.Matches = s.ix.QueryAll(q)
+		ms, err := s.ix.QueryAllErr(q)
+		if err != nil {
+			// A dead remote topology (no live replica, no local copy) is a
+			// hard serving error, never a silently partial answer.
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		resp.Matches = ms
 		resp.Found = len(resp.Matches) > 0
-	} else if id, sim, ok := s.ix.Query(q); ok {
-		resp.Found, resp.ID, resp.Sim = true, id, sim
+	} else {
+		id, sim, ok, err := s.ix.QueryErr(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if ok {
+			resp.Found, resp.ID, resp.Sim = true, id, sim
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -117,7 +171,11 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	for i, set := range req.Sets {
 		req.Sets[i] = intset.Normalize(set)
 	}
-	results := s.ix.QueryBatch(req.Sets)
+	results, err := s.ix.QueryBatchErr(req.Sets)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
 	// Empty match lists marshal as [] rather than null so clients can
 	// index the results without nil checks.
 	for i := range results {
@@ -126,6 +184,142 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, batchResponse{Results: results})
+}
+
+// hostedShardFor resolves a shard RPC's target, writing the 4xx itself
+// when the request names no shard or an unknown one.
+func (s *Server) hostedShardFor(w http.ResponseWriter, key string) *hostedShard {
+	if key == "" {
+		http.Error(w, "bad request: missing shard key", http.StatusBadRequest)
+		return nil
+	}
+	s.hostedMu.RLock()
+	h := s.hosted[key]
+	s.hostedMu.RUnlock()
+	if h == nil {
+		http.Error(w, fmt.Sprintf("shard %q not hosted here", key), http.StatusNotFound)
+		return nil
+	}
+	return h
+}
+
+// handleShardQuery answers a coordinator's per-shard query against a
+// hosted shard, with global ids (the shipped container carries the id
+// map). This is the internal shard RPC: queries arrive pre-normalized
+// and tombstones stay coordinator-side, exactly as for an in-process
+// shard.
+func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
+	var req shardQueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	h := s.hostedShardFor(w, req.Shard)
+	if h == nil {
+		return
+	}
+	resp := queryResponse{ID: -1}
+	if req.All {
+		// Local backends never error.
+		resp.Matches, _ = h.sub.queryAll(req.Set)
+		resp.Found = len(resp.Matches) > 0
+	} else if id, sim, ok, _ := h.sub.queryBest(req.Set); ok {
+		resp.Found, resp.ID, resp.Sim = true, id, sim
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleShardQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req shardBatchRequest
+	if !decodeBulk(w, r, &req) {
+		return
+	}
+	h := s.hostedShardFor(w, req.Shard)
+	if h == nil {
+		return
+	}
+	results, _ := h.sub.queryBatch(req.Sets)
+	for i := range results {
+		if results[i] == nil {
+			results[i] = []cpindex.Match{}
+		}
+	}
+	writeJSON(w, batchResponse{Results: results})
+}
+
+// handleShardSnapshot is the shard shipping endpoint. POST accepts one
+// cpshard container (the body) under the identity the shipper's manifest
+// claims (seed, set count, id bound as query parameters), validates it
+// with exactly the guards a disk restart enforces — container checksums,
+// seed and count cross-checks, id bounds — and only then registers it;
+// the receipt echoes the decoded identity plus the CRC-32C of the hosted
+// bytes so the shipper verifies the transfer end to end. GET returns the
+// hosted bytes unchanged, for re-replication and save-time fetch-back.
+func (s *Server) handleShardSnapshot(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("shard")
+	switch r.Method {
+	case http.MethodGet:
+		h := s.hostedShardFor(w, key)
+		if h == nil {
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(h.raw)
+	case http.MethodPost:
+		if key == "" {
+			http.Error(w, "bad request: missing shard key", http.StatusBadRequest)
+			return
+		}
+		seed, err1 := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
+		sets, err2 := strconv.Atoi(r.URL.Query().Get("sets"))
+		total, err3 := strconv.Atoi(r.URL.Query().Get("total"))
+		if err1 != nil || err2 != nil || err3 != nil || sets < 0 || total < 0 {
+			http.Error(w, "bad request: seed, sets and total must be non-negative integers", http.StatusBadRequest)
+			return
+		}
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxShardSnapshotBytes))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		sub, err := decodeShardBytes(raw, snapshot.ShardEntry{Seed: seed, Sets: sets}, total)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad request: shard snapshot rejected: %v", err), http.StatusBadRequest)
+			return
+		}
+		h := &hostedShard{sub: sub, raw: raw, crc: crc32.Checksum(raw, castagnoli)}
+		s.hostedMu.Lock()
+		s.hosted[key] = h
+		s.hostedMu.Unlock()
+		writeJSON(w, shipReceipt{Shard: key, Seed: seed, Sets: sets, CRC32C: h.crc})
+	case http.MethodDelete:
+		// Eviction: a coordinator (or operator) retires a hosted shard it
+		// no longer routes to — after a re-distribution superseded it, or
+		// to unwind a partially failed placement — so long-lived peers
+		// don't accumulate dead shards. Idempotent: deleting an unknown
+		// key reports removed=false rather than erroring.
+		if key == "" {
+			http.Error(w, "bad request: missing shard key", http.StatusBadRequest)
+			return
+		}
+		s.hostedMu.Lock()
+		_, removed := s.hosted[key]
+		delete(s.hosted, key)
+		s.hostedMu.Unlock()
+		writeJSON(w, struct {
+			Shard   string `json:"shard"`
+			Removed bool   `json:"removed"`
+		}{key, removed})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// HostedShards reports how many shipped shards this server currently
+// hosts for coordinators.
+func (s *Server) HostedShards() int {
+	s.hostedMu.RLock()
+	defer s.hostedMu.RUnlock()
+	return len(s.hosted)
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -176,22 +370,42 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, compactResponse{CompactResult: res, Shards: st.Shards, Tombstones: st.Tombstones})
 }
 
+// statsResponse is the index shape plus the server-level hosted-shard
+// count (shards shipped here by coordinators live in the server's
+// registry, not in the index).
+type statsResponse struct {
+	Stats
+	HostedShards int `json:"hosted_shards"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, s.ix.Stats())
+	writeJSON(w, statsResponse{Stats: s.ix.Stats(), HostedShards: s.HostedShards()})
 }
 
 // decode reads a POST JSON body into v, writing the HTTP error itself and
 // returning false when the request is unusable.
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	return decodeLimited(w, r, v, maxRequestBytes)
+}
+
+// decodeBulk is decode with the bulk-transfer bound — for the internal
+// shard RPCs, where the coordinator ships a whole batch in one request
+// per shard: a batch that an all-local ring would answer must not become
+// unanswerable just because its shards moved to peers.
+func decodeBulk(w http.ResponseWriter, r *http.Request, v any) bool {
+	return decodeLimited(w, r, v, maxShardSnapshotBytes)
+}
+
+func decodeLimited(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)

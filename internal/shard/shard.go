@@ -156,6 +156,34 @@ func ContiguousRanges(n, k int) [][2]int {
 	return out
 }
 
+// shardBackend is one ring shard as the query merge sees it: an
+// independent failure and build domain that answers shard-local queries
+// with global ids. The in-process subIndex and the HTTP remoteShard both
+// satisfy it, so fan-out, tombstone filtering and the global-id
+// discipline are written once and hold for any mix of local and remote
+// shards. Backends never apply tombstones — deletes are coordinator
+// state, filtered at merge time like always.
+//
+// Only remote backends can fail; subIndex methods always return a nil
+// error, which is what keeps the legacy (error-free) query entry points
+// valid on all-local rings.
+type shardBackend interface {
+	// queryBest returns the shard's best match — highest similarity,
+	// then lowest id within the shard's traversal order — as a global id.
+	queryBest(q []uint32) (id int, sim float64, ok bool, err error)
+	// queryAll returns every match in the shard with global ids,
+	// unfiltered and in shard-traversal order (the merge sorts).
+	queryAll(q []uint32) ([]cpindex.Match, error)
+	// queryBatch answers qs against the shard; results[i] corresponds to
+	// qs[i]. Remote backends answer the whole batch in one round trip.
+	queryBatch(qs [][]uint32) ([][]cpindex.Match, error)
+	// size is the number of physically present sets (tombstoned included).
+	size() int
+	// globalIDs is the shard's local→global id map, kept coordinator-side
+	// even for remote shards (tombstone accounting and persistence).
+	globalIDs() []int
+}
+
 // subIndex is one sealed shard: a built cpindex over a subset of the
 // collection, with the map from shard-local ids back to global ids.
 // (The per-shard set slices live inside the cpindex, which verifies
@@ -163,6 +191,33 @@ func ContiguousRanges(n, k int) [][2]int {
 type subIndex struct {
 	ix  *cpindex.Index
 	ids []int // local id -> global id
+}
+
+func (s *subIndex) size() int        { return len(s.ids) }
+func (s *subIndex) globalIDs() []int { return s.ids }
+
+func (s *subIndex) queryBest(q []uint32) (int, float64, bool, error) {
+	local, sim, ok := s.ix.Query(q)
+	if !ok {
+		return -1, 0, false, nil
+	}
+	return s.ids[local], sim, true, nil
+}
+
+func (s *subIndex) queryAll(q []uint32) ([]cpindex.Match, error) {
+	ms := s.ix.QueryAll(q)
+	for i := range ms {
+		ms[i].ID = s.ids[ms[i].ID]
+	}
+	return ms, nil
+}
+
+func (s *subIndex) queryBatch(qs [][]uint32) ([][]cpindex.Match, error) {
+	out := make([][]cpindex.Match, len(qs))
+	for i, q := range qs {
+		out[i], _ = s.queryAll(q)
+	}
+	return out, nil
 }
 
 // Index is a sharded Chosen Path search structure. It is safe for
@@ -189,7 +244,7 @@ type Index struct {
 	compactPending atomic.Bool
 
 	mu     sync.RWMutex
-	shards []*subIndex
+	shards []shardBackend
 	// side buffers appended sets (with their global ids) until sealing;
 	// queries scan it exactly, so fresh appends have recall 1.0.
 	side *sideBuffer
@@ -222,9 +277,11 @@ type Index struct {
 	// dropping a tombstoned set from a rewritten shard. Their tombstones
 	// are retired, so Delete must consult this set to stay idempotent: a
 	// reclaimed id is gone, not live, and re-deleting it must not touch
-	// the live count. Mutated only under the write lock (queries never
-	// read it: dropped ids appear in no shard or buffer).
-	dropped map[int]struct{}
+	// the live count. A dense bitmap over [0, total): the cost is bounded
+	// by ids ever assigned, not by lifetime churn. Mutated only under the
+	// write lock (queries never read it: dropped ids appear in no shard
+	// or buffer); nil until the first reclamation.
+	dropped *intset.Bitmap
 	// generation counts ring changes (seals and compaction swaps). A
 	// bumped generation tells observers the shard set they snapshotted has
 	// been superseded; in-flight queries finish against their snapshot.
@@ -279,7 +336,7 @@ func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 		}
 	}
 
-	x.shards = make([]*subIndex, opt.Shards)
+	x.shards = make([]shardBackend, opt.Shards)
 	workers := exec.EffectiveWorkers(opt.Workers)
 	// Each shard build is one root task; leftover parallelism (more
 	// workers than shards) goes to the inner tree builds, which are
@@ -342,7 +399,7 @@ func (x *Index) Len() int {
 // snapshot stays valid after the lock is released; entries appended after
 // the snapshot are simply not seen — the usual read-committed serving
 // semantics.
-func (x *Index) snapshot() ([]*subIndex, []sideBuffer, map[int]struct{}) {
+func (x *Index) snapshot() ([]shardBackend, []sideBuffer, map[int]struct{}) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	buffers := make([]sideBuffer, 0, len(x.sealing)+1)
@@ -363,26 +420,84 @@ func (x *Index) snapshot() ([]*subIndex, []sideBuffer, map[int]struct{}) {
 // Tombstoned ids are never returned: if a shard's chosen match turns out
 // to be deleted, that shard is rescanned for its best live match, so a
 // delete hides exactly one set instead of masking its neighbors.
+//
+// Query panics if a remote-backed shard has no live replica and no local
+// copy — an all-local ring can never fail, and serving paths over a
+// distributed ring must use QueryErr, which reports the dead topology as
+// an error instead of a silent partial merge.
 func (x *Index) Query(q []uint32) (id int, sim float64, ok bool) {
+	id, sim, ok, err := x.QueryErr(q)
+	if err != nil {
+		panic(fmt.Sprintf("shard: %v (use QueryErr on a distributed ring)", err))
+	}
+	return id, sim, ok
+}
+
+// QueryErr is Query with the remote-topology failure mode surfaced: when
+// a remote-backed shard cannot be reached on any replica (and keeps no
+// local copy), it returns the error rather than merging a partial answer.
+// Remote shards are asked concurrently, so a single query's latency is
+// bounded by the slowest peer round trip, not their sum.
+func (x *Index) QueryErr(q []uint32) (id int, sim float64, ok bool, err error) {
 	if len(q) == 0 {
-		return -1, 0, false
+		return -1, 0, false, nil
 	}
 	shards, buffers, tombs := x.snapshot()
+	type bestAnswer struct {
+		id    int
+		sim   float64
+		found bool
+		err   error
+	}
+	// Prefetch every remote shard's best match in parallel; locals are
+	// answered inline in the merge loop below (no I/O to overlap). The
+	// merge itself stays in ring order, and the (sim desc, id asc) total
+	// order makes the answer independent of evaluation order anyway.
+	prefetched := make([]*bestAnswer, len(shards))
+	var remoteIdx []int
+	for i, sh := range shards {
+		if _, remote := sh.(*remoteShard); remote {
+			remoteIdx = append(remoteIdx, i)
+		}
+	}
+	if len(remoteIdx) > 0 {
+		exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(remoteIdx), func(j int) {
+			i := remoteIdx[j]
+			a := &bestAnswer{}
+			a.id, a.sim, a.found, a.err = shards[i].queryBest(q)
+			prefetched[i] = a
+		})
+	}
 	best, bestSim := -1, 0.0
 	better := func(id int, sim float64) bool {
 		return sim > bestSim || (sim == bestSim && (best < 0 || id < best))
 	}
-	for _, sh := range shards {
-		local, s, found := sh.ix.Query(q)
+	for i, sh := range shards {
+		var g int
+		var s float64
+		var found bool
+		var err error
+		if a := prefetched[i]; a != nil {
+			g, s, found, err = a.id, a.sim, a.found, a.err
+		} else {
+			g, s, found, err = sh.queryBest(q)
+		}
+		if err != nil {
+			return -1, 0, false, err
+		}
 		if !found {
 			continue
 		}
-		g := sh.ids[local]
 		if _, dead := tombs[g]; dead {
-			for _, m := range sh.ix.QueryAll(q) {
-				g = sh.ids[m.ID]
-				if _, dead := tombs[g]; !dead && better(g, m.Sim) {
-					best, bestSim = g, m.Sim
+			// Rare path — the shard's chosen match was deleted — so the
+			// full rescan stays a plain serial call.
+			ms, err := sh.queryAll(q)
+			if err != nil {
+				return -1, 0, false, err
+			}
+			for _, m := range ms {
+				if _, dead := tombs[m.ID]; !dead && better(m.ID, m.Sim) {
+					best, bestSim = m.ID, m.Sim
 				}
 			}
 			continue
@@ -401,28 +516,76 @@ func (x *Index) Query(q []uint32) (id int, sim float64, ok bool) {
 			}
 		}
 	}
-	return best, bestSim, best >= 0
+	return best, bestSim, best >= 0, nil
 }
 
 // QueryAll returns every match across all shards and the side buffer,
 // sorted by global id — shards are disjoint, so the merge is a plain
 // concatenation with no deduplication. Tombstoned ids are filtered here,
-// at merge time.
+// at merge time. Like Query, it panics on a dead remote topology; use
+// QueryAllErr on a distributed ring.
 func (x *Index) QueryAll(q []uint32) []cpindex.Match {
-	shards, buffers, tombs := x.snapshot()
-	return queryAll(shards, buffers, tombs, x.lambda, q)
+	ms, err := x.QueryAllErr(q)
+	if err != nil {
+		panic(fmt.Sprintf("shard: %v (use QueryAllErr on a distributed ring)", err))
+	}
+	return ms
 }
 
-func queryAll(shards []*subIndex, buffers []sideBuffer, tombs map[int]struct{}, lambda float64, q []uint32) []cpindex.Match {
-	var out []cpindex.Match
+// QueryAllErr is QueryAll with the remote-topology failure mode surfaced
+// as an error instead of a silent partial merge. Remote shards are asked
+// concurrently, like QueryErr.
+func (x *Index) QueryAllErr(q []uint32) ([]cpindex.Match, error) {
+	shards, buffers, tombs := x.snapshot()
+	var locals []shardBackend
+	var remotes []shardBackend
 	for _, sh := range shards {
-		for _, m := range sh.ix.QueryAll(q) {
-			g := sh.ids[m.ID]
-			if _, dead := tombs[g]; dead {
+		if _, remote := sh.(*remoteShard); remote {
+			remotes = append(remotes, sh)
+		} else {
+			locals = append(locals, sh)
+		}
+	}
+	extra := make([][]cpindex.Match, len(remotes))
+	if len(remotes) > 0 {
+		errs := make([]error, len(remotes))
+		exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(remotes), func(i int) {
+			extra[i], errs[i] = remotes[i].queryAll(q)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return mergeQuery(locals, extra, buffers, tombs, x.lambda, q)
+}
+
+// mergeQuery is the shared per-query merge: matches from every shard in
+// shards (fetched through the backend), plus pre-fetched per-shard match
+// lists in extra (the batched remote path), plus the exactly-scanned
+// buffers — tombstones filtered throughout, sorted by global id. Shards
+// are disjoint and ids unique, so the sort yields one canonical answer
+// regardless of which path a shard's matches arrived by.
+func mergeQuery(shards []shardBackend, extra [][]cpindex.Match, buffers []sideBuffer, tombs map[int]struct{}, lambda float64, q []uint32) ([]cpindex.Match, error) {
+	var out []cpindex.Match
+	keep := func(ms []cpindex.Match) {
+		for _, m := range ms {
+			if _, dead := tombs[m.ID]; dead {
 				continue
 			}
-			out = append(out, cpindex.Match{ID: g, Sim: m.Sim})
+			out = append(out, m)
 		}
+	}
+	for _, sh := range shards {
+		ms, err := sh.queryAll(q)
+		if err != nil {
+			return nil, err
+		}
+		keep(ms)
+	}
+	for _, ms := range extra {
+		keep(ms)
 	}
 	if len(q) > 0 {
 		for _, side := range buffers {
@@ -437,21 +600,65 @@ func queryAll(shards []*subIndex, buffers []sideBuffer, tombs map[int]struct{}, 
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return out, nil
 }
 
 // QueryBatch answers many queries at once: the queries become chunked
 // tasks on the execution layer over one read-only snapshot of the shards,
 // and the result slice is indexed like the input — results[i] is
 // QueryAll(qs[i]) against that snapshot. Output is deterministic for any
-// worker count (each query writes only its own slot).
+// worker count (each query writes only its own slot). Like Query, it
+// panics on a dead remote topology; use QueryBatchErr on a distributed
+// ring.
 func (x *Index) QueryBatch(qs [][]uint32) [][]cpindex.Match {
-	shards, buffers, tombs := x.snapshot()
-	out := make([][]cpindex.Match, len(qs))
-	exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(qs), func(i int) {
-		out[i] = queryAll(shards, buffers, tombs, x.lambda, qs[i])
-	})
+	out, err := x.QueryBatchErr(qs)
+	if err != nil {
+		panic(fmt.Sprintf("shard: %v (use QueryBatchErr on a distributed ring)", err))
+	}
 	return out
+}
+
+// QueryBatchErr is QueryBatch with the remote-topology failure mode
+// surfaced. Remote-backed shards answer the whole batch in one RPC each —
+// a batch costs O(remote shards) round trips, not O(queries × shards) —
+// while local shards stay on the per-query path, which parallelizes
+// across queries on the execution layer. Any shard left unanswerable (no
+// live replica, no local copy) fails the whole batch with its error: a
+// batch never silently merges partial topology.
+func (x *Index) QueryBatchErr(qs [][]uint32) ([][]cpindex.Match, error) {
+	shards, buffers, tombs := x.snapshot()
+	workers := exec.EffectiveWorkers(x.opt.Workers)
+	var locals, remotes []shardBackend
+	for _, sh := range shards {
+		if _, ok := sh.(*remoteShard); ok {
+			remotes = append(remotes, sh)
+		} else {
+			locals = append(locals, sh)
+		}
+	}
+	remoteRes := make([][][]cpindex.Match, len(remotes))
+	if len(remotes) > 0 {
+		errs := make([]error, len(remotes))
+		exec.RunItems(workers, len(remotes), func(s int) {
+			remoteRes[s], errs[s] = remotes[s].queryBatch(qs)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([][]cpindex.Match, len(qs))
+	exec.RunItems(workers, len(qs), func(i int) {
+		extra := make([][]cpindex.Match, len(remotes))
+		for s := range remotes {
+			extra[s] = remoteRes[s][i]
+		}
+		// Local backends cannot fail, so the per-query error is always nil
+		// here; remote errors were collected above.
+		out[i], _ = mergeQuery(locals, extra, buffers, tombs, x.lambda, qs[i])
+	})
+	return out, nil
 }
 
 // Add appends sets to the index and returns their global ids. The sets
@@ -579,10 +786,10 @@ func (x *Index) finishSeal(b *sideBuffer, slot int) {
 // the write lock.
 func (x *Index) markDroppedLocked(ids []int) {
 	if x.dropped == nil {
-		x.dropped = make(map[int]struct{}, len(ids))
+		x.dropped = &intset.Bitmap{}
 	}
 	for _, id := range ids {
-		x.dropped[id] = struct{}{}
+		x.dropped.Set(id)
 	}
 }
 
@@ -610,7 +817,7 @@ func (x *Index) DeleteBatch(ids []int) int {
 		if id < 0 || id >= x.total {
 			continue
 		}
-		if _, gone := x.dropped[id]; gone {
+		if x.dropped.Get(id) {
 			continue
 		}
 		if _, dead := x.tombs[id]; dead {
@@ -687,12 +894,17 @@ type Stats struct {
 	Compactions     int `json:"compactions"`
 	CompactedShards int `json:"compacted_shards"`
 	Reclaimed       int `json:"reclaimed"`
-	// Generation counts ring changes: seals and compaction swaps.
-	Generation int    `json:"generation"`
-	Nodes      int    `json:"nodes"`
-	Leaves     int    `json:"leaves"`
-	Partition  string `json:"partition"`
-	Workers    int    `json:"workers"`
+	// Generation counts ring changes: seals, compaction swaps and remote
+	// placements.
+	Generation int `json:"generation"`
+	// RemoteShards counts ring shards currently backed by peers (placed or
+	// replicated via Distribute). Nodes and Leaves cover local structures
+	// only — a remote shard's tree lives on its peer.
+	RemoteShards int    `json:"remote_shards"`
+	Nodes        int    `json:"nodes"`
+	Leaves       int    `json:"leaves"`
+	Partition    string `json:"partition"`
+	Workers      int    `json:"workers"`
 }
 
 // Stats returns a point-in-time snapshot of the index shape.
@@ -714,15 +926,19 @@ func (x *Index) Stats() Stats {
 		Tombstones:      len(x.tombs),
 		Compactions:     x.compactions,
 		CompactedShards: x.compactedShards,
-		Reclaimed:       len(x.dropped),
+		Reclaimed:       x.dropped.Count(),
 		Generation:      x.generation,
 		Partition:       x.opt.Partition.String(),
 		Workers:         x.opt.Workers,
 	}
 	for _, sh := range x.shards {
-		st.ShardSizes = append(st.ShardSizes, sh.ix.Len())
-		st.Nodes += sh.ix.Nodes
-		st.Leaves += sh.ix.Leaves
+		st.ShardSizes = append(st.ShardSizes, sh.size())
+		if sub, ok := sh.(*subIndex); ok {
+			st.Nodes += sub.ix.Nodes
+			st.Leaves += sub.ix.Leaves
+		} else {
+			st.RemoteShards++
+		}
 	}
 	return st
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/intset"
 )
 
 // ManifestFile is the file name of a sharded-index directory manifest.
@@ -62,12 +64,32 @@ type Manifest struct {
 	// seal compacts away the ones that lived in the sealed buffer and a
 	// compaction reclaims the ones in its victim shards.
 	Tombstones []int `json:"tombstones,omitempty"`
-	// Dropped are the deleted ids whose physical entries have been
-	// reclaimed (their tombstones are retired), sorted ascending. The
-	// loaded index needs them so a repeat Delete of a reclaimed id stays
-	// a no-op instead of corrupting the live count. Disjoint from
+	// DroppedBitmap records the deleted ids whose physical entries have
+	// been reclaimed (their tombstones are retired) as a dense bitmap over
+	// [0, Total): byte i/8 bit i%8 set means id i is dropped, trailing
+	// zero bytes trimmed (intset.Bitmap's canonical encoding, base64 on
+	// the wire via encoding/json). The loaded index needs it so a repeat
+	// Delete of a reclaimed id stays a no-op instead of corrupting the
+	// live count; a bitmap bounds the cost by ids ever assigned (Total/8
+	// bytes) instead of by lifetime delete volume. Disjoint from
 	// Tombstones and from Side.IDs by construction.
+	DroppedBitmap []byte `json:"dropped_bitmap,omitempty"`
+	// Dropped is the legacy sorted-list form of DroppedBitmap, read (and
+	// validated) for snapshots written before the bitmap existed; new
+	// saves write only the bitmap. At most one of the two may be present.
 	Dropped []int `json:"dropped,omitempty"`
+}
+
+// DroppedIDs decodes the reclaimed-id set, whichever representation the
+// manifest carries.
+func (m *Manifest) DroppedIDs() *intset.Bitmap {
+	if len(m.DroppedBitmap) > 0 {
+		return intset.BitmapFromBytes(m.DroppedBitmap)
+	}
+	if len(m.Dropped) > 0 {
+		return intset.BitmapFromInts(m.Dropped)
+	}
+	return nil
 }
 
 // ShardEntry describes one sealed shard file.
@@ -86,32 +108,12 @@ type SideState struct {
 // WriteManifest writes dir's manifest atomically (temp file + rename),
 // and last: Save orders it after the shard files so a directory with a
 // manifest always has every file the manifest names.
-func WriteManifest(dir string, m *Manifest) (err error) {
+func WriteManifest(dir string, m *Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(dir, ManifestFile+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	if _, err = f.Write(append(data, '\n')); err != nil {
-		return err
-	}
-	if err = f.Sync(); err != nil {
-		return err
-	}
-	if err = f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(dir, ManifestFile))
+	return WriteRawFile(filepath.Join(dir, ManifestFile), append(data, '\n'))
 }
 
 // ReadManifest reads and validates dir's manifest. Version mismatches
@@ -157,6 +159,12 @@ func decodeManifest(path string, data []byte) (*Manifest, error) {
 		if id < 0 || id >= m.Total {
 			return nil, fmt.Errorf("%s: %w: dropped id %d out of [0,%d)", path, ErrCorrupt, id, m.Total)
 		}
+	}
+	if len(m.DroppedBitmap) > 0 && len(m.Dropped) > 0 {
+		return nil, fmt.Errorf("%s: %w: manifest carries both dropped and dropped_bitmap", path, ErrCorrupt)
+	}
+	if hi := intset.BitmapFromBytes(m.DroppedBitmap).Max(); hi >= m.Total {
+		return nil, fmt.Errorf("%s: %w: dropped id %d out of [0,%d)", path, ErrCorrupt, hi, m.Total)
 	}
 	for _, id := range m.Side.IDs {
 		if id < 0 || id >= m.Total {

@@ -440,6 +440,35 @@ func WriteFile(path, kind string, encode func(*Writer) error) (err error) {
 	return os.Rename(tmp, path)
 }
 
+// WriteRawFile writes pre-serialized bytes to path with the same
+// atomicity discipline as WriteFile: temp file in the same directory,
+// fsync, rename. Shared by the manifest writer and raw-byte shard saves
+// so the crash-safety dance lives in one place.
+func WriteRawFile(path string, data []byte) (err error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // ReadFile opens path and runs the decoder over its validated container.
 func ReadFile(path, kind string, decode func(*Reader) error) error {
 	f, err := os.Open(path)

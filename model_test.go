@@ -3,10 +3,12 @@ package ssjoin
 import (
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/intset"
+	"repro/internal/shard"
 )
 
 // Model-based randomized harness for the sharded serving subsystem.
@@ -195,30 +197,62 @@ func modelOps() int {
 	return 500
 }
 
-// TestShardedIndexMatchesModel is the harness entry point.
+// TestShardedIndexMatchesModel is the harness entry point. The topology
+// dimension runs the same generated op sequences against a mixed
+// local/remote index — primary shards moved (not just replicated) to two
+// in-process httptest peers, later seals staying local until the next
+// save/load cycle re-distributes — and requires byte-for-byte agreement
+// with the same brute-force model the all-local configurations answer
+// to; agreeing with the model exactly, both topologies agree with each
+// other.
 func TestShardedIndexMatchesModel(t *testing.T) {
 	const lambda = 0.5
 	type config struct {
 		hash    bool
 		shards  int
 		workers int
+		remote  bool
 	}
 	var configs []config
 	for _, hash := range []bool{false, true} {
 		for _, shards := range []int{1, 3} {
 			for _, workers := range []int{0, 4} {
-				configs = append(configs, config{hash, shards, workers})
+				configs = append(configs, config{hash, shards, workers, false})
 			}
+		}
+	}
+	// The remote-topology slice of the grid: both partition schemes at
+	// the multi-shard point, sequential and parallel merges.
+	for _, hash := range []bool{false, true} {
+		for _, workers := range []int{0, 4} {
+			configs = append(configs, config{hash, 3, workers, true})
 		}
 	}
 	for ci, cfg := range configs {
 		cfg := cfg
-		name := fmt.Sprintf("hash=%v/shards=%d/workers=%d", cfg.hash, cfg.shards, cfg.workers)
+		name := fmt.Sprintf("hash=%v/shards=%d/workers=%d/remote=%v", cfg.hash, cfg.shards, cfg.workers, cfg.remote)
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			seed := int64(0xC0FFEE + 1000*ci)
 			r := rand.New(rand.NewSource(seed))
 			dir := filepath.Join(t.TempDir(), "snap")
+
+			distribute := func(ix *ShardedIndex) {}
+			if cfg.remote {
+				peer1 := httptest.NewServer(shard.NewServer(shard.Build(nil, lambda, &shard.Options{})))
+				peer2 := httptest.NewServer(shard.NewServer(shard.Build(nil, lambda, &shard.Options{})))
+				t.Cleanup(peer1.Close)
+				t.Cleanup(peer2.Close)
+				peers := []string{peer1.URL, peer2.URL}
+				distribute = func(ix *ShardedIndex) {
+					// KeepLocal false is the strong form: answers must come
+					// over the wire, and Save must fetch the bytes back.
+					err := ix.Distribute(peers, &DistributeOptions{Replicas: 2, KeepLocal: false})
+					if err != nil {
+						t.Fatalf("Distribute: %v", err)
+					}
+				}
+			}
 
 			initial := make([][]uint32, 40)
 			for i := range initial {
@@ -234,6 +268,7 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 				Seed:           uint64(seed),
 				Workers:        cfg.workers,
 			})
+			distribute(ix)
 
 			fail := func(op int, format string, args ...any) {
 				t.Helper()
@@ -307,6 +342,10 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 						fail(op, "Load: %v", err)
 					}
 					ix = loaded
+					// Snapshots are topology-free: the loaded index is all
+					// local, so a remote configuration re-ships its shards —
+					// every round trip exercises placement afresh.
+					distribute(ix)
 				}
 
 				if got, want := ix.Len(), len(model.sets); got != want {
@@ -331,6 +370,7 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 				t.Fatalf("final Load: %v", err)
 			}
 			ix = loaded
+			distribute(ix)
 			var finals [][]uint32
 			for id := 0; id < model.next; id++ {
 				if s, live := model.sets[id]; live {

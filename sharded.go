@@ -72,20 +72,41 @@ func NewShardedIndex(sets [][]uint32, lambda float64, opts *ShardedOptions) *Sha
 
 // Query returns the best match across all shards: a global id with
 // J(q, result) >= λ and its exact similarity, or ok = false when no shard
-// finds one.
+// finds one. On a distributed index it panics when a moved shard has no
+// live replica; serving paths should use QueryErr there.
 func (s *ShardedIndex) Query(q []uint32) (id int, sim float64, ok bool) {
 	return s.ix.Query(q)
 }
 
+// QueryErr is Query with the distributed-topology failure mode surfaced:
+// when a shard moved to peers (Distribute without KeepLocal) has no live
+// replica, it returns the error instead of a silent partial answer.
+// Results are byte-identical to Query whenever both succeed.
+func (s *ShardedIndex) QueryErr(q []uint32) (id int, sim float64, ok bool, err error) {
+	return s.ix.QueryErr(q)
+}
+
 // QueryAll returns every match across all shards (and any buffered
-// appends, which are scanned exactly), sorted by id.
+// appends, which are scanned exactly), sorted by id. Panics on a dead
+// distributed topology; use QueryAllErr there.
 func (s *ShardedIndex) QueryAll(q []uint32) []Match {
 	return toMatches(s.ix.QueryAll(q))
 }
 
+// QueryAllErr is QueryAll with the distributed-topology failure mode
+// surfaced as an error instead of a silent partial merge.
+func (s *ShardedIndex) QueryAllErr(q []uint32) ([]Match, error) {
+	ms, err := s.ix.QueryAllErr(q)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(ms), nil
+}
+
 // QueryBatch answers many queries at once as parallel tasks over a
 // read-only snapshot of the shards; results[i] is QueryAll(qs[i]) and the
-// output is identical for any worker count.
+// output is identical for any worker count. Panics on a dead distributed
+// topology; use QueryBatchErr there.
 func (s *ShardedIndex) QueryBatch(qs [][]uint32) [][]Match {
 	raw := s.ix.QueryBatch(qs)
 	out := make([][]Match, len(raw))
@@ -93,6 +114,40 @@ func (s *ShardedIndex) QueryBatch(qs [][]uint32) [][]Match {
 		out[i] = toMatches(ms)
 	}
 	return out
+}
+
+// QueryBatchErr is QueryBatch with the distributed-topology failure mode
+// surfaced. Remote shards answer the whole batch in one round trip each;
+// an unanswerable shard fails the batch with its error — a batch never
+// silently merges partial topology.
+func (s *ShardedIndex) QueryBatchErr(qs [][]uint32) ([][]Match, error) {
+	raw, err := s.ix.QueryBatchErr(qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(raw))
+	for i, ms := range raw {
+		out[i] = toMatches(ms)
+	}
+	return out, nil
+}
+
+// DistributeOptions configure ShardedIndex.Distribute: replication
+// factor, whether to retain local copies as last-resort replicas, and an
+// optional HTTP client.
+type DistributeOptions = shard.DistributeOptions
+
+// Distribute places the index's sealed shards on peer serve instances:
+// each shard's snapshot container is shipped (checksum- and
+// seed-verified) to Replicas peers in a static round-robin assignment,
+// and queries then fan out to those peers with in-order failover — to
+// the next replica, then to the retained local copy when KeepLocal is
+// set. Results stay byte-identical to the all-local index: peers answer
+// from exactly the shipped structure, and global ids and tombstone
+// filtering remain coordinator-side. Shards sealed later stay local
+// until the next Distribute call.
+func (s *ShardedIndex) Distribute(peers []string, opts *DistributeOptions) error {
+	return s.ix.Distribute(peers, opts)
 }
 
 // Add appends sets (normalized, like the build input) to the index and
