@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-full vet fmt bench bench-smoke bench-go fuzz-smoke clean
+.PHONY: all build test race race-full vet fmt bench bench-micro bench-smoke bench-go fuzz-smoke clean
 
 all: vet build test
 
@@ -37,6 +37,18 @@ bench:
 	@echo "wrote BENCH_parallel.json"
 	$(GO) run ./cmd/experiments -quiet -format json serving > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"
+	$(GO) run ./cmd/experiments -quiet -format json query > BENCH_query.json
+	@echo "wrote BENCH_query.json"
+
+# bench-micro records just the point-query microbenchmarks (Query /
+# QueryAll / QueryBatch ns/op, allocs/op and qps across the flat vs
+# pointer layout and result-cache dimensions, measured with
+# testing.Benchmark). Every row's answers are checked identical to the
+# flat uncached reference, and CI additionally requires the cpindex flat
+# rows to report 0 allocs/op.
+bench-micro:
+	$(GO) run ./cmd/experiments -quiet -format json query > BENCH_query.json
+	@echo "wrote BENCH_query.json"
 
 # bench-smoke is the reduced bench CI runs on every PR (small synthetic
 # datasets, same JSON schema): the per-PR perf trajectory the ROADMAP
@@ -46,6 +58,8 @@ bench-smoke:
 	@echo "wrote BENCH_parallel.json (smoke scale)"
 	$(GO) run ./cmd/experiments -quiet -format json -scale smoke serving > BENCH_serving.json
 	@echo "wrote BENCH_serving.json (smoke scale)"
+	$(GO) run ./cmd/experiments -quiet -format json -scale smoke query > BENCH_query.json
+	@echo "wrote BENCH_query.json (smoke scale)"
 
 # bench-go runs the Go testing benchmarks for the same scaling curves.
 bench-go:
@@ -53,13 +67,16 @@ bench-go:
 
 # fuzz-smoke runs each native fuzz target briefly (FUZZTIME per target,
 # default 10s) against the decode surfaces: the snapshot container, the
-# directory manifest, and the cpindex codec. The corpus seeds are valid
-# snapshots; the contract is error-not-panic on any mutation. CI runs
-# this on every PR; crashers land in testdata/fuzz/ for replay.
+# directory manifest, and the cpindex codec — plus the flat/pointer
+# layout equivalence on whatever the codec accepts (FuzzDecodeLayouts).
+# The corpus seeds are valid snapshots; the contract is error-not-panic
+# on any mutation. CI runs this on every PR; crashers land in
+# testdata/fuzz/ for replay.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzContainer$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/cpindex
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeLayouts$$' -fuzztime $(FUZZTIME) ./internal/cpindex
 
 clean:
-	rm -f BENCH_parallel.json BENCH_serving.json
+	rm -f BENCH_parallel.json BENCH_serving.json BENCH_query.json

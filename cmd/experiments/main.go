@@ -31,7 +31,14 @@
 //	          queries: ring shrinkage, reclaimed tombstones, and the
 //	          equivalence/determinism flags (table view of the compaction
 //	          rows inside BENCH_serving.json)
-//	all       everything above except parallel, serving and compaction
+//	query     point-query microbenchmarks (Query / QueryAll / QueryBatch
+//	          ns/op, allocs/op and qps) across the flat vs pointer layout
+//	          and result-cache on/off dimensions, every cell's answers
+//	          checked identical to the flat uncached reference (-format
+//	          json emits the BENCH_query.json schema used by
+//	          `make bench-micro`)
+//	all       everything above except parallel, serving, compaction and
+//	          query
 package main
 
 import (
@@ -83,8 +90,8 @@ func main() {
 	if *format != "table" && *format != "csv" && *format != "json" {
 		fatalf("unknown format %q (want table, csv or json)", *format)
 	}
-	if jsonOut && flag.Arg(0) != "parallel" && flag.Arg(0) != "serving" && flag.Arg(0) != "compaction" {
-		fatalf("-format json is only supported by the parallel, serving and compaction subcommands")
+	if jsonOut && flag.Arg(0) != "parallel" && flag.Arg(0) != "serving" && flag.Arg(0) != "compaction" && flag.Arg(0) != "query" {
+		fatalf("-format json is only supported by the parallel, serving, compaction and query subcommands")
 	}
 	banner := func(s string) {
 		if !csvOut && !jsonOut {
@@ -209,6 +216,16 @@ func main() {
 				check(bench.WriteServingJSON(out, nil, comp))
 			} else {
 				bench.PrintCompaction(out, comp)
+			}
+		case "query":
+			banner("== Query microbenchmarks: layout and cache dimensions (λ=0.5) ==")
+			// UNIFORM005 only, like serving: one workload keeps the cell
+			// grid affordable on every run.
+			qrows := bench.RunQueryBench(bench.SyntheticWorkloads(scale)[:1], cfg, progress)
+			if jsonOut {
+				check(bench.WriteQueryJSON(out, qrows))
+			} else {
+				bench.PrintQuery(out, qrows)
 			}
 		default:
 			fatalf("unknown subcommand %q", name)

@@ -8,6 +8,7 @@
 //	serve -input catalogue.txt -threshold 0.6 [-addr :8321] [-shards 4]
 //	      [-hash] [-merge 1024] [-trees 10] [-seed 42] [-workers N]
 //	      [-data DIR] [-save-on-shutdown] [-auto-compact]
+//	      [-cache N] [-pprof]
 //	      [-peers URL,URL,...] [-replicas N] [-keep-local] [-peer]
 //
 // Persistence: with -data, the service restores the index from DIR's
@@ -25,6 +26,15 @@
 //	POST /compact      merge small shards, reclaim tombstones (non-blocking for queries)
 //	GET  /stats                                      index shape snapshot
 //	GET  /healthz                                    liveness
+//
+// Performance: -cache N caches up to N hot query results (invalidated
+// automatically by appends, deletes, seals, compactions and shard
+// placement; hit/miss counters appear in /stats). -pprof mounts the
+// net/http/pprof profiling endpoints under /debug/pprof/ on the serving
+// listener, so hot-path CPU and heap profiles can be captured from a
+// running coordinator or peer:
+//
+//	go tool pprof http://localhost:8321/debug/pprof/profile?seconds=10
 //
 // Compaction: every seal appends a small shard and every delete against a
 // sealed shard leaves a tombstone, so a long-running service degrades
@@ -59,6 +69,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -89,6 +100,8 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "peers each shard is shipped to (N-way replication; requires -peers)")
 		keepLocal = flag.Bool("keep-local", true, "retain in-process shard copies as last-resort replicas (false moves shards instead of replicating)")
 		peerMode  = flag.Bool("peer", false, "start with an empty index and host shards shipped by coordinators")
+		cacheSize = flag.Int("cache", 0, "hot-query result cache entries (0 disables; invalidated automatically on any mutation)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -163,7 +176,23 @@ func main() {
 			st.RemoteShards, len(peerList), *replicas, *keepLocal, time.Since(distStart).Seconds())
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: shard.NewServer(ix)}
+	if *cacheSize > 0 {
+		ix.EnableCache(*cacheSize)
+		fmt.Fprintf(os.Stderr, "serve: result cache enabled (%d entries)\n", *cacheSize)
+	}
+
+	var handler http.Handler = shard.NewServer(ix)
+	if *pprofOn {
+		// The pprof package registers on http.DefaultServeMux at import;
+		// mount that mux behind the /debug/pprof/ prefix so profiling is
+		// opt-in and everything else keeps hitting the API handler.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "serve: pprof endpoints enabled on %s/debug/pprof/\n", *addr)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	drained := make(chan struct{})

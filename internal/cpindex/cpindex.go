@@ -14,6 +14,7 @@ package cpindex
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/exec"
 	"repro/internal/intset"
@@ -43,6 +44,11 @@ type Options struct {
 	// structure is identical for any worker count). Queries are
 	// unaffected: a built Index is read-only and safe for concurrent use.
 	Workers int
+	// Layout selects the query-time representation (default LayoutFlat).
+	// Answers are byte-identical either way; this is a speed knob and a
+	// testing hook, and is deliberately not persisted — decoded indexes
+	// always start on the flat layout.
+	Layout Layout
 }
 
 func (o *Options) withDefaults() Options {
@@ -71,6 +77,10 @@ type Index struct {
 	signer *minhash.Signer
 	sigs   []uint32
 	trees  []*node
+	flat   *flatTrees
+
+	// scratch pools queryScratch instances; see getScratch.
+	scratch sync.Pool
 
 	// Stats describe the built structure.
 	Nodes  int
@@ -133,8 +143,14 @@ func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 		ix.Nodes += c.nodes
 		ix.Leaves += c.leaves
 	}
+	ix.flat = flatten(ix.trees)
 	return ix
 }
+
+// SetLayout switches the representation subsequent queries traverse. It
+// is a configuration call, not a query-path one: do not race it with
+// in-flight queries.
+func (ix *Index) SetLayout(l Layout) { ix.opt.Layout = l }
 
 // treeCounts accumulates structure statistics per tree task, summed into
 // the Index after the pool quiesces.
@@ -212,15 +228,34 @@ func (ix *Index) Query(q []uint32) (int, float64, bool) {
 	if len(q) == 0 {
 		return best, bestSim, false
 	}
-	qsig := ix.signer.Sign(q)
-	seen := make(map[uint32]bool)
-	for _, tree := range ix.trees {
-		ix.search(tree, q, qsig, seen, &best, &bestSim)
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	ix.signer.SignInto(q, sc.qsig)
+	if ix.opt.Layout == LayoutPointer {
+		for _, tree := range ix.trees {
+			ix.search(tree, q, sc, &best, &bestSim)
+			if best >= 0 {
+				// Any verified neighbor satisfies the contract; returning
+				// the best found so far keeps latency low like the original
+				// structure (first hit wins). We finish the current tree for
+				// a better candidate but do not scan remaining trees.
+				break
+			}
+		}
+		return best, bestSim, best >= 0
+	}
+	for _, root := range ix.flat.roots {
+		sc.cands = sc.cands[:0]
+		ix.flat.collect(root, sc.qsig, sc)
+		for _, id := range sc.cands {
+			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok && sim > bestSim {
+				best = int(id)
+				bestSim = sim
+			}
+		}
 		if best >= 0 {
-			// Any verified neighbor satisfies the contract; returning the
-			// best found so far keeps latency low like the original
-			// structure (first hit wins). We finish the current tree for
-			// a better candidate but do not scan remaining trees.
+			// Same first-hit-wins contract as the pointer path: finish the
+			// tree that produced a hit, skip the rest.
 			break
 		}
 	}
@@ -240,26 +275,46 @@ type Match struct {
 // exact similarity. Matches are returned in tree-traversal order; sort by
 // ID for a canonical order.
 func (ix *Index) QueryAll(q []uint32) []Match {
-	if len(q) == 0 {
-		return nil
-	}
-	qsig := ix.signer.Sign(q)
-	seen := make(map[uint32]bool)
-	var out []Match
-	for _, tree := range ix.trees {
-		ix.collect(tree, q, qsig, seen, &out)
-	}
-	return out
+	return ix.AppendAll(nil, q)
 }
 
-func (ix *Index) search(n *node, q []uint32, qsig []uint32, seen map[uint32]bool, best *int, bestSim *float64) {
+// AppendAll is QueryAll with caller-owned result storage: matches are
+// appended to dst (which may be reused across queries for allocation-free
+// steady state) and the grown slice is returned. Match order is identical
+// to QueryAll's.
+func (ix *Index) AppendAll(dst []Match, q []uint32) []Match {
+	if len(q) == 0 {
+		return dst
+	}
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	ix.signer.SignInto(q, sc.qsig)
+	if ix.opt.Layout == LayoutPointer {
+		for _, tree := range ix.trees {
+			dst = ix.collect(tree, q, sc, dst)
+		}
+		return dst
+	}
+	for _, root := range ix.flat.roots {
+		sc.cands = sc.cands[:0]
+		ix.flat.collect(root, sc.qsig, sc)
+		for _, id := range sc.cands {
+			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok {
+				dst = append(dst, Match{ID: int(id), Sim: sim})
+			}
+		}
+	}
+	return dst
+}
+
+func (ix *Index) search(n *node, q []uint32, sc *queryScratch, best *int, bestSim *float64) {
 	if n.leaf != nil {
 		for _, id := range n.leaf {
-			if seen[id] {
+			if sc.visited[id] == sc.epoch {
 				continue
 			}
-			seen[id] = true
-			if sim := intset.Jaccard(q, ix.sets[id]); sim >= ix.lambda && sim > *bestSim {
+			sc.visited[id] = sc.epoch
+			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok && sim > *bestSim {
 				*best = int(id)
 				*bestSim = sim
 			}
@@ -267,28 +322,29 @@ func (ix *Index) search(n *node, q []uint32, qsig []uint32, seen map[uint32]bool
 		return
 	}
 	for i, pos := range n.positions {
-		if child, ok := n.children[i][qsig[pos]]; ok {
-			ix.search(child, q, qsig, seen, best, bestSim)
+		if child, ok := n.children[i][sc.qsig[pos]]; ok {
+			ix.search(child, q, sc, best, bestSim)
 		}
 	}
 }
 
-func (ix *Index) collect(n *node, q []uint32, qsig []uint32, seen map[uint32]bool, out *[]Match) {
+func (ix *Index) collect(n *node, q []uint32, sc *queryScratch, out []Match) []Match {
 	if n.leaf != nil {
 		for _, id := range n.leaf {
-			if seen[id] {
+			if sc.visited[id] == sc.epoch {
 				continue
 			}
-			seen[id] = true
-			if sim := intset.Jaccard(q, ix.sets[id]); sim >= ix.lambda {
-				*out = append(*out, Match{ID: int(id), Sim: sim})
+			sc.visited[id] = sc.epoch
+			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok {
+				out = append(out, Match{ID: int(id), Sim: sim})
 			}
 		}
-		return
+		return out
 	}
 	for i, pos := range n.positions {
-		if child, ok := n.children[i][qsig[pos]]; ok {
-			ix.collect(child, q, qsig, seen, out)
+		if child, ok := n.children[i][sc.qsig[pos]]; ok {
+			out = ix.collect(child, q, sc, out)
 		}
 	}
+	return out
 }

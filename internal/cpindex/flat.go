@@ -1,0 +1,213 @@
+package cpindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Layout selects the in-memory representation queries traverse. Both
+// layouts answer every query byte-identically (the model harness and the
+// fuzz targets enforce this); they differ only in speed.
+type Layout int
+
+const (
+	// LayoutFlat (the default) traverses the contiguous CSR arrays built
+	// by flatten: no pointer chasing, no map lookups, and — together with
+	// the pooled query scratch — zero allocations per query.
+	LayoutFlat Layout = iota
+	// LayoutPointer traverses the original *node trees with per-position
+	// map buckets. Kept as the reference implementation for equivalence
+	// testing and as the encoding source for persistence.
+	LayoutPointer
+)
+
+// flatTrees is the contiguous-array form of an index's trees: a CSR-style
+// node table whose leaves are spans into one shared id array and whose
+// internal nodes are spans of sampled positions, each position owning a
+// span of (value, child) bucket entries sorted by value. Queries walk it
+// iteratively with an explicit stack instead of recursing through
+// pointers, and probe buckets by binary/linear search instead of map
+// lookups.
+type flatTrees struct {
+	roots   []int32      // node index of each tree's root
+	nodes   []flatNode   // all nodes of all trees
+	leafIDs []uint32     // concatenated leaf id spans
+	pos     []flatPos    // concatenated sampled-position spans
+	buckets []flatBucket // concatenated per-position bucket spans
+}
+
+// flatNode is one node of the flat layout. A node is a leaf iff
+// posLo == posHi: internal nodes always sample at least one position
+// (Build converts position-less nodes to leaves and the decoder rejects
+// internal nodes with zero positions), so the position span doubles as
+// the discriminator and no tag byte is needed.
+type flatNode struct {
+	leafLo, leafHi uint32 // leafIDs[leafLo:leafHi], leaves only
+	posLo, posHi   uint32 // pos[posLo:posHi], internal nodes only
+}
+
+// flatPos is one sampled signature position of an internal node, with its
+// bucket span.
+type flatPos struct {
+	pos      uint32 // signature position in [0, T)
+	bLo, bHi uint32 // buckets[bLo:bHi], sorted by val
+}
+
+// flatBucket maps one minhash value at a sampled position to a child node.
+type flatBucket struct {
+	val   uint32
+	child int32
+}
+
+// flatten converts pointer trees into the flat layout. Bucket entries are
+// emitted in ascending value order (the same canonical order encodeNode
+// persists), so the flat structure is a pure function of the logical tree,
+// independent of map iteration order.
+func flatten(trees []*node) *flatTrees {
+	f := &flatTrees{roots: make([]int32, len(trees))}
+	for i, tr := range trees {
+		f.roots[i] = f.add(tr)
+	}
+	if len(f.nodes) > math.MaxInt32 || len(f.leafIDs) > math.MaxUint32 ||
+		len(f.pos) > math.MaxUint32 || len(f.buckets) > math.MaxUint32 {
+		panic(fmt.Sprintf("cpindex: flat layout overflow (%d nodes)", len(f.nodes)))
+	}
+	return f
+}
+
+// add appends n's subtree and returns its node index. The node's spans are
+// reserved contiguously before recursing, so children (whose own entries
+// land after the reservation) can never fragment them.
+func (f *flatTrees) add(n *node) int32 {
+	idx := int32(len(f.nodes))
+	f.nodes = append(f.nodes, flatNode{})
+	if n.leaf != nil {
+		lo := uint32(len(f.leafIDs))
+		f.leafIDs = append(f.leafIDs, n.leaf...)
+		f.nodes[idx] = flatNode{leafLo: lo, leafHi: uint32(len(f.leafIDs))}
+		return idx
+	}
+	posLo := uint32(len(f.pos))
+	for _, p := range n.positions {
+		f.pos = append(f.pos, flatPos{pos: uint32(p)})
+	}
+	f.nodes[idx].posLo = posLo
+	f.nodes[idx].posHi = uint32(len(f.pos))
+	for i := range n.positions {
+		m := n.children[i]
+		vals := make([]uint32, 0, len(m))
+		for v := range m {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		bLo := uint32(len(f.buckets))
+		for _, v := range vals {
+			f.buckets = append(f.buckets, flatBucket{val: v})
+		}
+		f.pos[posLo+uint32(i)].bLo = bLo
+		f.pos[posLo+uint32(i)].bHi = uint32(len(f.buckets))
+		for j, v := range vals {
+			f.buckets[bLo+uint32(j)].child = f.add(m[v])
+		}
+	}
+	return idx
+}
+
+// findChild probes the bucket span [bLo, bHi) for val: a linear scan for
+// short spans, binary search otherwise. Spans are sorted by value.
+func (f *flatTrees) findChild(bLo, bHi, val uint32) (int32, bool) {
+	if bHi-bLo <= 8 {
+		for i := bLo; i < bHi; i++ {
+			if f.buckets[i].val == val {
+				return f.buckets[i].child, true
+			}
+		}
+		return 0, false
+	}
+	lo, hi := bLo, bHi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.buckets[mid].val < val {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < bHi && f.buckets[lo].val == val {
+		return f.buckets[lo].child, true
+	}
+	return 0, false
+}
+
+// collect walks the tree rooted at root in exactly the depth-first order
+// the pointer-path recursion uses and appends every not-yet-visited leaf
+// id to sc.cands in visit order, stamping it in the epoch-keyed visited
+// array. Candidates are verified (Jaccard) by the caller; separating
+// traversal from verification changes nothing because verification has no
+// effect on the walk.
+func (f *flatTrees) collect(root int32, qsig []uint32, sc *queryScratch) {
+	stack := append(sc.stack[:0], root)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &f.nodes[ni]
+		if n.posLo == n.posHi { // leaf
+			for _, id := range f.leafIDs[n.leafLo:n.leafHi] {
+				if sc.visited[id] != sc.epoch {
+					sc.visited[id] = sc.epoch
+					sc.cands = append(sc.cands, id)
+				}
+			}
+			continue
+		}
+		// Push matching children in reverse position order so the LIFO pop
+		// explores position 0's child first — the recursion's order.
+		for pi := n.posHi; pi > n.posLo; pi-- {
+			p := &f.pos[pi-1]
+			if child, ok := f.findChild(p.bLo, p.bHi, qsig[p.pos]); ok {
+				stack = append(stack, child)
+			}
+		}
+	}
+	sc.stack = stack // keep the grown stack for reuse
+}
+
+// queryScratch is the per-query working memory both layouts share: the
+// signature buffer, the epoch-stamped visited array that replaces the old
+// per-query seen map, the traversal stack, and the candidate buffer.
+// Instances are pooled per Index, so steady-state queries allocate
+// nothing.
+type queryScratch struct {
+	qsig    []uint32 // query signature, len T
+	visited []uint32 // visited[id] == epoch ⇔ id already scanned this query
+	epoch   uint32
+	stack   []int32  // flat traversal stack
+	cands   []uint32 // new candidate ids, in visit order
+}
+
+// getScratch returns a pooled scratch sized for this index with a fresh
+// epoch. On epoch wraparound the visited array is cleared, so stale stamps
+// from 2^32 queries ago can never alias.
+func (ix *Index) getScratch() *queryScratch {
+	sc, _ := ix.scratch.Get().(*queryScratch)
+	if sc == nil {
+		sc = new(queryScratch)
+	}
+	if len(sc.qsig) != ix.opt.T {
+		sc.qsig = make([]uint32, ix.opt.T)
+	}
+	if len(sc.visited) < len(ix.sets) {
+		sc.visited = make([]uint32, len(ix.sets))
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+	sc.cands = sc.cands[:0]
+	return sc
+}
+
+func (ix *Index) putScratch(sc *queryScratch) { ix.scratch.Put(sc) }

@@ -1,0 +1,135 @@
+package cpindex
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestFlatMatchesPointer checks the tentpole equivalence contract: both
+// layouts answer Query and QueryAll byte-identically for every query, on
+// small and leaf-heavy tree shapes alike.
+func TestFlatMatchesPointer(t *testing.T) {
+	for _, tc := range []struct {
+		n        int
+		leafSize int
+	}{
+		{400, 4}, {1500, 32}, {50, 1}, {0, 32},
+	} {
+		t.Run(fmt.Sprintf("n=%d/leaf=%d", tc.n, tc.leafSize), func(t *testing.T) {
+			sets, _ := buildWorkload(tc.n, 0.8, uint64(tc.n)+21)
+			ix := Build(sets, 0.5, &Options{Seed: 22, LeafSize: tc.leafSize, Trees: 6})
+			queries := sets
+			if len(queries) > 200 {
+				queries = queries[:200]
+			}
+			queries = append(queries, []uint32{1 << 30, 1<<30 + 3}, nil)
+			for qi, q := range queries {
+				ix.SetLayout(LayoutFlat)
+				fid, fsim, fok := ix.Query(q)
+				fall := ix.QueryAll(q)
+				ix.SetLayout(LayoutPointer)
+				pid, psim, pok := ix.Query(q)
+				pall := ix.QueryAll(q)
+				if fid != pid || fsim != psim || fok != pok {
+					t.Fatalf("query %d: flat Query (%d,%v,%v) != pointer (%d,%v,%v)",
+						qi, fid, fsim, fok, pid, psim, pok)
+				}
+				if len(fall) != len(pall) {
+					t.Fatalf("query %d: flat QueryAll %d matches, pointer %d", qi, len(fall), len(pall))
+				}
+				for i := range fall {
+					if fall[i] != pall[i] {
+						t.Fatalf("query %d match %d: flat %+v != pointer %+v", qi, i, fall[i], pall[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFlatMatchesPointerAfterDecode re-checks equivalence on an index
+// decoded from its snapshot, whose flat layout is rebuilt by
+// DecodeSections rather than Build.
+func TestFlatMatchesPointerAfterDecode(t *testing.T) {
+	sets, _ := buildWorkload(600, 0.8, 31)
+	ix := Build(sets, 0.5, &Options{Seed: 32, Trees: 4})
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		q := sets[i]
+		dec.SetLayout(LayoutFlat)
+		fall := dec.QueryAll(q)
+		dec.SetLayout(LayoutPointer)
+		pall := dec.QueryAll(q)
+		if len(fall) != len(pall) {
+			t.Fatalf("query %d: flat %d matches, pointer %d", i, len(fall), len(pall))
+		}
+		for j := range fall {
+			if fall[j] != pall[j] {
+				t.Fatalf("query %d match %d: flat %+v != pointer %+v", i, j, fall[j], pall[j])
+			}
+		}
+	}
+}
+
+// TestQueryZeroAllocs pins the satellite contract: steady-state Query and
+// AppendAll (with a reused destination) allocate nothing on the flat
+// layout.
+func TestQueryZeroAllocs(t *testing.T) {
+	sets, _ := buildWorkload(2000, 0.8, 41)
+	ix := Build(sets, 0.5, &Options{Seed: 42})
+	var dst []Match
+	// Warm the scratch pool and the destination buffer to steady state.
+	for i := 0; i < 50; i++ {
+		ix.Query(sets[i])
+		dst = ix.AppendAll(dst[:0], sets[i])
+	}
+	qi := 0
+	if n := testing.AllocsPerRun(200, func() {
+		ix.Query(sets[qi%1000])
+		qi++
+	}); n != 0 {
+		t.Errorf("Query allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		dst = ix.AppendAll(dst[:0], sets[qi%1000])
+		qi++
+	}); n != 0 {
+		t.Errorf("AppendAll allocates %v/op, want 0", n)
+	}
+}
+
+func benchQueryLayout(b *testing.B, l Layout) {
+	sets, _ := buildWorkload(5000, 0.8, 15)
+	ix := Build(sets, 0.6, &Options{Seed: 16})
+	ix.SetLayout(l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(sets[i%len(sets)])
+	}
+}
+
+func benchQueryAllLayout(b *testing.B, l Layout) {
+	sets, _ := buildWorkload(5000, 0.8, 15)
+	ix := Build(sets, 0.6, &Options{Seed: 16})
+	ix.SetLayout(l)
+	var dst []Match
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ix.AppendAll(dst[:0], sets[i%len(sets)])
+	}
+}
+
+func BenchmarkQueryFlat(b *testing.B)       { benchQueryLayout(b, LayoutFlat) }
+func BenchmarkQueryPointer(b *testing.B)    { benchQueryLayout(b, LayoutPointer) }
+func BenchmarkQueryAllFlat(b *testing.B)    { benchQueryAllLayout(b, LayoutFlat) }
+func BenchmarkQueryAllPointer(b *testing.B) { benchQueryAllLayout(b, LayoutPointer) }

@@ -45,3 +45,49 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeLayouts pins the flat/pointer equivalence on decoder output
+// rather than builder output: whatever tree shapes a (possibly mutated)
+// snapshot decodes into, the flat engine compiled from them must answer
+// every probe byte-identically to the pointer walk. Decode flattens
+// unconditionally, so any structure the decoder accepts but flatten
+// mishandles — span overflow, bucket ordering, leaf detection — surfaces
+// here as a divergence or a panic.
+func FuzzDecodeLayouts(f *testing.F) {
+	for _, seed := range []uint64{7, 1234} {
+		sets := [][]uint32{{1, 2, 3}, {2, 3, 4}, {5, 6}, {1, 9, 12, 40}, {3, 4, 5, 6, 7}}
+		ix := Build(sets, 0.4, &Options{Trees: 3, LeafSize: 1, Seed: seed})
+		var buf bytes.Buffer
+		if err := ix.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	probes := [][]uint32{{1, 2, 3}, {2, 3, 4}, {5, 6}, {1, 9, 12, 40}, {3, 4, 5, 6, 7}, {8, 11}, nil}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, q := range probes {
+			ix.SetLayout(LayoutFlat)
+			fid, fsim, fok := ix.Query(q)
+			fall := ix.QueryAll(q)
+			ix.SetLayout(LayoutPointer)
+			pid, psim, pok := ix.Query(q)
+			pall := ix.QueryAll(q)
+			if fid != pid || fsim != psim || fok != pok {
+				t.Fatalf("Query(%v): flat (%d, %v, %v) != pointer (%d, %v, %v)",
+					q, fid, fsim, fok, pid, psim, pok)
+			}
+			if len(fall) != len(pall) {
+				t.Fatalf("QueryAll(%v): flat %v != pointer %v", q, fall, pall)
+			}
+			for i := range fall {
+				if fall[i] != pall[i] {
+					t.Fatalf("QueryAll(%v)[%d]: flat %+v != pointer %+v", q, i, fall[i], pall[i])
+				}
+			}
+		}
+	})
+}

@@ -204,7 +204,7 @@ func DecodeSections(r *snapshot.Reader) (*Index, error) {
 		return nil, err
 	}
 
-	return &Index{
+	ix := &Index{
 		sets:   sets,
 		lambda: lambda,
 		opt:    opt,
@@ -212,7 +212,12 @@ func DecodeSections(r *snapshot.Reader) (*Index, error) {
 		trees:  trees,
 		Nodes:  int(nodes),
 		Leaves: int(leaves),
-	}, nil
+	}
+	// Snapshots persist the pointer trees only; the flat query layout is
+	// always rebuilt from them, so it cannot be corrupted independently
+	// and decoded indexes start on the (default) flat layout.
+	ix.flat = flatten(ix.trees)
+	return ix, nil
 }
 
 // nodeDecoder rebuilds one trie, enforcing the invariants a valid build

@@ -186,6 +186,61 @@ func Jaccard(a, b []uint32) float64 {
 	return float64(in) / float64(len(a)+len(b)-in)
 }
 
+// JaccardAtLeast reports whether J(a, b) >= lambda and, when it is,
+// returns the exact similarity (the same value Jaccard would). Pairs that
+// cannot reach lambda are rejected early — first by the size bound, then
+// mid-merge as soon as the remaining elements cannot close the gap — so
+// the common below-threshold candidate costs a fraction of a full merge.
+//
+// The accept/reject decision is bit-identical to
+// `Jaccard(a, b) >= lambda`: the cutoff intersection size is found by
+// binary search over the very float comparison that check performs
+// (float division is monotone in the intersection size), never by a
+// rearranged inequality that could round differently at the boundary.
+func JaccardAtLeast(a, b []uint32, lambda float64) (float64, bool) {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 0, 0 >= lambda
+	}
+	n := la + lb
+	maxC := min(la, lb)
+	if float64(maxC)/float64(n-maxC) < lambda {
+		return 0, false
+	}
+	// Smallest intersection size whose similarity passes lambda.
+	lo, hi := 0, maxC
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if float64(mid)/float64(n-mid) < lambda {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cReq := lo
+	c := 0
+	i, j := 0, 0
+	for i < la && j < lb {
+		if c+min(la-i, lb-j) < cReq {
+			return 0, false
+		}
+		ai, bj := a[i], b[j]
+		if ai == bj {
+			c++
+			i++
+			j++
+		} else if ai < bj {
+			i++
+		} else {
+			j++
+		}
+	}
+	if c < cReq {
+		return 0, false
+	}
+	return float64(c) / float64(n-c), true
+}
+
 // BraunBlanquet returns |a ∩ b| / max(|a|, |b|), with BB(∅, ∅) = 0.
 func BraunBlanquet(a, b []uint32) float64 {
 	m := max(len(a), len(b))

@@ -298,3 +298,33 @@ func BenchmarkIntersectGallop(b *testing.B) {
 		IntersectSize(x, y)
 	}
 }
+
+func TestJaccardAtLeastAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	lambdas := []float64{0.1, 0.3, 0.5, 0.6, 0.75, 0.9, 0.99}
+	for i := 0; i < 3000; i++ {
+		// Small universes force overlap, including exact-boundary pairs.
+		a := randomSet(rng, 40, 30)
+		b := randomSet(rng, 40, 30)
+		want := Jaccard(a, b)
+		for _, lambda := range lambdas {
+			sim, ok := JaccardAtLeast(a, b, lambda)
+			if ok != (want >= lambda) {
+				t.Fatalf("JaccardAtLeast(%v, %v, %v) ok=%v, Jaccard=%v", a, b, lambda, ok, want)
+			}
+			if ok && sim != want {
+				t.Fatalf("JaccardAtLeast(%v, %v, %v) sim=%v, Jaccard=%v", a, b, lambda, sim, want)
+			}
+		}
+	}
+	// Empty-set edges mirror Jaccard's ∅ conventions.
+	if sim, ok := JaccardAtLeast(nil, nil, 0.5); ok || sim != 0 {
+		t.Errorf("JaccardAtLeast(∅, ∅, 0.5) = %v, %v", sim, ok)
+	}
+	if _, ok := JaccardAtLeast(nil, []uint32{1}, 0.5); ok {
+		t.Error("JaccardAtLeast(∅, {1}, 0.5) accepted")
+	}
+	if sim, ok := JaccardAtLeast([]uint32{1, 2}, []uint32{1, 2}, 1); !ok || sim != 1 {
+		t.Errorf("JaccardAtLeast(identical, 1) = %v, %v", sim, ok)
+	}
+}

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/cpindex"
+	"repro/internal/intset"
+	"repro/internal/tabhash"
+)
+
+// Result kinds a cache entry can hold; part of the key, so a Query and a
+// QueryAll for the same set never collide.
+const (
+	cacheKindBest uint8 = iota
+	cacheKindAll
+)
+
+// resultCache is the hot-query result cache: a size-bounded LRU keyed on
+// (index version, result kind, query). The version is bumped by every
+// result-affecting mutation — appends, deletes, seals, compaction swaps,
+// distributions — so invalidation is free: entries computed at an older
+// version simply stop being found and age out of the LRU. The map key is
+// a 64-bit hash; the entry stores the exact (version, kind, query) it was
+// computed for and a lookup verifies them, so a hash collision degrades
+// to a miss, never to a wrong answer.
+//
+// Cached QueryAll slices are returned without copying and must be treated
+// as read-only by callers (the public ssjoin wrappers copy; the HTTP
+// server only marshals).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[uint64]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key     uint64
+	version uint64
+	kind    uint8
+	q       []uint32 // private copy of the query
+	// cacheKindBest payload.
+	id  int
+	sim float64
+	ok  bool
+	// cacheKindAll payload.
+	all []cpindex.Match
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	return &resultCache{
+		max:     maxEntries,
+		ll:      list.New(),
+		entries: make(map[uint64]*list.Element),
+	}
+}
+
+// cacheKey hashes (version, kind, query) with chained avalanche mixing.
+// Collisions only cost a miss (lookup verifies the stored tuple).
+func cacheKey(version uint64, kind uint8, q []uint32) uint64 {
+	h := tabhash.Mix64(version ^ uint64(kind)<<56 ^ 0x9e3779b97f4a7c15)
+	for _, w := range q {
+		h = tabhash.Mix64(h ^ uint64(w))
+	}
+	return h ^ uint64(len(q))
+}
+
+// lookup finds a verified entry and marks it most recently used. Caller
+// holds mu.
+func (c *resultCache) lookup(version uint64, kind uint8, q []uint32) (*cacheEntry, bool) {
+	el, ok := c.entries[cacheKey(version, kind, q)]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.version != version || e.kind != kind || !intset.Equal(e.q, q) {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e, true
+}
+
+// put inserts or replaces the entry for its key and evicts from the LRU
+// tail past capacity.
+func (c *resultCache) put(e *cacheEntry) {
+	e.key = cacheKey(e.version, e.kind, e.q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) getBest(version uint64, q []uint32) (id int, sim float64, ok bool, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.lookup(version, cacheKindBest, q)
+	if !found {
+		c.misses++
+		return 0, 0, false, false
+	}
+	c.hits++
+	return e.id, e.sim, e.ok, true
+}
+
+func (c *resultCache) putBest(version uint64, q []uint32, id int, sim float64, ok bool) {
+	c.put(&cacheEntry{
+		version: version,
+		kind:    cacheKindBest,
+		q:       append([]uint32(nil), q...),
+		id:      id,
+		sim:     sim,
+		ok:      ok,
+	})
+}
+
+func (c *resultCache) getAll(version uint64, q []uint32) ([]cpindex.Match, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.lookup(version, cacheKindAll, q)
+	if !found {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.all, true
+}
+
+func (c *resultCache) putAll(version uint64, q []uint32, ms []cpindex.Match) {
+	c.put(&cacheEntry{
+		version: version,
+		kind:    cacheKindAll,
+		q:       append([]uint32(nil), q...),
+		all:     ms,
+	})
+}
+
+func (c *resultCache) stats() (entries int, hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.hits, c.misses
+}

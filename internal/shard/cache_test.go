@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/cpindex"
+)
+
+// TestCacheIdenticalAnswers pins the cache's core contract: with the
+// cache enabled, every entry point answers byte-identically to the
+// uncached index — on cold misses, warm hits, and after mutations that
+// invalidate by version bump.
+func TestCacheIdenticalAnswers(t *testing.T) {
+	sets, _ := workload(900, 0.8, 301)
+	plain := Build(sets, 0.5, &Options{Shards: 3, Seed: 9, MergeThreshold: 64})
+	cached := Build(sets, 0.5, &Options{Shards: 3, Seed: 9, MergeThreshold: 64, CacheSize: 128})
+
+	check := func(stage string) {
+		t.Helper()
+		qs := sets[:60]
+		for pass := 0; pass < 2; pass++ { // cold then warm
+			for i, q := range qs {
+				wid, wsim, wok := plain.Query(q)
+				gid, gsim, gok := cached.Query(q)
+				if wid != gid || wsim != gsim || wok != gok {
+					t.Fatalf("%s pass %d Query(%d): cached (%d,%v,%v) != plain (%d,%v,%v)",
+						stage, pass, i, gid, gsim, gok, wid, wsim, wok)
+				}
+				if !equalMatches(t, cached.QueryAll(q), plain.QueryAll(q)) {
+					t.Fatalf("%s pass %d QueryAll(%d) differs", stage, pass, i)
+				}
+			}
+			wb := plain.QueryBatch(qs)
+			gb := cached.QueryBatch(qs)
+			for i := range wb {
+				if !equalMatches(t, gb[i], wb[i]) {
+					t.Fatalf("%s pass %d QueryBatch[%d] differs", stage, pass, i)
+				}
+			}
+		}
+	}
+
+	check("initial")
+
+	// Mutations must invalidate: the warm cache may not serve pre-Add or
+	// pre-Delete answers.
+	extra := [][]uint32{sets[0], sets[1]}
+	plain.Add(extra)
+	cached.Add(extra)
+	check("after add")
+
+	plain.DeleteBatch([]int{0, 5, 17})
+	cached.DeleteBatch([]int{0, 5, 17})
+	check("after delete")
+
+	plain.Flush()
+	cached.Flush()
+	check("after flush")
+
+	plain.Compact()
+	cached.Compact()
+	check("after compact")
+
+	st := cached.Stats()
+	if !st.CacheEnabled {
+		t.Fatal("CacheEnabled false on a cached index")
+	}
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Fatalf("expected both hits and misses, got hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
+	if plainStats := plain.Stats(); plainStats.CacheEnabled {
+		t.Fatal("CacheEnabled true on an uncached index")
+	}
+}
+
+// TestCacheHitMissCounters exercises hit/miss accounting and version
+// invalidation on the raw cache path.
+func TestCacheHitMissCounters(t *testing.T) {
+	sets, _ := workload(300, 0.8, 311)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 11, CacheSize: 32})
+	q := sets[3]
+
+	x.Query(q) // miss
+	x.Query(q) // hit
+	x.Query(q) // hit
+	if _, hits, misses := x.cache.Load().stats(); hits != 2 || misses != 1 {
+		t.Fatalf("after 3 queries: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	// Any mutation bumps the version: the same query misses once, then
+	// hits again under the new version.
+	x.Delete(7)
+	x.Query(q)
+	x.Query(q)
+	if _, hits, misses := x.cache.Load().stats(); hits != 3 || misses != 2 {
+		t.Fatalf("after delete: hits=%d misses=%d, want 3/2", hits, misses)
+	}
+}
+
+// TestCacheLRUEviction fills a tiny cache past capacity and checks the
+// oldest entry is the one evicted.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	q1, q2, q3 := []uint32{1}, []uint32{2}, []uint32{3}
+	c.putBest(1, q1, 10, 0.9, true)
+	c.putBest(1, q2, 20, 0.8, true)
+	if entries, _, _ := c.stats(); entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+	// Touch q1 so q2 becomes the LRU victim.
+	if _, _, _, hit := c.getBest(1, q1); !hit {
+		t.Fatal("q1 should hit")
+	}
+	c.putBest(1, q3, 30, 0.7, true)
+	if entries, _, _ := c.stats(); entries != 2 {
+		t.Fatalf("entries = %d after eviction, want 2", entries)
+	}
+	if _, _, _, hit := c.getBest(1, q2); hit {
+		t.Fatal("q2 should have been evicted")
+	}
+	if _, _, _, hit := c.getBest(1, q1); !hit {
+		t.Fatal("q1 should still be cached")
+	}
+	if id, sim, ok, hit := c.getBest(1, q3); !hit || id != 30 || sim != 0.7 || !ok {
+		t.Fatalf("q3 = (%d,%v,%v,%v), want (30,0.7,true,true)", id, sim, ok, hit)
+	}
+	// Same query, different kind: distinct entries.
+	c.putAll(1, q3, []cpindex.Match{{ID: 30, Sim: 0.7}})
+	if ms, hit := c.getAll(1, q3); !hit || len(ms) != 1 || ms[0].ID != 30 {
+		t.Fatalf("getAll(q3) = %v, %v", ms, hit)
+	}
+	if _, _, _, hit := c.getBest(1, q3); !hit {
+		t.Fatal("best entry clobbered by all entry")
+	}
+}
+
+// TestEnableCacheAfterBuild covers the post-Load path cmd/serve uses.
+func TestEnableCacheAfterBuild(t *testing.T) {
+	sets, _ := workload(200, 0.8, 321)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 13})
+	if x.Stats().CacheEnabled {
+		t.Fatal("cache on without CacheSize")
+	}
+	before := x.QueryAll(sets[0])
+	x.EnableCache(16)
+	if !x.Stats().CacheEnabled {
+		t.Fatal("cache off after EnableCache")
+	}
+	if !equalMatches(t, x.QueryAll(sets[0]), before) {
+		t.Fatal("answers changed when cache enabled")
+	}
+	x.EnableCache(0)
+	if x.Stats().CacheEnabled {
+		t.Fatal("cache on after EnableCache(0)")
+	}
+}
+
+// TestQueryZeroAllocsAllLocal pins the serving-path allocation contract:
+// on an all-local ring with no tombstones and the cache off, Query
+// allocates nothing at steady state.
+func TestQueryZeroAllocsAllLocal(t *testing.T) {
+	sets, _ := workload(1500, 0.8, 331)
+	x := Build(sets, 0.5, &Options{Shards: 3, Seed: 15})
+	for i := 0; i < 30; i++ { // warm scratch pools
+		x.Query(sets[i])
+	}
+	qi := 0
+	if n := testing.AllocsPerRun(100, func() {
+		x.Query(sets[qi%700])
+		qi++
+	}); n != 0 {
+		t.Errorf("shard Query allocates %v/op, want 0", n)
+	}
+}

@@ -85,6 +85,7 @@ func (x *Index) Compact() CompactResult {
 			T:        x.opt.T,
 			Seed:     SeedFor(x.opt.Seed, slot),
 			Workers:  x.opt.Workers,
+			Layout:   x.opt.Layout,
 		})
 		merged = &subIndex{ix: ix, ids: ids}
 	}
@@ -129,6 +130,7 @@ func (x *Index) Compact() CompactResult {
 		x.markDroppedLocked(dropped)
 	}
 	x.generation++
+	x.version.Add(1)
 	x.compactions++
 	x.compactedShards += len(victims)
 	return CompactResult{

@@ -425,5 +425,6 @@ func (x *Index) Distribute(peers []string, o *DistributeOptions) error {
 	}
 	x.shards = ring
 	x.generation++
+	x.version.Add(1)
 	return nil
 }

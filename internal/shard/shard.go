@@ -83,6 +83,15 @@ type Options struct {
 	// execution layer: 0 runs sequentially, negative selects GOMAXPROCS.
 	// Results are identical for any worker count.
 	Workers int
+	// Layout selects the cpindex query representation for every local
+	// shard (default cpindex.LayoutFlat). Answers are byte-identical
+	// either way.
+	Layout cpindex.Layout
+	// CacheSize enables the hot-query result cache with room for that
+	// many entries (0, the default, disables it). Entries are keyed on
+	// the index version, which every mutation bumps, so a cached answer
+	// is always the answer the uncached path would give; see resultCache.
+	CacheSize int
 
 	// AutoCompact runs Compact in a background goroutine after every seal,
 	// so a long-running service reclaims small shards and tombstones
@@ -286,6 +295,17 @@ type Index struct {
 	// bumped generation tells observers the shard set they snapshotted has
 	// been superseded; in-flight queries finish against their snapshot.
 	generation int
+	// version counts every mutation that can change any query's answer:
+	// appends, deletes, seals, compaction swaps and distributions. It is
+	// the result cache's invalidation key — a cached answer is keyed on
+	// the version it was computed at, so a bump orphans every stale entry
+	// without scanning anything. Kept separate from generation, which
+	// deliberately tracks ring changes only (Add and Delete mutate
+	// results without resealing a shard).
+	version atomic.Uint64
+	// cache is the optional hot-query result cache (nil when disabled).
+	// An atomic pointer so EnableCache can install it on a serving index.
+	cache atomic.Pointer[resultCache]
 	// compactions / compactedShards count completed Compact passes and the
 	// shards they removed or rewrote.
 	compactions     int
@@ -359,7 +379,41 @@ func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 	} else {
 		exec.Run(workers, tasks...)
 	}
+	if opt.CacheSize > 0 {
+		x.cache.Store(newResultCache(opt.CacheSize))
+	}
 	return x
+}
+
+// SetLayout switches every local shard's query representation. Like
+// cpindex.SetLayout it is a configuration call: apply it before serving,
+// not concurrently with queries.
+func (x *Index) SetLayout(l cpindex.Layout) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.opt.Layout = l
+	for _, sh := range x.shards {
+		switch b := sh.(type) {
+		case *subIndex:
+			b.ix.SetLayout(l)
+		case *remoteShard:
+			if b.local != nil {
+				b.local.ix.SetLayout(l)
+			}
+		}
+	}
+}
+
+// EnableCache installs a result cache with room for maxEntries entries
+// (or removes it when maxEntries <= 0). Safe on a serving index: queries
+// pick the cache up atomically, and entries are version-keyed, so there
+// is no warm-up hazard.
+func (x *Index) EnableCache(maxEntries int) {
+	if maxEntries <= 0 {
+		x.cache.Store(nil)
+		return
+	}
+	x.cache.Store(newResultCache(maxEntries))
 }
 
 // buildShard builds the cpindex of one shard over the given global ids.
@@ -375,6 +429,7 @@ func buildShard(sets [][]uint32, ids []int, lambda float64, opt Options, seed ui
 			T:        opt.T,
 			Seed:     seed,
 			Workers:  workers,
+			Layout:   opt.Layout,
 		}),
 		ids: ids,
 	}
@@ -398,19 +453,18 @@ func (x *Index) Len() int {
 // buffer's visible prefix is capped with a full slice expression, so the
 // snapshot stays valid after the lock is released; entries appended after
 // the snapshot are simply not seen — the usual read-committed serving
-// semantics.
-func (x *Index) snapshot() ([]shardBackend, []sideBuffer, map[int]struct{}) {
+// semantics. Detached sealing buffers come back as the shared pointers
+// (they are frozen) and the live buffer as a capped value, so a snapshot
+// allocates nothing — part of the zero-allocation query contract.
+func (x *Index) snapshot() ([]shardBackend, []*sideBuffer, sideBuffer, map[int]struct{}) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	buffers := make([]sideBuffer, 0, len(x.sealing)+1)
-	for _, b := range x.sealing {
-		buffers = append(buffers, *b)
-	}
-	buffers = append(buffers, sideBuffer{
+	sealing := x.sealing[:len(x.sealing):len(x.sealing)]
+	side := sideBuffer{
 		sets: x.side.sets[:len(x.side.sets):len(x.side.sets)],
 		ids:  x.side.ids[:len(x.side.ids):len(x.side.ids)],
-	})
-	return x.shards, buffers, x.tombs
+	}
+	return x.shards, sealing, side, x.tombs
 }
 
 // Query returns the best match across all shards: the global id of an
@@ -442,42 +496,64 @@ func (x *Index) QueryErr(q []uint32) (id int, sim float64, ok bool, err error) {
 	if len(q) == 0 {
 		return -1, 0, false, nil
 	}
-	shards, buffers, tombs := x.snapshot()
-	type bestAnswer struct {
-		id    int
-		sim   float64
-		found bool
-		err   error
+	if c := x.cache.Load(); c != nil {
+		// The version is read before the state snapshot, so the answer
+		// computed below reflects a state at least as new as the key
+		// claims; a concurrent mutation bumps the version and orphans the
+		// entry rather than letting it serve stale.
+		v := x.version.Load()
+		if id, sim, ok, hit := c.getBest(v, q); hit {
+			return id, sim, ok, nil
+		}
+		id, sim, ok, err := x.queryBest(q)
+		if err == nil {
+			c.putBest(v, q, id, sim, ok)
+		}
+		return id, sim, ok, err
 	}
+	return x.queryBest(q)
+}
+
+// bestAnswer carries one shard's prefetched queryBest result.
+type bestAnswer struct {
+	id    int
+	sim   float64
+	found bool
+	err   error
+}
+
+// queryBest is the uncached QueryErr body. On an all-local ring it
+// allocates nothing: the snapshot, the merge and the buffer scans all run
+// on pooled or borrowed storage.
+func (x *Index) queryBest(q []uint32) (int, float64, bool, error) {
+	shards, sealing, side, tombs := x.snapshot()
 	// Prefetch every remote shard's best match in parallel; locals are
 	// answered inline in the merge loop below (no I/O to overlap). The
 	// merge itself stays in ring order, and the (sim desc, id asc) total
 	// order makes the answer independent of evaluation order anyway.
-	prefetched := make([]*bestAnswer, len(shards))
 	var remoteIdx []int
 	for i, sh := range shards {
 		if _, remote := sh.(*remoteShard); remote {
 			remoteIdx = append(remoteIdx, i)
 		}
 	}
+	var prefetched []bestAnswer
 	if len(remoteIdx) > 0 {
+		prefetched = make([]bestAnswer, len(shards))
 		exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(remoteIdx), func(j int) {
 			i := remoteIdx[j]
-			a := &bestAnswer{}
+			a := &prefetched[i]
 			a.id, a.sim, a.found, a.err = shards[i].queryBest(q)
-			prefetched[i] = a
 		})
 	}
 	best, bestSim := -1, 0.0
-	better := func(id int, sim float64) bool {
-		return sim > bestSim || (sim == bestSim && (best < 0 || id < best))
-	}
 	for i, sh := range shards {
 		var g int
 		var s float64
 		var found bool
 		var err error
-		if a := prefetched[i]; a != nil {
+		if prefetched != nil && contains(remoteIdx, i) {
+			a := &prefetched[i]
 			g, s, found, err = a.id, a.sim, a.found, a.err
 		} else {
 			g, s, found, err = sh.queryBest(q)
@@ -496,27 +572,49 @@ func (x *Index) QueryErr(q []uint32) (id int, sim float64, ok bool, err error) {
 				return -1, 0, false, err
 			}
 			for _, m := range ms {
-				if _, dead := tombs[m.ID]; !dead && better(m.ID, m.Sim) {
+				if _, dead := tombs[m.ID]; dead {
+					continue
+				}
+				if m.Sim > bestSim || (m.Sim == bestSim && (best < 0 || m.ID < best)) {
 					best, bestSim = m.ID, m.Sim
 				}
 			}
 			continue
 		}
-		if better(g, s) {
+		if s > bestSim || (s == bestSim && (best < 0 || g < best)) {
 			best, bestSim = g, s
 		}
 	}
-	for _, side := range buffers {
-		for i, set := range side.sets {
-			if _, dead := tombs[side.ids[i]]; dead {
-				continue
-			}
-			if s := intset.Jaccard(q, set); s >= x.lambda && better(side.ids[i], s) {
-				best, bestSim = side.ids[i], s
-			}
+	for _, b := range sealing {
+		best, bestSim = scanBufferBest(*b, q, x.lambda, tombs, best, bestSim)
+	}
+	best, bestSim = scanBufferBest(side, q, x.lambda, tombs, best, bestSim)
+	return best, bestSim, best >= 0, nil
+}
+
+// scanBufferBest folds one exactly-scanned buffer into the running best
+// match under the (sim desc, id asc) total order.
+func scanBufferBest(b sideBuffer, q []uint32, lambda float64, tombs map[int]struct{}, best int, bestSim float64) (int, float64) {
+	for i, set := range b.sets {
+		id := b.ids[i]
+		if _, dead := tombs[id]; dead {
+			continue
+		}
+		if s, ok := intset.JaccardAtLeast(q, set, lambda); ok &&
+			(s > bestSim || (s == bestSim && (best < 0 || id < best))) {
+			best, bestSim = id, s
 		}
 	}
-	return best, bestSim, best >= 0, nil
+	return best, bestSim
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // QueryAll returns every match across all shards and the side buffer,
@@ -536,7 +634,22 @@ func (x *Index) QueryAll(q []uint32) []cpindex.Match {
 // as an error instead of a silent partial merge. Remote shards are asked
 // concurrently, like QueryErr.
 func (x *Index) QueryAllErr(q []uint32) ([]cpindex.Match, error) {
-	shards, buffers, tombs := x.snapshot()
+	if c := x.cache.Load(); c != nil {
+		v := x.version.Load()
+		if ms, hit := c.getAll(v, q); hit {
+			return ms, nil
+		}
+		ms, err := x.queryAllUncached(q)
+		if err == nil {
+			c.putAll(v, q, ms)
+		}
+		return ms, err
+	}
+	return x.queryAllUncached(q)
+}
+
+func (x *Index) queryAllUncached(q []uint32) ([]cpindex.Match, error) {
+	shards, sealing, side, tombs := x.snapshot()
 	var locals []shardBackend
 	var remotes []shardBackend
 	for _, sh := range shards {
@@ -558,7 +671,7 @@ func (x *Index) QueryAllErr(q []uint32) ([]cpindex.Match, error) {
 			}
 		}
 	}
-	return mergeQuery(locals, extra, buffers, tombs, x.lambda, q)
+	return mergeQuery(locals, extra, sealing, side, tombs, x.lambda, q)
 }
 
 // mergeQuery is the shared per-query merge: matches from every shard in
@@ -567,7 +680,7 @@ func (x *Index) QueryAllErr(q []uint32) ([]cpindex.Match, error) {
 // buffers — tombstones filtered throughout, sorted by global id. Shards
 // are disjoint and ids unique, so the sort yields one canonical answer
 // regardless of which path a shard's matches arrived by.
-func mergeQuery(shards []shardBackend, extra [][]cpindex.Match, buffers []sideBuffer, tombs map[int]struct{}, lambda float64, q []uint32) ([]cpindex.Match, error) {
+func mergeQuery(shards []shardBackend, extra [][]cpindex.Match, sealing []*sideBuffer, side sideBuffer, tombs map[int]struct{}, lambda float64, q []uint32) ([]cpindex.Match, error) {
 	var out []cpindex.Match
 	keep := func(ms []cpindex.Match) {
 		for _, m := range ms {
@@ -588,19 +701,26 @@ func mergeQuery(shards []shardBackend, extra [][]cpindex.Match, buffers []sideBu
 		keep(ms)
 	}
 	if len(q) > 0 {
-		for _, side := range buffers {
-			for i, set := range side.sets {
-				if _, dead := tombs[side.ids[i]]; dead {
-					continue
-				}
-				if sim := intset.Jaccard(q, set); sim >= lambda {
-					out = append(out, cpindex.Match{ID: side.ids[i], Sim: sim})
-				}
-			}
+		for _, b := range sealing {
+			out = appendBufferMatches(out, *b, q, lambda, tombs)
 		}
+		out = appendBufferMatches(out, side, q, lambda, tombs)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
+}
+
+// appendBufferMatches exact-scans one buffer and appends its live matches.
+func appendBufferMatches(out []cpindex.Match, b sideBuffer, q []uint32, lambda float64, tombs map[int]struct{}) []cpindex.Match {
+	for i, set := range b.sets {
+		if _, dead := tombs[b.ids[i]]; dead {
+			continue
+		}
+		if sim, ok := intset.JaccardAtLeast(q, set, lambda); ok {
+			out = append(out, cpindex.Match{ID: b.ids[i], Sim: sim})
+		}
+	}
+	return out
 }
 
 // QueryBatch answers many queries at once: the queries become chunked
@@ -626,7 +746,41 @@ func (x *Index) QueryBatch(qs [][]uint32) [][]cpindex.Match {
 // live replica, no local copy) fails the whole batch with its error: a
 // batch never silently merges partial topology.
 func (x *Index) QueryBatchErr(qs [][]uint32) ([][]cpindex.Match, error) {
-	shards, buffers, tombs := x.snapshot()
+	c := x.cache.Load()
+	if c == nil {
+		return x.queryBatchUncached(qs)
+	}
+	// Per-query cache consult: hits are filled from the cache, misses go
+	// through the normal batch machinery together (remote shards still see
+	// one RPC for the whole miss set) and are stored back under the
+	// version read before the snapshot.
+	v := x.version.Load()
+	out := make([][]cpindex.Match, len(qs))
+	var missIdx []int
+	var missQs [][]uint32
+	for i, q := range qs {
+		if ms, hit := c.getAll(v, q); hit {
+			out[i] = ms
+		} else {
+			missIdx = append(missIdx, i)
+			missQs = append(missQs, q)
+		}
+	}
+	if len(missQs) > 0 {
+		res, err := x.queryBatchUncached(missQs)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range missIdx {
+			out[i] = res[j]
+			c.putAll(v, qs[i], res[j])
+		}
+	}
+	return out, nil
+}
+
+func (x *Index) queryBatchUncached(qs [][]uint32) ([][]cpindex.Match, error) {
+	shards, sealing, side, tombs := x.snapshot()
 	workers := exec.EffectiveWorkers(x.opt.Workers)
 	var locals, remotes []shardBackend
 	for _, sh := range shards {
@@ -656,7 +810,7 @@ func (x *Index) QueryBatchErr(qs [][]uint32) ([][]cpindex.Match, error) {
 		}
 		// Local backends cannot fail, so the per-query error is always nil
 		// here; remote errors were collected above.
-		out[i], _ = mergeQuery(locals, extra, buffers, tombs, x.lambda, qs[i])
+		out[i], _ = mergeQuery(locals, extra, sealing, side, tombs, x.lambda, qs[i])
 	})
 	return out, nil
 }
@@ -689,6 +843,7 @@ func (x *Index) Add(sets [][]uint32) []int {
 	}
 	x.live += len(sets)
 	x.appends += len(sets)
+	x.version.Add(1)
 	var pending *sideBuffer
 	slot := 0
 	if len(x.side.sets) >= x.opt.MergeThreshold {
@@ -767,6 +922,7 @@ func (x *Index) finishSeal(b *sideBuffer, slot int) {
 		T:        x.opt.T,
 		Seed:     SeedFor(x.opt.Seed, slot),
 		Workers:  x.opt.Workers,
+		Layout:   x.opt.Layout,
 	})
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -779,6 +935,7 @@ func (x *Index) finishSeal(b *sideBuffer, slot int) {
 	}
 	x.merges++
 	x.generation++
+	x.version.Add(1)
 }
 
 // markDroppedLocked records ids whose physical entries have just been
@@ -839,6 +996,7 @@ func (x *Index) DeleteBatch(ids []int) int {
 		x.tombs = next
 		x.deletes += deleted
 		x.live -= deleted
+		x.version.Add(1)
 	}
 	return deleted
 }
@@ -905,6 +1063,14 @@ type Stats struct {
 	Leaves       int    `json:"leaves"`
 	Partition    string `json:"partition"`
 	Workers      int    `json:"workers"`
+	// CacheEnabled reports whether the hot-query result cache is on;
+	// when it is, CacheEntries is its current size and CacheHits /
+	// CacheMisses its lifetime counters (misses include entries orphaned
+	// by a version bump).
+	CacheEnabled bool   `json:"cache_enabled"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
 }
 
 // Stats returns a point-in-time snapshot of the index shape.
@@ -930,6 +1096,10 @@ func (x *Index) Stats() Stats {
 		Generation:      x.generation,
 		Partition:       x.opt.Partition.String(),
 		Workers:         x.opt.Workers,
+	}
+	if c := x.cache.Load(); c != nil {
+		st.CacheEnabled = true
+		st.CacheEntries, st.CacheHits, st.CacheMisses = c.stats()
 	}
 	for _, sh := range x.shards {
 		st.ShardSizes = append(st.ShardSizes, sh.size())

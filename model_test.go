@@ -17,7 +17,8 @@ import (
 // brute force — is driven through the same randomly generated op sequence
 // (Add / Delete / Query / QueryBatch / Flush / Compact / Save / Load) as
 // a real ShardedIndex, and every op's result is checked for byte-identical
-// agreement, across partition schemes × shard counts × worker counts.
+// agreement, across partition schemes × shard counts × worker counts ×
+// topologies × query layouts (flat and pointer) × result cache on/off.
 // This is what makes the compaction equivalence claim a theorem about the
 // implementation rather than a hope: any reorganization the ops trigger —
 // seals, compactions, snapshot round trips — must leave every answer
@@ -205,32 +206,49 @@ func modelOps() int {
 // with the same brute-force model the all-local configurations answer
 // to; agreeing with the model exactly, both topologies agree with each
 // other.
+//
+// The layout and cache dimensions ride the same grid: every fourth
+// configuration pairs one of {flat, pointer} × {cache off, cache on},
+// so the flat query engine, the pointer-trie reference it must equal,
+// and the versioned result cache all face the same op sequences. The
+// cache is deliberately small (it evicts constantly) and neither knob
+// survives a snapshot, so every save/load cycle also checks that
+// re-applying them to a freshly loaded index changes no answer.
 func TestShardedIndexMatchesModel(t *testing.T) {
 	const lambda = 0.5
+	const cacheEntries = 48
 	type config struct {
 		hash    bool
 		shards  int
 		workers int
 		remote  bool
+		pointer bool
+		cache   bool
 	}
 	var configs []config
 	for _, hash := range []bool{false, true} {
 		for _, shards := range []int{1, 3} {
 			for _, workers := range []int{0, 4} {
-				configs = append(configs, config{hash, shards, workers, false})
+				combo := len(configs) % 4
+				configs = append(configs, config{hash, shards, workers, false,
+					combo&1 != 0, combo&2 != 0})
 			}
 		}
 	}
 	// The remote-topology slice of the grid: both partition schemes at
-	// the multi-shard point, sequential and parallel merges.
+	// the multi-shard point, sequential and parallel merges, again
+	// cycling through the layout × cache combinations.
 	for _, hash := range []bool{false, true} {
 		for _, workers := range []int{0, 4} {
-			configs = append(configs, config{hash, 3, workers, true})
+			combo := len(configs) % 4
+			configs = append(configs, config{hash, 3, workers, true,
+				combo&1 != 0, combo&2 != 0})
 		}
 	}
 	for ci, cfg := range configs {
 		cfg := cfg
-		name := fmt.Sprintf("hash=%v/shards=%d/workers=%d/remote=%v", cfg.hash, cfg.shards, cfg.workers, cfg.remote)
+		name := fmt.Sprintf("hash=%v/shards=%d/workers=%d/remote=%v/pointer=%v/cache=%v",
+			cfg.hash, cfg.shards, cfg.workers, cfg.remote, cfg.pointer, cfg.cache)
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			seed := int64(0xC0FFEE + 1000*ci)
@@ -258,6 +276,10 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 			for i := range initial {
 				initial[i] = genSet(r)
 			}
+			cacheSize := 0
+			if cfg.cache {
+				cacheSize = cacheEntries
+			}
 			model := newRefModel(lambda, initial)
 			ix := NewShardedIndex(initial, lambda, &ShardedOptions{
 				Shards:         cfg.shards,
@@ -267,8 +289,19 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 				LeafSize:       1 << 20, // exact mode: every tree is one scanned leaf
 				Seed:           uint64(seed),
 				Workers:        cfg.workers,
+				PointerLayout:  cfg.pointer,
+				CacheSize:      cacheSize,
 			})
 			distribute(ix)
+
+			// Layout and cache are runtime knobs, not snapshot state: a
+			// loaded index always starts flat and uncached, so the
+			// configuration must be re-applied after every Load for the
+			// dimension to keep testing anything across round trips.
+			reconfigure := func(ix *ShardedIndex) {
+				ix.SetPointerLayout(cfg.pointer)
+				ix.EnableCache(cacheSize)
+			}
 
 			fail := func(op int, format string, args ...any) {
 				t.Helper()
@@ -346,6 +379,7 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 					// local, so a remote configuration re-ships its shards —
 					// every round trip exercises placement afresh.
 					distribute(ix)
+					reconfigure(ix)
 				}
 
 				if got, want := ix.Len(), len(model.sets); got != want {
@@ -371,6 +405,7 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 			}
 			ix = loaded
 			distribute(ix)
+			reconfigure(ix)
 			var finals [][]uint32
 			for id := 0; id < model.next; id++ {
 				if s, live := model.sets[id]; live {

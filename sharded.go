@@ -1,6 +1,9 @@
 package ssjoin
 
-import "repro/internal/shard"
+import (
+	"repro/internal/cpindex"
+	"repro/internal/shard"
+)
 
 // ShardedOptions configures a ShardedIndex.
 type ShardedOptions struct {
@@ -33,6 +36,16 @@ type ShardedOptions struct {
 	CompactSmall          int
 	CompactMinShards      int
 	CompactTombstoneRatio float64
+	// PointerLayout routes queries through the original pointer-trie
+	// representation instead of the flat-array engine. Answers are
+	// byte-identical either way — this is an escape hatch and a testing
+	// hook, not a tuning knob; the flat default is faster.
+	PointerLayout bool
+	// CacheSize enables the hot-query result cache with room for that
+	// many entries (0 disables it). Cached answers are keyed on an
+	// internal version bumped by every mutation, so they are always
+	// identical to what the uncached path would return.
+	CacheSize int
 }
 
 // ShardedIndex is a similarity search index partitioned into independently
@@ -62,9 +75,13 @@ func NewShardedIndex(sets [][]uint32, lambda float64, opts *ShardedOptions) *Sha
 			CompactSmall:          opts.CompactSmall,
 			CompactMinShards:      opts.CompactMinShards,
 			CompactTombstoneRatio: opts.CompactTombstoneRatio,
+			CacheSize:             opts.CacheSize,
 		}
 		if opts.HashPartition {
 			o.Partition = shard.PartitionHash
+		}
+		if opts.PointerLayout {
+			o.Layout = cpindex.LayoutPointer
 		}
 	}
 	return &ShardedIndex{ix: shard.Build(sets, lambda, o)}
@@ -183,6 +200,25 @@ func (s *ShardedIndex) Compact() CompactResult {
 // seal (also settable up front via ShardedOptions.AutoCompact).
 func (s *ShardedIndex) SetAutoCompact(on bool) {
 	s.ix.SetAutoCompact(on)
+}
+
+// SetPointerLayout switches every shard between the flat-array query
+// engine (false, the default) and the pointer-trie reference layout
+// (true). A configuration call: apply it before serving, not concurrently
+// with queries. Loaded indexes always start on the flat layout.
+func (s *ShardedIndex) SetPointerLayout(on bool) {
+	l := cpindex.LayoutFlat
+	if on {
+		l = cpindex.LayoutPointer
+	}
+	s.ix.SetLayout(l)
+}
+
+// EnableCache installs (or, with maxEntries <= 0, removes) the hot-query
+// result cache on a built or loaded index — the post-Load counterpart of
+// ShardedOptions.CacheSize, which is not persisted.
+func (s *ShardedIndex) EnableCache(maxEntries int) {
+	s.ix.EnableCache(maxEntries)
 }
 
 // Delete removes the set with the given global id from all query results,
