@@ -202,18 +202,23 @@ func main() {
 			ws := bench.SyntheticWorkloads(scale)[:1]
 			rows := bench.RunServingBench(ws, bench.DefaultShardCounts(), bench.DefaultWorkerCounts(), cfg, progress)
 			comp := bench.RunCompactionBench(ws, []int{2, 4}, bench.DefaultWorkerCounts(), cfg, progress)
+			// The observability check rides along: scrape /metrics off an
+			// instrumented distributed index and record the verdict with
+			// the rows, so CI gates on the exposition staying valid.
+			scrape := bench.CheckMetricsExposition(ws[0], cfg)
 			if jsonOut {
-				check(bench.WriteServingJSON(out, rows, comp))
+				check(bench.WriteServingJSON(out, rows, comp, &scrape))
 			} else {
 				bench.PrintServing(out, rows)
 				banner("== Compaction: churn, one pass, post-compaction queries (λ=0.5) ==")
 				bench.PrintCompaction(out, comp)
+				fmt.Fprintf(out, "\nmetrics scrape: ok=%v series=%d %s\n", scrape.OK, scrape.Series, scrape.Error)
 			}
 		case "compaction":
 			banner("== Compaction: churn, one pass, post-compaction queries (λ=0.5) ==")
 			comp := bench.RunCompactionBench(bench.SyntheticWorkloads(scale)[:1], []int{2, 4}, bench.DefaultWorkerCounts(), cfg, progress)
 			if jsonOut {
-				check(bench.WriteServingJSON(out, nil, comp))
+				check(bench.WriteServingJSON(out, nil, comp, nil))
 			} else {
 				bench.PrintCompaction(out, comp)
 			}

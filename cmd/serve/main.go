@@ -8,7 +8,7 @@
 //	serve -input catalogue.txt -threshold 0.6 [-addr :8321] [-shards 4]
 //	      [-hash] [-merge 1024] [-trees 10] [-seed 42] [-workers N]
 //	      [-data DIR] [-save-on-shutdown] [-auto-compact]
-//	      [-cache N] [-pprof]
+//	      [-cache N] [-pprof] [-metrics] [-slow-query D] [-access-log]
 //	      [-peers URL,URL,...] [-replicas N] [-keep-local] [-peer]
 //
 // Persistence: with -data, the service restores the index from DIR's
@@ -19,20 +19,31 @@
 //
 // Endpoints:
 //
-//	POST /query        {"set":[1,2,3], "all":true}   one query
+//	POST /query        {"set":[1,2,3], "all":true, "debug":true}  one query (debug adds the per-shard trace)
 //	POST /query_batch  {"sets":[[1,2,3],[4,5,6]]}    many queries, one round trip
 //	POST /add          {"sets":[[7,8,9]]}            append sets (no rebuild)
 //	POST /delete       {"ids":[3,17]}                tombstone sets
 //	POST /compact      merge small shards, reclaim tombstones (non-blocking for queries)
 //	GET  /stats                                      index shape snapshot
-//	GET  /healthz                                    liveness
+//	GET  /metrics                                    Prometheus text exposition (disable with -metrics=false)
+//	GET  /healthz                                    liveness (always 200, health JSON body)
+//	GET  /readyz                                     readiness (503 while a remote shard is unanswerable)
+//
+// Observability: /metrics exposes query/mutation latency histograms, the
+// candidate pipeline counters, per-peer RPC and failover counters,
+// compaction, cache and execution-layer metrics in the Prometheus text
+// format. -slow-query 250ms logs one structured line (query size,
+// per-shard timings, candidate counts, cache outcome) for every /query
+// over the threshold; the same breakdown is available per request with
+// "debug":true. -access-log logs one line per HTTP request. All logging
+// is structured log/slog on stderr.
 //
 // Performance: -cache N caches up to N hot query results (invalidated
 // automatically by appends, deletes, seals, compactions and shard
-// placement; hit/miss counters appear in /stats). -pprof mounts the
-// net/http/pprof profiling endpoints under /debug/pprof/ on the serving
-// listener, so hot-path CPU and heap profiles can be captured from a
-// running coordinator or peer:
+// placement; hit/miss counters appear in /stats and /metrics). -pprof
+// mounts the net/http/pprof profiling endpoints under /debug/pprof/ on
+// the serving listener — registered explicitly on the opt-in mux, so
+// profiling endpoints exist only when asked for:
 //
 //	go tool pprof http://localhost:8321/debug/pprof/profile?seconds=10
 //
@@ -52,24 +63,26 @@
 // all-local index even with peers down. With -keep-local=false shards
 // are moved, not replicated: RAM for the bulk structures is freed, and a
 // shard whose replicas are all dead makes queries fail with 502 rather
-// than silently answering from partial topology. Peers are ordinary
-// serve instances — any instance accepts shipped shards on
-// /shard/snapshot and answers /shard/query — and -peer starts one with
-// an empty index of its own, purely to host shards for coordinators.
+// than silently answering from partial topology — /readyz turns 503 in
+// that state so load balancers drain the node. Peers are ordinary serve
+// instances — any instance accepts shipped shards on /shard/snapshot and
+// answers /shard/query — and -peer starts one with an empty index of its
+// own, purely to host shards for coordinators.
 //
 // Example:
 //
 //	serve -input catalogue.txt -threshold 0.5 -data /var/lib/cps -save-on-shutdown &
 //	curl -s localhost:8321/query -d '{"set":[1,2,3],"all":true}'
+//	curl -s localhost:8321/metrics | grep cps_query_seconds
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -81,6 +94,10 @@ import (
 	"repro/internal/shard"
 	"repro/internal/snapshot"
 )
+
+// logger is the process-wide structured logger: text handler on stderr,
+// shared with the shard server's slow-query log.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	var (
@@ -102,11 +119,14 @@ func main() {
 		peerMode  = flag.Bool("peer", false, "start with an empty index and host shards shipped by coordinators")
 		cacheSize = flag.Int("cache", 0, "hot-query result cache entries (0 disables; invalidated automatically on any mutation)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
+		metricsOn = flag.Bool("metrics", true, "expose Prometheus metrics on /metrics")
+		slowQuery = flag.Duration("slow-query", 0, "log a structured line for /query requests over this duration (0 disables)")
+		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
 	)
 	flag.Parse()
 
 	if *saveOnEnd && *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "serve: -save-on-shutdown requires -data")
+		logger.Error("-save-on-shutdown requires -data")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -117,32 +137,33 @@ func main() {
 		// A pure peer serves no collection of its own; it exists to host
 		// shards shipped to /shard/snapshot by coordinators.
 		if *threshold <= 0 || *threshold >= 1 {
-			fatalf("threshold %v out of (0,1)", *threshold)
+			fatal("threshold out of (0,1)", "threshold", *threshold)
 		}
 		ix = shard.Build(nil, *threshold, &shard.Options{Workers: *workers, Seed: *seed, AutoCompact: *autoComp})
-		fmt.Fprintf(os.Stderr, "serve: peer mode (empty index) — listening on %s\n", *addr)
+		logger.Info("peer mode: empty index", "addr", *addr)
 	} else if *dataDir != "" && manifestExists(*dataDir) {
 		var err error
 		ix, err = shard.Load(*dataDir, *workers)
 		if err != nil {
-			fatalf("restoring %s: %v", *dataDir, err)
+			fatal("restore failed", "dir", *dataDir, "err", err)
 		}
 		ix.SetAutoCompact(*autoComp)
 		st := ix.Stats()
-		fmt.Fprintf(os.Stderr, "serve: restored %d sets in %d %s shards from %s (%.2fs) — listening on %s\n",
-			st.Sets, st.Shards, st.Partition, *dataDir, time.Since(start).Seconds(), *addr)
+		logger.Info("restored snapshot",
+			"sets", st.Sets, "shards", st.Shards, "partition", st.Partition,
+			"dir", *dataDir, "seconds", time.Since(start).Seconds(), "addr", *addr)
 	} else {
 		if *input == "" {
-			fmt.Fprintln(os.Stderr, "serve: -input is required (no snapshot in -data)")
+			logger.Error("-input is required (no snapshot in -data)")
 			flag.Usage()
 			os.Exit(2)
 		}
 		if *threshold <= 0 || *threshold >= 1 {
-			fatalf("threshold %v out of (0,1)", *threshold)
+			fatal("threshold out of (0,1)", "threshold", *threshold)
 		}
 		catalogue, err := ssjoin.LoadSets(*input)
 		if err != nil {
-			fatalf("loading %s: %v", *input, err)
+			fatal("loading input failed", "input", *input, "err", err)
 		}
 		opts := &shard.Options{
 			Shards:         *shards,
@@ -157,8 +178,9 @@ func main() {
 		}
 		ix = shard.Build(catalogue, *threshold, opts)
 		st := ix.Stats()
-		fmt.Fprintf(os.Stderr, "serve: indexed %d sets in %d %s shards (%.2fs, %d nodes) — listening on %s\n",
-			st.Sets, st.Shards, st.Partition, time.Since(start).Seconds(), st.Nodes, *addr)
+		logger.Info("indexed collection",
+			"sets", st.Sets, "shards", st.Shards, "partition", st.Partition,
+			"nodes", st.Nodes, "seconds", time.Since(start).Seconds(), "addr", *addr)
 	}
 
 	if *peers != "" {
@@ -169,28 +191,44 @@ func main() {
 			KeepLocal: *keepLocal,
 		})
 		if err != nil {
-			fatalf("distributing shards: %v", err)
+			fatal("distributing shards failed", "err", err)
 		}
 		st := ix.Stats()
-		fmt.Fprintf(os.Stderr, "serve: placed %d shards on %d peers (%d-way replication, keep-local=%v, %.2fs)\n",
-			st.RemoteShards, len(peerList), *replicas, *keepLocal, time.Since(distStart).Seconds())
+		logger.Info("placed shards on peers",
+			"remote_shards", st.RemoteShards, "peers", len(peerList),
+			"replicas", *replicas, "keep_local", *keepLocal,
+			"seconds", time.Since(distStart).Seconds())
 	}
 
 	if *cacheSize > 0 {
 		ix.EnableCache(*cacheSize)
-		fmt.Fprintf(os.Stderr, "serve: result cache enabled (%d entries)\n", *cacheSize)
+		logger.Info("result cache enabled", "entries", *cacheSize)
 	}
 
-	var handler http.Handler = shard.NewServer(ix)
+	var handler http.Handler = shard.NewServerOpts(ix, &shard.ServerOptions{
+		SlowQuery:      *slowQuery,
+		Logger:         logger,
+		DisableMetrics: !*metricsOn,
+	})
+	if *slowQuery > 0 {
+		logger.Info("slow-query log enabled", "threshold", *slowQuery)
+	}
 	if *pprofOn {
-		// The pprof package registers on http.DefaultServeMux at import;
-		// mount that mux behind the /debug/pprof/ prefix so profiling is
-		// opt-in and everything else keeps hitting the API handler.
+		// Register the pprof handlers explicitly on the opt-in mux (rather
+		// than blank-importing net/http/pprof, whose side effect would put
+		// them on http.DefaultServeMux even when -pprof is off).
 		mux := http.NewServeMux()
-		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/", handler)
 		handler = mux
-		fmt.Fprintf(os.Stderr, "serve: pprof endpoints enabled on %s/debug/pprof/\n", *addr)
+		logger.Info("pprof endpoints enabled", "prefix", *addr+"/debug/pprof/")
+	}
+	if *accessLog {
+		handler = withAccessLog(handler)
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -204,7 +242,7 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatalf("%v", err)
+		fatal("listener failed", "err", err)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// Shutdown so in-flight requests finish draining before exit.
@@ -213,13 +251,38 @@ func main() {
 	if *saveOnEnd {
 		saveStart := time.Now()
 		if err := ix.Save(*dataDir); err != nil {
-			fatalf("saving %s: %v", *dataDir, err)
+			fatal("save failed", "dir", *dataDir, "err", err)
 		}
 		st := ix.Stats()
-		fmt.Fprintf(os.Stderr, "serve: saved %d sets in %d shards to %s (%.2fs)\n",
-			st.Sets, st.Shards, *dataDir, time.Since(saveStart).Seconds())
+		logger.Info("saved snapshot",
+			"sets", st.Sets, "shards", st.Shards, "dir", *dataDir,
+			"seconds", time.Since(saveStart).Seconds())
 	}
-	fmt.Fprintln(os.Stderr, "serve: shut down")
+	logger.Info("shut down")
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withAccessLog logs one structured line per request: method, path,
+// status and duration.
+func withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		logger.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", time.Since(start))
+	})
 }
 
 // manifestExists reports whether dir holds a snapshot to restore.
@@ -228,7 +291,8 @@ func manifestExists(dir string) bool {
 	return err == nil
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+// fatal logs the error and exits.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
 	os.Exit(1)
 }

@@ -165,14 +165,17 @@ func equalBatches(a, b [][]cpindex.Match) bool {
 // indented JSON — the BENCH_serving.json artifact recorded by
 // `make bench` alongside BENCH_parallel.json. Both row arrays carry
 // identical_to_sequential flags; CI fails the bench job if any is false.
-func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow) error {
+// scrape, when non-nil, records the /metrics exposition check (see
+// CheckMetricsExposition); CI requires its ok flag too.
+func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow, scrape *MetricsScrape) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
 		GOMAXPROCS int             `json:"gomaxprocs"`
 		Rows       []ServingRow    `json:"rows"`
 		Compaction []CompactionRow `json:"compaction,omitempty"`
-	}{runtime.GOMAXPROCS(0), rows, compaction})
+		Metrics    *MetricsScrape  `json:"metrics_scrape,omitempty"`
+	}{runtime.GOMAXPROCS(0), rows, compaction, scrape})
 }
 
 // PrintServing writes the serving table for human consumption.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/intset"
@@ -82,9 +83,62 @@ type Index struct {
 	// scratch pools queryScratch instances; see getScratch.
 	scratch sync.Pool
 
+	// counters is the optional cross-query stats sink (nil when detached);
+	// see SetCounters.
+	counters *QueryCounters
+
 	// Stats describe the built structure.
 	Nodes  int
 	Leaves int
+}
+
+// QueryStats is one query's candidate-pipeline breakdown — the same
+// quantities the paper's evaluation measures per repetition. In this
+// index every candidate is verified exactly (there is no intermediate
+// sketch filter on the query path; JaccardAtLeast early-exits instead),
+// so Verified always equals Candidates and Rejected counts the
+// verifications that fell below lambda.
+type QueryStats struct {
+	// Candidates is the number of distinct leaf ids the tree walk reached
+	// (after the per-tree visited dedup).
+	Candidates uint64 `json:"candidates"`
+	// Verified is the number of exact Jaccard verifications run.
+	Verified uint64 `json:"verified"`
+	// Rejected is the number of verifications below the threshold.
+	Rejected uint64 `json:"rejected"`
+}
+
+func (s *QueryStats) add(o QueryStats) {
+	s.Candidates += o.Candidates
+	s.Verified += o.Verified
+	s.Rejected += o.Rejected
+}
+
+// QueryCounters aggregates QueryStats across queries (and, when shared,
+// across the indexes of a sharded ring): three atomic counters, safe for
+// concurrent queries. A sharded index attaches one QueryCounters to every
+// shard it builds, loads or compacts, so the totals stay monotone across
+// ring changes.
+type QueryCounters struct {
+	Candidates atomic.Uint64
+	Verified   atomic.Uint64
+	Rejected   atomic.Uint64
+}
+
+// SetCounters attaches (or, with nil, detaches) the cross-query stats
+// sink. Attach before serving: the pointer is read on every query without
+// synchronization. The per-query cost is three atomic adds at query end —
+// the hot path stays allocation-free.
+func (ix *Index) SetCounters(c *QueryCounters) { ix.counters = c }
+
+// flushStats publishes one finished query's scratch-accumulated stats to
+// the attached counters.
+func (ix *Index) flushStats(sc *queryScratch) {
+	if c := ix.counters; c != nil {
+		c.Candidates.Add(sc.stats.Candidates)
+		c.Verified.Add(sc.stats.Verified)
+		c.Rejected.Add(sc.stats.Rejected)
+	}
 }
 
 // node is one vertex of a Chosen Path tree. Leaves hold record ids;
@@ -223,10 +277,19 @@ func (ix *Index) Len() int { return len(ix.sets) }
 // high; misses (ok = false despite a neighbor existing) happen with the
 // (λ, ϕ) guarantee's residual probability.
 func (ix *Index) Query(q []uint32) (int, float64, bool) {
+	id, sim, ok, _ := ix.QueryWithStats(q)
+	return id, sim, ok
+}
+
+// QueryWithStats is Query plus this call's candidate-pipeline breakdown —
+// the per-query numbers debug traces and the slow-query log report. The
+// stats are also flushed to the attached QueryCounters, and the hot path
+// stays allocation-free either way.
+func (ix *Index) QueryWithStats(q []uint32) (int, float64, bool, QueryStats) {
 	best := -1
 	bestSim := 0.0
 	if len(q) == 0 {
-		return best, bestSim, false
+		return best, bestSim, false, QueryStats{}
 	}
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
@@ -242,15 +305,21 @@ func (ix *Index) Query(q []uint32) (int, float64, bool) {
 				break
 			}
 		}
-		return best, bestSim, best >= 0
+		ix.flushStats(sc)
+		return best, bestSim, best >= 0, sc.stats
 	}
 	for _, root := range ix.flat.roots {
 		sc.cands = sc.cands[:0]
 		ix.flat.collect(root, sc.qsig, sc)
 		for _, id := range sc.cands {
-			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok && sim > bestSim {
-				best = int(id)
-				bestSim = sim
+			sc.stats.Verified++
+			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok {
+				if sim > bestSim {
+					best = int(id)
+					bestSim = sim
+				}
+			} else {
+				sc.stats.Rejected++
 			}
 		}
 		if best >= 0 {
@@ -259,7 +328,8 @@ func (ix *Index) Query(q []uint32) (int, float64, bool) {
 			break
 		}
 	}
-	return best, bestSim, best >= 0
+	ix.flushStats(sc)
+	return best, bestSim, best >= 0, sc.stats
 }
 
 // Match is one QueryAll result: the id of an indexed set and its exact
@@ -283,8 +353,15 @@ func (ix *Index) QueryAll(q []uint32) []Match {
 // steady state) and the grown slice is returned. Match order is identical
 // to QueryAll's.
 func (ix *Index) AppendAll(dst []Match, q []uint32) []Match {
+	dst, _ = ix.AppendAllWithStats(dst, q)
+	return dst
+}
+
+// AppendAllWithStats is AppendAll plus this call's candidate-pipeline
+// breakdown, flushed to the attached QueryCounters like QueryWithStats.
+func (ix *Index) AppendAllWithStats(dst []Match, q []uint32) ([]Match, QueryStats) {
 	if len(q) == 0 {
-		return dst
+		return dst, QueryStats{}
 	}
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
@@ -293,18 +370,23 @@ func (ix *Index) AppendAll(dst []Match, q []uint32) []Match {
 		for _, tree := range ix.trees {
 			dst = ix.collect(tree, q, sc, dst)
 		}
-		return dst
+		ix.flushStats(sc)
+		return dst, sc.stats
 	}
 	for _, root := range ix.flat.roots {
 		sc.cands = sc.cands[:0]
 		ix.flat.collect(root, sc.qsig, sc)
 		for _, id := range sc.cands {
+			sc.stats.Verified++
 			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok {
 				dst = append(dst, Match{ID: int(id), Sim: sim})
+			} else {
+				sc.stats.Rejected++
 			}
 		}
 	}
-	return dst
+	ix.flushStats(sc)
+	return dst, sc.stats
 }
 
 func (ix *Index) search(n *node, q []uint32, sc *queryScratch, best *int, bestSim *float64) {
@@ -314,9 +396,15 @@ func (ix *Index) search(n *node, q []uint32, sc *queryScratch, best *int, bestSi
 				continue
 			}
 			sc.visited[id] = sc.epoch
-			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok && sim > *bestSim {
-				*best = int(id)
-				*bestSim = sim
+			sc.stats.Candidates++
+			sc.stats.Verified++
+			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok {
+				if sim > *bestSim {
+					*best = int(id)
+					*bestSim = sim
+				}
+			} else {
+				sc.stats.Rejected++
 			}
 		}
 		return
@@ -335,8 +423,12 @@ func (ix *Index) collect(n *node, q []uint32, sc *queryScratch, out []Match) []M
 				continue
 			}
 			sc.visited[id] = sc.epoch
+			sc.stats.Candidates++
+			sc.stats.Verified++
 			if sim, ok := intset.JaccardAtLeast(q, ix.sets[id], ix.lambda); ok {
 				out = append(out, Match{ID: int(id), Sim: sim})
+			} else {
+				sc.stats.Rejected++
 			}
 		}
 		return out

@@ -157,6 +157,7 @@ func (f *flatTrees) collect(root int32, qsig []uint32, sc *queryScratch) {
 				if sc.visited[id] != sc.epoch {
 					sc.visited[id] = sc.epoch
 					sc.cands = append(sc.cands, id)
+					sc.stats.Candidates++
 				}
 			}
 			continue
@@ -177,13 +178,17 @@ func (f *flatTrees) collect(root int32, qsig []uint32, sc *queryScratch) {
 // signature buffer, the epoch-stamped visited array that replaces the old
 // per-query seen map, the traversal stack, and the candidate buffer.
 // Instances are pooled per Index, so steady-state queries allocate
-// nothing.
+// nothing. The stats fields accumulate this query's candidate-pipeline
+// counts (reset by getScratch, flushed to the attached QueryCounters and
+// returned per call by the WithStats entry points) — riding the pooled
+// scratch is what keeps instrumentation off the allocation path.
 type queryScratch struct {
 	qsig    []uint32 // query signature, len T
 	visited []uint32 // visited[id] == epoch ⇔ id already scanned this query
 	epoch   uint32
 	stack   []int32  // flat traversal stack
 	cands   []uint32 // new candidate ids, in visit order
+	stats   QueryStats
 }
 
 // getScratch returns a pooled scratch sized for this index with a fresh
@@ -207,6 +212,7 @@ func (ix *Index) getScratch() *queryScratch {
 		sc.epoch = 1
 	}
 	sc.cands = sc.cands[:0]
+	sc.stats = QueryStats{}
 	return sc
 }
 

@@ -29,6 +29,34 @@ import (
 // the pool runs until every spawned task has completed.
 type Task func(c *Ctx)
 
+// Package-level execution counters, aggregated across every pool (pools in
+// this repository are ephemeral — one per Run call — so per-pool counters
+// would vanish before anyone could read them). All updates are single
+// atomic RMWs on the existing queue-operation paths, which are already far
+// off the hot path (see deque).
+var (
+	tasksRun   atomic.Uint64
+	steals     atomic.Uint64
+	queueDepth atomic.Int64
+)
+
+// Stats is a point-in-time snapshot of the package-level execution
+// counters.
+type Stats struct {
+	TasksRun   uint64 // tasks completed, across all pools since process start
+	Steals     uint64 // tasks taken from another worker's deque
+	QueueDepth int64  // tasks currently queued or executing
+}
+
+// ReadStats returns the current package-level execution counters.
+func ReadStats() Stats {
+	return Stats{
+		TasksRun:   tasksRun.Load(),
+		Steals:     steals.Load(),
+		QueueDepth: queueDepth.Load(),
+	}
+}
+
 // EffectiveWorkers maps the Workers knob shared by every join Options
 // struct to an actual worker count: 0 (the zero value) runs sequentially,
 // negative selects GOMAXPROCS, positive is taken as given.
@@ -180,6 +208,7 @@ func RunItems(workers, n int, f func(i int)) {
 
 func (p *Pool) push(worker int, t Task) {
 	p.pending.Add(1)
+	queueDepth.Add(1)
 	d := &p.deques[worker]
 	d.mu.Lock()
 	d.q = append(d.q, t)
@@ -216,6 +245,7 @@ func (p *Pool) steal(worker int) Task {
 			d.q[len(d.q)-1] = nil
 			d.q = d.q[:len(d.q)-1]
 			d.mu.Unlock()
+			steals.Add(1)
 			return t
 		}
 		d.mu.Unlock()
@@ -252,6 +282,8 @@ func (p *Pool) work(id int) {
 		}
 		idle = 0
 		t(c)
+		tasksRun.Add(1)
+		queueDepth.Add(-1)
 		if p.pending.Add(-1) == 0 {
 			// Last task: release every parked worker.
 			p.once.Do(func() { close(p.done) })

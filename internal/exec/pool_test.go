@@ -147,3 +147,22 @@ func TestRunItemsCoversEveryIndex(t *testing.T) {
 		}
 	}
 }
+
+func TestReadStats(t *testing.T) {
+	before := ReadStats()
+	tasks := make([]Task, 64)
+	for i := range tasks {
+		tasks[i] = func(c *Ctx) {}
+	}
+	Run(4, tasks...)
+	after := ReadStats()
+	if got := after.TasksRun - before.TasksRun; got < 64 {
+		t.Errorf("TasksRun delta = %d, want >= 64", got)
+	}
+	if after.QueueDepth != 0 {
+		t.Errorf("QueueDepth = %d after quiescence, want 0", after.QueueDepth)
+	}
+	if after.Steals < before.Steals {
+		t.Errorf("Steals decreased: %d -> %d", before.Steals, after.Steals)
+	}
+}

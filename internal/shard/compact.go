@@ -2,6 +2,7 @@ package shard
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/cpindex"
 )
@@ -53,6 +54,17 @@ type CompactResult struct {
 // appends reach the ring through seals, which already reclaim their
 // deleted entries.
 func (x *Index) Compact() CompactResult {
+	start := time.Now()
+	res := x.compact()
+	if m := x.metrics; m != nil {
+		m.compactLat.Observe(time.Since(start))
+		m.compactMerged.Add(uint64(res.Merged))
+		m.compactReclaimed.Add(uint64(res.Reclaimed))
+	}
+	return res
+}
+
+func (x *Index) compact() CompactResult {
 	x.compactMu.Lock()
 	defer x.compactMu.Unlock()
 
@@ -87,6 +99,7 @@ func (x *Index) Compact() CompactResult {
 			Workers:  x.opt.Workers,
 			Layout:   x.opt.Layout,
 		})
+		x.attachCounters(ix)
 		merged = &subIndex{ix: ix, ids: ids}
 	}
 

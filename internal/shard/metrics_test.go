@@ -1,0 +1,526 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// expositionLine matches every valid line of the Prometheus text format —
+// the same shape the metrics package pins for itself, re-checked here on
+// the full serving registry.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN))$`)
+
+// scrapeMetrics GETs /metrics and validates status, content type and that
+// every line parses as exposition format.
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+	return text
+}
+
+// TestMetricsExposition drives every serving operation over the wire and
+// checks the scrape covers the whole catalog: latency histograms per
+// operation, the candidate pipeline, compaction, cache, exec and shape
+// series — and that the query histogram's cumulative buckets are monotone.
+func TestMetricsExposition(t *testing.T) {
+	sets, _ := workload(300, 0.8, 901)
+	ix := Build(sets, 0.5, exactOptions(2, 40, 93))
+	ix.EnableCache(16)
+	ts := httptest.NewServer(NewServer(ix))
+	t.Cleanup(ts.Close)
+
+	post(t, ts.URL+"/query", queryRequest{Set: sets[1]}, nil)
+	post(t, ts.URL+"/query", queryRequest{Set: sets[1], All: true}, nil)
+	post(t, ts.URL+"/query_batch", batchRequest{Sets: sets[:5]}, nil)
+	extra, _ := workload(90, 0.8, 95)
+	var added []int
+	for i := 0; i < len(extra); i += 40 {
+		end := min(i+40, len(extra))
+		var ar addResponse
+		post(t, ts.URL+"/add", batchRequest{Sets: extra[i:end]}, &ar)
+		added = append(added, ar.IDs...)
+	}
+	// Delete sealed appends: their tombstones are what compaction reclaims.
+	post(t, ts.URL+"/delete", deleteRequest{IDs: added[:3]}, nil)
+	post(t, ts.URL+"/compact", struct{}{}, nil)
+
+	text := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		`cps_query_seconds_count{op="query"}`,
+		`cps_query_seconds_count{op="query_all"}`,
+		`cps_query_seconds_count{op="query_batch"}`,
+		`cps_query_seconds_bucket{op="query",le="`,
+		`cps_mutation_seconds_count{op="add"}`,
+		`cps_mutation_seconds_count{op="delete"}`,
+		"cps_candidates_total",
+		"cps_verified_total",
+		"cps_rejected_total",
+		"cps_query_errors_total",
+		"cps_slow_queries_total",
+		"cps_compaction_seconds_count",
+		"cps_compaction_merged_shards_total",
+		"cps_compaction_reclaimed_ids_total",
+		"cps_cache_entries",
+		"cps_cache_hits_total",
+		"cps_cache_misses_total",
+		"cps_exec_tasks_total",
+		"cps_exec_steals_total",
+		"cps_exec_queue_depth",
+		"cps_index_sets",
+		"cps_index_shards",
+		"cps_index_remote_shards",
+		"cps_index_buffered",
+		"cps_index_tombstones",
+		"cps_index_generation",
+		"cps_index_version",
+		"cps_hosted_shards",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The instrumented traffic must actually land in the series.
+	mustSample := func(pattern string, atLeast uint64) {
+		t.Helper()
+		m := regexp.MustCompile(pattern).FindStringSubmatch(text)
+		if m == nil {
+			t.Errorf("no sample matches %q", pattern)
+			return
+		}
+		v, _ := strconv.ParseUint(m[1], 10, 64)
+		if v < atLeast {
+			t.Errorf("sample %q = %d, want >= %d", pattern, v, atLeast)
+		}
+	}
+	mustSample(`(?m)^cps_query_seconds_count\{op="query"\} ([0-9]+)$`, 1)
+	mustSample(`(?m)^cps_candidates_total ([0-9]+)$`, 1)
+	mustSample(`(?m)^cps_verified_total ([0-9]+)$`, 1)
+	mustSample(`(?m)^cps_compaction_merged_shards_total ([0-9]+)$`, 2)
+	mustSample(`(?m)^cps_compaction_reclaimed_ids_total ([0-9]+)$`, 3)
+	mustSample(`(?m)^cps_index_sets ([0-9]+)$`, uint64(len(sets)))
+
+	// Cumulative histogram buckets must be monotone with increasing bounds.
+	bucketLine := regexp.MustCompile(`^cps_query_seconds_bucket\{op="query",le="([^"]+)"\} ([0-9]+)$`)
+	prev, prevBound, n := uint64(0), -1.0, 0
+	for _, line := range strings.Split(text, "\n") {
+		m := bucketLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		n++
+		bound := 1e300
+		if m[1] != "+Inf" {
+			var err error
+			if bound, err = strconv.ParseFloat(m[1], 64); err != nil {
+				t.Fatalf("bad bucket bound %q: %v", m[1], err)
+			}
+		}
+		if bound <= prevBound {
+			t.Errorf("bucket bounds not increasing: %v after %v", bound, prevBound)
+		}
+		cum, _ := strconv.ParseUint(m[2], 10, 64)
+		if cum < prev {
+			t.Errorf("cumulative bucket count decreased: %d after %d", cum, prev)
+		}
+		prev, prevBound = cum, bound
+	}
+	if n == 0 {
+		t.Error("no cps_query_seconds bucket lines found")
+	}
+}
+
+// TestMetricsCounterDeltas pins that each operation books exactly its own
+// histogram and that the candidate pipeline flows into the shared counters.
+func TestMetricsCounterDeltas(t *testing.T) {
+	sets, _ := workload(400, 0.8, 911)
+	x := Build(sets, 0.5, exactOptions(2, 30, 97))
+	m := x.metrics
+	if m == nil {
+		t.Fatal("Build left the index uninstrumented")
+	}
+
+	x.Query(sets[3])
+	if got := m.queryBest.Count(); got != 1 {
+		t.Errorf("query histogram count = %d, want 1", got)
+	}
+	if c, v := m.cand.Candidates.Load(), m.cand.Verified.Load(); c == 0 || v == 0 {
+		t.Errorf("candidate pipeline after Query: candidates=%d verified=%d, want both > 0", c, v)
+	}
+
+	x.QueryAll(sets[3])
+	if got := m.queryAll.Count(); got != 1 {
+		t.Errorf("query_all histogram count = %d, want 1", got)
+	}
+	x.QueryBatch(sets[:4])
+	if got := m.queryBatch.Count(); got != 1 {
+		t.Errorf("query_batch histogram count = %d, want 1 (one batch, not one per query)", got)
+	}
+
+	extra, _ := workload(70, 0.8, 99)
+	var ids []int
+	adds := uint64(0)
+	for i := 0; i < len(extra); i += 30 {
+		end := min(i+30, len(extra))
+		ids = append(ids, x.Add(extra[i:end])...)
+		adds++
+	}
+	if got := m.addLat.Count(); got != adds {
+		t.Errorf("add histogram count = %d, want %d (one per Add call)", got, adds)
+	}
+	x.DeleteBatch(ids[:8])
+	if got := m.deleteLat.Count(); got != 1 {
+		t.Errorf("delete histogram count = %d, want 1", got)
+	}
+
+	res := x.Compact()
+	if got := m.compactLat.Count(); got != 1 {
+		t.Errorf("compaction histogram count = %d, want 1", got)
+	}
+	if res.Merged == 0 || res.Reclaimed == 0 {
+		t.Fatalf("compaction setup did no work: %+v", res)
+	}
+	if got := m.compactMerged.Value(); got != uint64(res.Merged) {
+		t.Errorf("merged counter = %d, result says %d", got, res.Merged)
+	}
+	if got := m.compactReclaimed.Value(); got != uint64(res.Reclaimed) {
+		t.Errorf("reclaimed counter = %d, result says %d", got, res.Reclaimed)
+	}
+}
+
+// TestQueryMetricsAllocs pins that instrumentation kept the serving-path
+// allocation contract: the flat-layout query path with metrics attached
+// (as Build always attaches them now) still allocates nothing at steady
+// state — latency observation and the candidate counters are atomic adds
+// on fixed storage, and stats ride the pooled scratch.
+func TestQueryMetricsAllocs(t *testing.T) {
+	sets, _ := workload(1500, 0.8, 921)
+	x := Build(sets, 0.5, &Options{Shards: 3, Seed: 17})
+	if x.metrics == nil {
+		t.Fatal("Build left the index uninstrumented")
+	}
+	for i := 0; i < 30; i++ {
+		x.Query(sets[i])
+	}
+	before := x.metrics.cand.Candidates.Load()
+	qi := 0
+	if n := testing.AllocsPerRun(100, func() {
+		x.Query(sets[qi%700])
+		qi++
+	}); n != 0 {
+		t.Errorf("instrumented Query allocates %v/op, want 0", n)
+	}
+	if x.metrics.cand.Candidates.Load() == before {
+		t.Error("candidate counter did not advance during the alloc gate")
+	}
+	if x.metrics.queryBest.Count() == 0 {
+		t.Error("query histogram did not advance during the alloc gate")
+	}
+}
+
+// TestHealthEndpoints covers the liveness/readiness split on a healthy
+// all-local index: /healthz and /readyz both 200, with the health report
+// as JSON body.
+func TestHealthEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("%s body: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d, want 200", path, resp.StatusCode)
+		}
+		if !h.Ready || h.Shards != 3 || h.RemoteShards != 0 {
+			t.Errorf("%s report %+v, want ready with 3 local shards", path, h)
+		}
+	}
+}
+
+// TestReadyzPeerDeath: with moved shards (KeepLocal=false, one replica), a
+// dead peer makes queries error — and the same condition must flip /readyz
+// to 503, name the unanswerable shards, and mark the peer unhealthy in the
+// health report, while /healthz stays 200 (the process itself is fine).
+func TestReadyzPeerDeath(t *testing.T) {
+	p1, f1 := newFlakyPeer(t)
+	_, dist, probes := distributedPair(t, []string{p1.URL},
+		&DistributeOptions{Replicas: 1, KeepLocal: false})
+	ts := httptest.NewServer(NewServer(dist))
+	t.Cleanup(ts.Close)
+
+	readyz := func() (int, HealthStatus) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := readyz(); code != http.StatusOK || !h.Ready {
+		t.Fatalf("healthy topology: /readyz = %d, %+v", code, h)
+	}
+
+	// Kill the only replica. Health is passive, so unreadiness appears with
+	// the first failed RPC, not before.
+	f1.broken.Store(true)
+	if _, _, _, err := dist.QueryErr(probes[0]); err == nil {
+		t.Fatal("query against a dead sole replica succeeded")
+	}
+	code, h := readyz()
+	if code != http.StatusServiceUnavailable || h.Ready {
+		t.Fatalf("dead peer: /readyz = %d, %+v, want 503 and ready=false", code, h)
+	}
+	if len(h.UnreadyShards) == 0 {
+		t.Error("no unready shards named in the report")
+	}
+	if len(h.Peers) != 1 || h.Peers[0].Healthy || h.Peers[0].Errors == 0 {
+		t.Errorf("peer report %+v, want the one peer unhealthy with errors", h.Peers)
+	}
+
+	// Liveness is unaffected, and the query error is on the counters.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d during unreadiness, want 200", resp.StatusCode)
+	}
+	text := scrapeMetrics(t, ts.URL)
+	if !regexp.MustCompile(`(?m)^cps_query_errors_total [1-9]`).MatchString(text) {
+		t.Error("cps_query_errors_total did not count the failed query")
+	}
+	if !strings.Contains(text, "cps_peer_healthy{peer=") || !strings.Contains(text, "} 0") {
+		t.Error("cps_peer_healthy gauge did not go to 0")
+	}
+
+	// Recovery: the next successful RPC flips readiness back.
+	f1.broken.Store(false)
+	if _, _, _, err := dist.QueryErr(probes[0]); err != nil {
+		t.Fatalf("query after recovery: %v", err)
+	}
+	if code, h := readyz(); code != http.StatusOK || !h.Ready {
+		t.Fatalf("recovered topology: /readyz = %d, %+v", code, h)
+	}
+}
+
+// TestPeerFailoverMetrics: with 2-way replication and one peer down,
+// answers are served by the survivor while the dead peer accrues RPC
+// errors and failovers and loses its healthy bit — and the index stays
+// ready throughout.
+func TestPeerFailoverMetrics(t *testing.T) {
+	p1, f1 := newFlakyPeer(t)
+	p2, _ := newFlakyPeer(t)
+	local, dist, probes := distributedPair(t, []string{p1.URL, p2.URL},
+		&DistributeOptions{Replicas: 2, KeepLocal: false})
+	f1.broken.Store(true)
+	assertIdentical(t, local, dist, probes)
+
+	pm1, pm2 := dist.metrics.peer(p1.URL), dist.metrics.peer(p2.URL)
+	if pm1.isHealthy() {
+		t.Error("dead peer still marked healthy")
+	}
+	if !pm2.isHealthy() {
+		t.Error("surviving peer marked unhealthy")
+	}
+	if pm1.rpcErrors.Value() == 0 {
+		t.Error("dead peer has no RPC errors")
+	}
+	if pm1.failovers.Value() == 0 {
+		t.Error("no failovers counted despite a live fallback replica")
+	}
+	if pm2.rpcErrors.Value() != 0 {
+		t.Errorf("surviving peer has %d RPC errors", pm2.rpcErrors.Value())
+	}
+	if h := dist.Health(); !h.Ready {
+		t.Errorf("index not ready despite a healthy replica per shard: %+v", h)
+	}
+}
+
+// TestServerDebugTrace: "debug":true returns the per-shard breakdown with
+// the answer, a plain request stays trace-free on the wire, and a cached
+// answer's trace reports the hit with no shard entries.
+func TestServerDebugTrace(t *testing.T) {
+	ts, sets := newTestServer(t)
+
+	var qr queryResponse
+	post(t, ts.URL+"/query", queryRequest{Set: sets[7], All: true, Debug: true}, &qr)
+	if !qr.Found || qr.Trace == nil {
+		t.Fatalf("debug query response %+v", qr)
+	}
+	tr := qr.Trace
+	if tr.CacheHit || tr.TotalNs <= 0 || tr.Candidates == 0 || tr.Verified == 0 {
+		t.Errorf("trace totals %+v, want a timed uncached query with candidates", tr)
+	}
+	// 3 local ring shards plus the trailing buffer entry.
+	if len(tr.Shards) != 4 {
+		t.Fatalf("%d trace entries, want 4: %+v", len(tr.Shards), tr.Shards)
+	}
+	locals := 0
+	for _, e := range tr.Shards[:3] {
+		if e.Kind == "local" {
+			locals++
+		}
+	}
+	if locals != 3 || tr.Shards[3].Kind != "buffer" {
+		t.Errorf("trace shape wrong: %+v", tr.Shards)
+	}
+
+	// The answer must be the normal answer: same matches as an untraced
+	// request, and no trace key on the wire without debug.
+	b, _ := json.Marshal(queryRequest{Set: sets[7], All: true})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, present := raw["trace"]; present {
+		t.Error("trace present on a non-debug response")
+	}
+	var plain queryResponse
+	if err := json.Unmarshal(raw["matches"], &plain.Matches); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Matches) != len(qr.Matches) {
+		t.Errorf("debug changed the answer: %d vs %d matches", len(qr.Matches), len(plain.Matches))
+	}
+}
+
+// TestDebugTraceCacheHit: the second identical debug query is answered by
+// the result cache — the trace says so and consults no shards.
+func TestDebugTraceCacheHit(t *testing.T) {
+	sets, _ := workload(300, 0.8, 931)
+	ix := Build(sets, 0.5, &Options{Shards: 2, Seed: 19, Workers: 2})
+	ix.EnableCache(8)
+	ts := httptest.NewServer(NewServer(ix))
+	t.Cleanup(ts.Close)
+
+	var first, second queryResponse
+	post(t, ts.URL+"/query", queryRequest{Set: sets[2], Debug: true}, &first)
+	post(t, ts.URL+"/query", queryRequest{Set: sets[2], Debug: true}, &second)
+	if first.Trace == nil || first.Trace.CacheHit {
+		t.Fatalf("first trace %+v, want an uncached miss", first.Trace)
+	}
+	if second.Trace == nil || !second.Trace.CacheHit {
+		t.Fatalf("second trace %+v, want a cache hit", second.Trace)
+	}
+	if len(second.Trace.Shards) != 0 {
+		t.Errorf("cache hit consulted shards: %+v", second.Trace.Shards)
+	}
+	if first.ID != second.ID || first.Sim != second.Sim {
+		t.Errorf("cache changed the answer: %+v vs %+v", first, second)
+	}
+}
+
+// TestSlowQueryLog: with a threshold every real query exceeds, /query
+// emits one structured line carrying the breakdown, and the slow-query
+// counter advances; without the threshold, nothing is logged.
+func TestSlowQueryLog(t *testing.T) {
+	sets, _ := workload(300, 0.8, 941)
+	ix := Build(sets, 0.5, &Options{Shards: 2, Seed: 23, Workers: 2})
+	var buf bytes.Buffer
+	srv := NewServerOpts(ix, &ServerOptions{
+		SlowQuery: time.Nanosecond,
+		Logger:    slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var qr queryResponse
+	post(t, ts.URL+"/query", queryRequest{Set: sets[5]}, &qr)
+	if !qr.Found {
+		t.Fatalf("query response %+v", qr)
+	}
+	line := buf.String()
+	for _, want := range []string{"slow query", "query_size=", "total_ns=", "cache_hit=", "candidates=", "shards="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow-query log missing %q in: %s", want, line)
+		}
+	}
+	if got := ix.metrics.slowQueries.Value(); got != 1 {
+		t.Errorf("slow query counter = %d, want 1", got)
+	}
+	// The trace was captured for the log only — not sent to the client.
+	if qr.Trace != nil {
+		t.Error("slow-query tracing leaked the trace into a non-debug response")
+	}
+
+	// A server without the threshold logs nothing for the same traffic.
+	var quiet bytes.Buffer
+	srv2 := NewServerOpts(ix, &ServerOptions{Logger: slog.New(slog.NewTextHandler(&quiet, nil))})
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(ts2.Close)
+	post(t, ts2.URL+"/query", queryRequest{Set: sets[5]}, nil)
+	if quiet.Len() != 0 {
+		t.Errorf("unconfigured server logged: %s", quiet.String())
+	}
+}
+
+// TestDisableMetrics: DisableMetrics leaves /metrics unregistered while
+// the rest of the server works.
+func TestDisableMetrics(t *testing.T) {
+	sets, _ := workload(100, 0.8, 951)
+	ix := Build(sets, 0.5, &Options{Shards: 2, Seed: 29, Workers: 2})
+	ts := httptest.NewServer(NewServerOpts(ix, &ServerOptions{DisableMetrics: true}))
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics status %d with metrics disabled, want 404", resp.StatusCode)
+	}
+	var qr queryResponse
+	post(t, ts.URL+"/query", queryRequest{Set: sets[0]}, &qr)
+	if !qr.Found {
+		t.Errorf("query on a metrics-disabled server: %+v", qr)
+	}
+}

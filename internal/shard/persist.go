@@ -306,6 +306,12 @@ func Load(dir string, workers int) (*Index, error) {
 			return nil, err
 		}
 	}
+	x.metrics = newIndexMetrics(x)
+	for _, sh := range x.shards {
+		if sub, ok := sh.(*subIndex); ok {
+			x.attachCounters(sub.ix)
+		}
+	}
 	// One pass over every physically present id checks the remaining
 	// cross-invariants: a dropped id must be absent from every shard (a
 	// manifest claiming otherwise would resurrect a reclaimed entry as

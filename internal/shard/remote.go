@@ -48,6 +48,9 @@ type remoteShard struct {
 	replicas []string // peer base URLs, failover order
 	local    *subIndex
 	client   *http.Client
+	// metrics is the owning index's instrumentation hub (nil-safe); RPC
+	// latency, errors, failovers and passive health are recorded per peer.
+	metrics *indexMetrics
 }
 
 func (r *remoteShard) size() int        { return len(r.ids) }
@@ -67,13 +70,27 @@ func (r *remoteShard) deadErr(last error) error {
 		r.key, len(r.replicas), r.replicas, last)
 }
 
+// hasFallback reports whether a failure of replica i leaves the query
+// another option — a further replica or the local copy. Only such skips
+// count as failovers; the last resort failing is a query error instead.
+func (r *remoteShard) hasFallback(i int) bool {
+	return i+1 < len(r.replicas) || r.local != nil
+}
+
 func (r *remoteShard) queryBest(q []uint32) (int, float64, bool, error) {
 	var last error
-	for _, base := range r.replicas {
+	for i, base := range r.replicas {
+		pm := r.metrics.peer(base)
+		start := time.Now()
 		var resp queryResponse
-		if err := postJSON(r.httpClient(), base+"/shard/query",
-			shardQueryRequest{Shard: r.key, Set: q}, &resp); err != nil {
+		err := postJSON(r.httpClient(), base+"/shard/query",
+			shardQueryRequest{Shard: r.key, Set: q}, &resp)
+		pm.observe(time.Since(start), err)
+		if err != nil {
 			last = err
+			if r.hasFallback(i) {
+				pm.failover()
+			}
 			continue
 		}
 		if !resp.Found {
@@ -89,11 +106,18 @@ func (r *remoteShard) queryBest(q []uint32) (int, float64, bool, error) {
 
 func (r *remoteShard) queryAll(q []uint32) ([]cpindex.Match, error) {
 	var last error
-	for _, base := range r.replicas {
+	for i, base := range r.replicas {
+		pm := r.metrics.peer(base)
+		start := time.Now()
 		var resp queryResponse
-		if err := postJSON(r.httpClient(), base+"/shard/query",
-			shardQueryRequest{Shard: r.key, Set: q, All: true}, &resp); err != nil {
+		err := postJSON(r.httpClient(), base+"/shard/query",
+			shardQueryRequest{Shard: r.key, Set: q, All: true}, &resp)
+		pm.observe(time.Since(start), err)
+		if err != nil {
 			last = err
+			if r.hasFallback(i) {
+				pm.failover()
+			}
 			continue
 		}
 		return resp.Matches, nil
@@ -106,17 +130,23 @@ func (r *remoteShard) queryAll(q []uint32) ([]cpindex.Match, error) {
 
 func (r *remoteShard) queryBatch(qs [][]uint32) ([][]cpindex.Match, error) {
 	var last error
-	for _, base := range r.replicas {
+	for i, base := range r.replicas {
 		var resp batchResponse
-		if err := postJSON(r.httpClient(), base+"/shard/query_batch",
-			shardBatchRequest{Shard: r.key, Sets: qs}, &resp); err != nil {
-			last = err
-			continue
-		}
-		if len(resp.Results) != len(qs) {
+		pm := r.metrics.peer(base)
+		start := time.Now()
+		err := postJSON(r.httpClient(), base+"/shard/query_batch",
+			shardBatchRequest{Shard: r.key, Sets: qs}, &resp)
+		if err == nil && len(resp.Results) != len(qs) {
 			// A malformed peer answer is a replica failure like any other:
 			// fail over rather than mis-slot the merge.
-			last = fmt.Errorf("peer %s: %d results for %d queries", base, len(resp.Results), len(qs))
+			err = fmt.Errorf("peer %s: %d results for %d queries", base, len(resp.Results), len(qs))
+		}
+		pm.observe(time.Since(start), err)
+		if err != nil {
+			last = err
+			if r.hasFallback(i) {
+				pm.failover()
+			}
 			continue
 		}
 		return resp.Results, nil
@@ -390,6 +420,12 @@ func (x *Index) Distribute(peers []string, o *DistributeOptions) error {
 			total:    total,
 			replicas: assigned,
 			client:   opt.Client,
+			metrics:  x.metrics,
+		}
+		// Pre-create the peer collectors so /metrics and Health cover
+		// every replica from placement time, not first contact.
+		for _, peer := range assigned {
+			x.metrics.peer(peer)
 		}
 		if opt.KeepLocal {
 			remote.local = sub

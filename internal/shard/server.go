@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/cpindex"
 	"repro/internal/intset"
@@ -19,13 +21,20 @@ import (
 // safe under concurrent requests; /add serializes against queries through
 // the index's lock.
 //
-//	POST /query        {"set":[...], "all":bool} -> best match or all matches
+//	POST /query        {"set":[...], "all":bool, "debug":bool} -> best match or all matches
 //	POST /query_batch  {"sets":[[...],...]}      -> per-query match lists
 //	POST /add          {"sets":[[...],...]}      -> assigned global ids
 //	POST /delete       {"ids":[...]}             -> tombstone ids
 //	POST /compact      (no body)                 -> run one compaction pass
 //	GET  /stats                                  -> index shape snapshot
-//	GET  /healthz                                -> 200 ok
+//	GET  /metrics                                -> Prometheus text exposition
+//	GET  /healthz                                -> liveness: 200 + health JSON
+//	GET  /readyz                                 -> readiness: 503 when a remote shard is unanswerable
+//
+// "debug":true on /query returns the per-shard trace (timings, candidate
+// counts, cache outcome) alongside the answer; with ServerOptions.SlowQuery
+// set, every /query over the threshold additionally emits one structured
+// log line with the same breakdown.
 //
 // The /shard/* endpoints make any serve instance a peer in a distributed
 // topology: a coordinator ships cpshard snapshot files here and then fans
@@ -42,6 +51,11 @@ type Server struct {
 	ix  *Index
 	mux *http.ServeMux
 
+	// slowQuery > 0 traces every /query and logs those over the
+	// threshold to logger (see ServerOptions).
+	slowQuery time.Duration
+	logger    *slog.Logger
+
 	// hosted is the peer-side shard registry: shards shipped here by
 	// coordinators, keyed by their coordinator-assigned name. The decoded
 	// structure answers /shard/query*; the raw container bytes are kept
@@ -49,6 +63,22 @@ type Server struct {
 	// transfer verification) return exactly what was shipped.
 	hostedMu sync.RWMutex
 	hosted   map[string]*hostedShard
+}
+
+// ServerOptions configure the optional observability behavior of a
+// Server; the zero value (and a nil pointer) keep every default.
+type ServerOptions struct {
+	// SlowQuery, when positive, traces every /query request and emits one
+	// structured log line for requests whose total latency reaches the
+	// threshold: query size, per-shard timings, candidate counts and cache
+	// outcome. Tracing allocates per request, so this is a knob, not a
+	// default.
+	SlowQuery time.Duration
+	// Logger receives the slow-query lines (default slog.Default()).
+	Logger *slog.Logger
+	// DisableMetrics leaves /metrics unregistered — for embedders that
+	// mount the registry elsewhere or want no exposition endpoint.
+	DisableMetrics bool
 }
 
 type hostedShard struct {
@@ -68,9 +98,29 @@ const maxRequestBytes = 64 << 20
 // the coordinator could build must also be shippable.
 const maxShardSnapshotBytes = 1 << 30
 
-// NewServer returns the HTTP handler serving the index.
+// NewServer returns the HTTP handler serving the index with default
+// options (metrics on, slow-query log off).
 func NewServer(ix *Index) *Server {
-	s := &Server{ix: ix, mux: http.NewServeMux(), hosted: make(map[string]*hostedShard)}
+	return NewServerOpts(ix, nil)
+}
+
+// NewServerOpts returns the HTTP handler serving the index with the given
+// observability options.
+func NewServerOpts(ix *Index, o *ServerOptions) *Server {
+	opt := ServerOptions{}
+	if o != nil {
+		opt = *o
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.Default()
+	}
+	s := &Server{
+		ix:        ix,
+		mux:       http.NewServeMux(),
+		slowQuery: opt.SlowQuery,
+		logger:    opt.Logger,
+		hosted:    make(map[string]*hostedShard),
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query_batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/add", s.handleAdd)
@@ -80,10 +130,33 @@ func NewServer(ix *Index) *Server {
 	s.mux.HandleFunc("/shard/snapshot", s.handleShardSnapshot)
 	s.mux.HandleFunc("/shard/query", s.handleShardQuery)
 	s.mux.HandleFunc("/shard/query_batch", s.handleShardQueryBatch)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if reg := ix.Metrics(); reg != nil && !opt.DisableMetrics {
+		reg.GaugeFunc("cps_hosted_shards", "shards hosted here for coordinators", func() float64 {
+			return float64(s.HostedShards())
+		})
+		s.mux.Handle("/metrics", reg)
+	}
 	return s
+}
+
+// handleHealthz is the liveness probe: always 200 (the process serves),
+// with the full health report as the body for operators.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.Health())
+}
+
+// handleReadyz is the readiness probe: 503 with the report when some
+// remote-backed shard has no healthy replica and no local copy — the
+// state in which queries error — so load balancers drain the node.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.ix.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if !h.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -94,6 +167,8 @@ type queryRequest struct {
 	Set []uint32 `json:"set"`
 	// All requests every match instead of the single best one.
 	All bool `json:"all"`
+	// Debug requests the per-shard trace in the response.
+	Debug bool `json:"debug"`
 }
 
 type queryResponse struct {
@@ -104,6 +179,8 @@ type queryResponse struct {
 	ID      int             `json:"id"`
 	Sim     float64         `json:"sim"`
 	Matches []cpindex.Match `json:"matches,omitempty"`
+	// Trace is present only for "debug":true requests.
+	Trace *QueryTrace `json:"trace,omitempty"`
 }
 
 type batchRequest struct {
@@ -139,9 +216,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := intset.Normalize(req.Set)
+	// Trace when the client asked for the breakdown or when the slow-query
+	// log might need it — the threshold check can only happen after the
+	// fact, so the breakdown must be captured up front. A nil trace is the
+	// plain (zero-allocation) path.
+	var tr *QueryTrace
+	if req.Debug || s.slowQuery > 0 {
+		tr = &QueryTrace{}
+	}
 	resp := queryResponse{ID: -1}
 	if req.All {
-		ms, err := s.ix.QueryAllErr(q)
+		ms, err := s.ix.QueryAllTraced(q, tr)
 		if err != nil {
 			// A dead remote topology (no live replica, no local copy) is a
 			// hard serving error, never a silently partial answer.
@@ -151,7 +236,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Matches = ms
 		resp.Found = len(resp.Matches) > 0
 	} else {
-		id, sim, ok, err := s.ix.QueryErr(q)
+		id, sim, ok, err := s.ix.QueryTraced(q, tr)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
@@ -160,7 +245,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Found, resp.ID, resp.Sim = true, id, sim
 		}
 	}
+	if tr != nil {
+		s.logSlow(q, req.All, tr)
+		if req.Debug {
+			resp.Trace = tr
+		}
+	}
 	writeJSON(w, resp)
+}
+
+// logSlow emits the slow-query line when the traced request crossed the
+// threshold.
+func (s *Server) logSlow(q []uint32, all bool, tr *QueryTrace) {
+	if s.slowQuery <= 0 || time.Duration(tr.TotalNs) < s.slowQuery {
+		return
+	}
+	if m := s.ix.metrics; m != nil {
+		m.slowQueries.Inc()
+	}
+	s.logger.Warn("slow query",
+		"query_size", len(q),
+		"all", all,
+		"total_ns", tr.TotalNs,
+		"cache_hit", tr.CacheHit,
+		"candidates", tr.Candidates,
+		"verified", tr.Verified,
+		"shards", tr.Shards,
+	)
 }
 
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
@@ -286,6 +397,9 @@ func (s *Server) handleShardSnapshot(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("bad request: shard snapshot rejected: %v", err), http.StatusBadRequest)
 			return
 		}
+		// Hosted shards answer coordinator RPCs from this process, so their
+		// candidate pipeline flushes into this process's counters.
+		s.ix.attachCounters(sub.ix)
 		h := &hostedShard{sub: sub, raw: raw, crc: crc32.Checksum(raw, castagnoli)}
 		s.hostedMu.Lock()
 		s.hosted[key] = h

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cpindex"
 	"repro/internal/exec"
@@ -310,6 +311,12 @@ type Index struct {
 	// shards they removed or rewrote.
 	compactions     int
 	compactedShards int
+
+	// metrics is the index's instrumentation hub (latency histograms,
+	// candidate counters, per-peer health — see indexMetrics). Set once by
+	// Build and Load before the index is published, then immutable, so it
+	// is read without the lock.
+	metrics *indexMetrics
 }
 
 type sideBuffer struct {
@@ -381,6 +388,10 @@ func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 	}
 	if opt.CacheSize > 0 {
 		x.cache.Store(newResultCache(opt.CacheSize))
+	}
+	x.metrics = newIndexMetrics(x)
+	for _, sh := range x.shards {
+		x.attachCounters(sh.(*subIndex).ix)
 	}
 	return x
 }
@@ -493,6 +504,35 @@ func (x *Index) Query(q []uint32) (id int, sim float64, ok bool) {
 // Remote shards are asked concurrently, so a single query's latency is
 // bounded by the slowest peer round trip, not their sum.
 func (x *Index) QueryErr(q []uint32) (id int, sim float64, ok bool, err error) {
+	return x.queryBestTimed(q, nil)
+}
+
+// QueryTraced is QueryErr with the per-shard breakdown filled into tr —
+// the serving layer's debug and slow-query path. Passing nil tr is
+// exactly QueryErr.
+func (x *Index) QueryTraced(q []uint32, tr *QueryTrace) (id int, sim float64, ok bool, err error) {
+	return x.queryBestTimed(q, tr)
+}
+
+// queryBestTimed wraps the cached best-match path with the latency
+// histogram; the inline time.Now/Observe pair keeps the hot path free of
+// closures and allocations.
+func (x *Index) queryBestTimed(q []uint32, tr *QueryTrace) (int, float64, bool, error) {
+	start := time.Now()
+	id, sim, ok, err := x.queryBestCached(q, tr)
+	if m := x.metrics; m != nil {
+		m.queryBest.Observe(time.Since(start))
+		if err != nil {
+			m.queryErrors.Inc()
+		}
+	}
+	if tr != nil {
+		tr.TotalNs = time.Since(start).Nanoseconds()
+	}
+	return id, sim, ok, err
+}
+
+func (x *Index) queryBestCached(q []uint32, tr *QueryTrace) (int, float64, bool, error) {
 	if len(q) == 0 {
 		return -1, 0, false, nil
 	}
@@ -503,15 +543,18 @@ func (x *Index) QueryErr(q []uint32) (id int, sim float64, ok bool, err error) {
 		// entry rather than letting it serve stale.
 		v := x.version.Load()
 		if id, sim, ok, hit := c.getBest(v, q); hit {
+			if tr != nil {
+				tr.CacheHit = true
+			}
 			return id, sim, ok, nil
 		}
-		id, sim, ok, err := x.queryBest(q)
+		id, sim, ok, err := x.queryBest(q, tr)
 		if err == nil {
 			c.putBest(v, q, id, sim, ok)
 		}
 		return id, sim, ok, err
 	}
-	return x.queryBest(q)
+	return x.queryBest(q, tr)
 }
 
 // bestAnswer carries one shard's prefetched queryBest result.
@@ -520,12 +563,15 @@ type bestAnswer struct {
 	sim   float64
 	found bool
 	err   error
+	ns    int64 // RPC wall time, for traces
 }
 
 // queryBest is the uncached QueryErr body. On an all-local ring it
 // allocates nothing: the snapshot, the merge and the buffer scans all run
-// on pooled or borrowed storage.
-func (x *Index) queryBest(q []uint32) (int, float64, bool, error) {
+// on pooled or borrowed storage. A non-nil tr turns on per-shard timing
+// and candidate counts (and allocates the trace entries); the merge and
+// its answer are identical either way.
+func (x *Index) queryBest(q []uint32, tr *QueryTrace) (int, float64, bool, error) {
 	shards, sealing, side, tombs := x.snapshot()
 	// Prefetch every remote shard's best match in parallel; locals are
 	// answered inline in the merge loop below (no I/O to overlap). The
@@ -543,52 +589,92 @@ func (x *Index) queryBest(q []uint32) (int, float64, bool, error) {
 		exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(remoteIdx), func(j int) {
 			i := remoteIdx[j]
 			a := &prefetched[i]
+			start := time.Now()
 			a.id, a.sim, a.found, a.err = shards[i].queryBest(q)
+			a.ns = time.Since(start).Nanoseconds()
 		})
 	}
 	best, bestSim := -1, 0.0
 	for i, sh := range shards {
-		var g int
+		g := -1
 		var s float64
 		var found bool
 		var err error
+		var st cpindex.QueryStats
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		if prefetched != nil && contains(remoteIdx, i) {
 			a := &prefetched[i]
 			g, s, found, err = a.id, a.sim, a.found, a.err
+		} else if sub, isLocal := sh.(*subIndex); isLocal && tr != nil {
+			// The traced local path goes through the stats variant so the
+			// trace carries this shard's candidate pipeline counts.
+			var local int
+			local, s, found, st = sub.ix.QueryWithStats(q)
+			if found {
+				g = sub.ids[local]
+			}
 		} else {
 			g, s, found, err = sh.queryBest(q)
 		}
 		if err != nil {
 			return -1, 0, false, err
 		}
-		if !found {
-			continue
+		matched := 0
+		if found {
+			matched = 1
 		}
-		if _, dead := tombs[g]; dead {
-			// Rare path — the shard's chosen match was deleted — so the
-			// full rescan stays a plain serial call.
-			ms, err := sh.queryAll(q)
-			if err != nil {
-				return -1, 0, false, err
-			}
-			for _, m := range ms {
-				if _, dead := tombs[m.ID]; dead {
-					continue
+		if found {
+			if _, dead := tombs[g]; dead {
+				// Rare path — the shard's chosen match was deleted — so the
+				// full rescan stays a plain serial call.
+				ms, err := sh.queryAll(q)
+				if err != nil {
+					return -1, 0, false, err
 				}
-				if m.Sim > bestSim || (m.Sim == bestSim && (best < 0 || m.ID < best)) {
-					best, bestSim = m.ID, m.Sim
+				for _, m := range ms {
+					if _, dead := tombs[m.ID]; dead {
+						continue
+					}
+					if m.Sim > bestSim || (m.Sim == bestSim && (best < 0 || m.ID < best)) {
+						best, bestSim = m.ID, m.Sim
+					}
 				}
+				found = false
 			}
-			continue
 		}
-		if s > bestSim || (s == bestSim && (best < 0 || g < best)) {
+		if found && (s > bestSim || (s == bestSim && (best < 0 || g < best))) {
 			best, bestSim = g, s
 		}
+		if tr != nil {
+			name, kind := shardTraceName(i, sh)
+			e := ShardTrace{Shard: name, Kind: kind, Matches: matched,
+				Candidates: st.Candidates, Verified: st.Verified}
+			if prefetched != nil && contains(remoteIdx, i) {
+				e.Ns = prefetched[i].ns
+			} else {
+				e.Ns = time.Since(t0).Nanoseconds()
+			}
+			tr.add(e)
+		}
 	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	scanned := 0
 	for _, b := range sealing {
 		best, bestSim = scanBufferBest(*b, q, x.lambda, tombs, best, bestSim)
+		scanned += len(b.sets)
 	}
 	best, bestSim = scanBufferBest(side, q, x.lambda, tombs, best, bestSim)
+	scanned += len(side.sets)
+	if tr != nil {
+		tr.add(ShardTrace{Shard: "buffer", Kind: "buffer", Ns: time.Since(t0).Nanoseconds(),
+			Candidates: uint64(scanned), Verified: uint64(scanned)})
+	}
 	return best, bestSim, best >= 0, nil
 }
 
@@ -634,22 +720,53 @@ func (x *Index) QueryAll(q []uint32) []cpindex.Match {
 // as an error instead of a silent partial merge. Remote shards are asked
 // concurrently, like QueryErr.
 func (x *Index) QueryAllErr(q []uint32) ([]cpindex.Match, error) {
+	return x.queryAllTimed(q, nil)
+}
+
+// QueryAllTraced is QueryAllErr with the per-shard breakdown filled into
+// tr. Passing nil tr is exactly QueryAllErr.
+func (x *Index) QueryAllTraced(q []uint32, tr *QueryTrace) ([]cpindex.Match, error) {
+	return x.queryAllTimed(q, tr)
+}
+
+func (x *Index) queryAllTimed(q []uint32, tr *QueryTrace) ([]cpindex.Match, error) {
+	start := time.Now()
+	ms, err := x.queryAllCached(q, tr)
+	if m := x.metrics; m != nil {
+		m.queryAll.Observe(time.Since(start))
+		if err != nil {
+			m.queryErrors.Inc()
+		}
+	}
+	if tr != nil {
+		tr.TotalNs = time.Since(start).Nanoseconds()
+	}
+	return ms, err
+}
+
+func (x *Index) queryAllCached(q []uint32, tr *QueryTrace) ([]cpindex.Match, error) {
 	if c := x.cache.Load(); c != nil {
 		v := x.version.Load()
 		if ms, hit := c.getAll(v, q); hit {
+			if tr != nil {
+				tr.CacheHit = true
+			}
 			return ms, nil
 		}
-		ms, err := x.queryAllUncached(q)
+		ms, err := x.queryAllUncached(q, tr)
 		if err == nil {
 			c.putAll(v, q, ms)
 		}
 		return ms, err
 	}
-	return x.queryAllUncached(q)
+	return x.queryAllUncached(q, tr)
 }
 
-func (x *Index) queryAllUncached(q []uint32) ([]cpindex.Match, error) {
+func (x *Index) queryAllUncached(q []uint32, tr *QueryTrace) ([]cpindex.Match, error) {
 	shards, sealing, side, tombs := x.snapshot()
+	if tr != nil {
+		return x.queryAllShardwise(shards, sealing, side, tombs, q, tr)
+	}
 	var locals []shardBackend
 	var remotes []shardBackend
 	for _, sh := range shards {
@@ -672,6 +789,62 @@ func (x *Index) queryAllUncached(q []uint32) ([]cpindex.Match, error) {
 		}
 	}
 	return mergeQuery(locals, extra, sealing, side, tombs, x.lambda, q)
+}
+
+// queryAllShardwise is the traced queryAllUncached body: every shard's
+// matches are pre-fetched (remotes in parallel, locals inline through the
+// stats variant) with per-shard timing, then handed to the same mergeQuery
+// the untraced path uses, so the merged answer is identical.
+func (x *Index) queryAllShardwise(shards []shardBackend, sealing []*sideBuffer, side sideBuffer, tombs map[int]struct{}, q []uint32, tr *QueryTrace) ([]cpindex.Match, error) {
+	extra := make([][]cpindex.Match, len(shards))
+	nss := make([]int64, len(shards))
+	stats := make([]cpindex.QueryStats, len(shards))
+	errs := make([]error, len(shards))
+	var remoteIdx []int
+	for i, sh := range shards {
+		if _, remote := sh.(*remoteShard); remote {
+			remoteIdx = append(remoteIdx, i)
+		}
+	}
+	if len(remoteIdx) > 0 {
+		exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(remoteIdx), func(j int) {
+			i := remoteIdx[j]
+			start := time.Now()
+			extra[i], errs[i] = shards[i].queryAll(q)
+			nss[i] = time.Since(start).Nanoseconds()
+		})
+	}
+	for i, sh := range shards {
+		if err := errs[i]; err != nil {
+			return nil, err
+		}
+		sub, isLocal := sh.(*subIndex)
+		if !isLocal {
+			continue
+		}
+		start := time.Now()
+		var ms []cpindex.Match
+		ms, stats[i] = sub.ix.AppendAllWithStats(nil, q)
+		for j := range ms {
+			ms[j].ID = sub.ids[ms[j].ID]
+		}
+		extra[i] = ms
+		nss[i] = time.Since(start).Nanoseconds()
+	}
+	for i, sh := range shards {
+		name, kind := shardTraceName(i, sh)
+		tr.add(ShardTrace{Shard: name, Kind: kind, Ns: nss[i], Matches: len(extra[i]),
+			Candidates: stats[i].Candidates, Verified: stats[i].Verified})
+	}
+	t0 := time.Now()
+	scanned := len(side.sets)
+	for _, b := range sealing {
+		scanned += len(b.sets)
+	}
+	out, err := mergeQuery(nil, extra, sealing, side, tombs, x.lambda, q)
+	tr.add(ShardTrace{Shard: "buffer", Kind: "buffer", Ns: time.Since(t0).Nanoseconds(),
+		Candidates: uint64(scanned), Verified: uint64(scanned)})
+	return out, err
 }
 
 // mergeQuery is the shared per-query merge: matches from every shard in
@@ -746,6 +919,18 @@ func (x *Index) QueryBatch(qs [][]uint32) [][]cpindex.Match {
 // live replica, no local copy) fails the whole batch with its error: a
 // batch never silently merges partial topology.
 func (x *Index) QueryBatchErr(qs [][]uint32) ([][]cpindex.Match, error) {
+	start := time.Now()
+	out, err := x.queryBatchCached(qs)
+	if m := x.metrics; m != nil {
+		m.queryBatch.Observe(time.Since(start))
+		if err != nil {
+			m.queryErrors.Inc()
+		}
+	}
+	return out, err
+}
+
+func (x *Index) queryBatchCached(qs [][]uint32) ([][]cpindex.Match, error) {
 	c := x.cache.Load()
 	if c == nil {
 		return x.queryBatchUncached(qs)
@@ -825,6 +1010,7 @@ func (x *Index) queryBatchUncached(qs [][]uint32) ([][]cpindex.Match, error) {
 // but the Add call itself returns only after its seal completes. Sets
 // must be normalized (sorted, unique), like Build's input.
 func (x *Index) Add(sets [][]uint32) []int {
+	start := time.Now()
 	// Reject empty sets up front, before any state changes: they cannot
 	// be MinHash-signed, so admitting one would make the eventual seal's
 	// cpindex.Build panic long after the bad Add — stranding the buffer.
@@ -856,6 +1042,9 @@ func (x *Index) Add(sets [][]uint32) []int {
 		if auto {
 			x.compactAsync()
 		}
+	}
+	if m := x.metrics; m != nil {
+		m.addLat.Observe(time.Since(start))
 	}
 	return ids
 }
@@ -924,6 +1113,7 @@ func (x *Index) finishSeal(b *sideBuffer, slot int) {
 		Workers:  x.opt.Workers,
 		Layout:   x.opt.Layout,
 	})
+	x.attachCounters(ix)
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.shards = append(x.shards, &subIndex{ix: ix, ids: b.ids})
@@ -966,8 +1156,14 @@ func (x *Index) Delete(id int) bool {
 // already reclaimed by a seal or a compaction, which would otherwise be
 // re-tombstoned and corrupt the live count.
 func (x *Index) DeleteBatch(ids []int) int {
+	start := time.Now()
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	defer func() {
+		if m := x.metrics; m != nil {
+			m.deleteLat.Observe(time.Since(start))
+		}
+	}()
 	var next map[int]struct{}
 	deleted := 0
 	for _, id := range ids {
