@@ -30,8 +30,10 @@ fmt:
 
 # bench records the performance trajectory for cross-PR comparison:
 # parallel join scaling (every algorithm at every worker count, with the
-# determinism check) and sharded-serving batch-query throughput (every
-# shard count at every worker count, with the same check).
+# determinism check), sharded-serving batch-query throughput (every
+# shard count at every worker count, with the same check), the query
+# microbenchmarks, and the containment-search accuracy rows
+# (precision/recall/F1 vs brute-force ground truth, recall gated in CI).
 bench:
 	$(GO) run ./cmd/experiments -quiet -format json parallel > BENCH_parallel.json
 	@echo "wrote BENCH_parallel.json"
@@ -39,6 +41,8 @@ bench:
 	@echo "wrote BENCH_serving.json"
 	$(GO) run ./cmd/experiments -quiet -format json query > BENCH_query.json
 	@echo "wrote BENCH_query.json"
+	$(GO) run ./cmd/experiments -quiet -format json accuracy > BENCH_accuracy.json
+	@echo "wrote BENCH_accuracy.json"
 
 # bench-micro records just the point-query microbenchmarks (Query /
 # QueryAll / QueryBatch ns/op, allocs/op and qps across the flat vs
@@ -60,6 +64,8 @@ bench-smoke:
 	@echo "wrote BENCH_serving.json (smoke scale)"
 	$(GO) run ./cmd/experiments -quiet -format json -scale smoke query > BENCH_query.json
 	@echo "wrote BENCH_query.json (smoke scale)"
+	$(GO) run ./cmd/experiments -quiet -format json -scale smoke accuracy > BENCH_accuracy.json
+	@echo "wrote BENCH_accuracy.json (smoke scale)"
 
 # bench-go runs the Go testing benchmarks for the same scaling curves.
 bench-go:
@@ -79,4 +85,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeLayouts$$' -fuzztime $(FUZZTIME) ./internal/cpindex
 
 clean:
-	rm -f BENCH_parallel.json BENCH_serving.json BENCH_query.json
+	rm -f BENCH_parallel.json BENCH_serving.json BENCH_query.json BENCH_accuracy.json

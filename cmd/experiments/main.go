@@ -37,8 +37,14 @@
 //	          checked identical to the flat uncached reference (-format
 //	          json emits the BENCH_query.json schema used by
 //	          `make bench-micro`)
-//	all       everything above except parallel, serving, compaction and
-//	          query
+//	accuracy  containment-search accuracy: precision/recall/F1 of the
+//	          sharded index's containment answers against brute-force
+//	          ground truth, across thresholds and a shards × partition
+//	          topology grid with the byte-identical determinism check
+//	          (-format json emits the BENCH_accuracy.json schema used by
+//	          `make bench`)
+//	all       everything above except parallel, serving, compaction,
+//	          query and accuracy
 package main
 
 import (
@@ -90,8 +96,12 @@ func main() {
 	if *format != "table" && *format != "csv" && *format != "json" {
 		fatalf("unknown format %q (want table, csv or json)", *format)
 	}
-	if jsonOut && flag.Arg(0) != "parallel" && flag.Arg(0) != "serving" && flag.Arg(0) != "compaction" && flag.Arg(0) != "query" {
-		fatalf("-format json is only supported by the parallel, serving, compaction and query subcommands")
+	switch flag.Arg(0) {
+	case "parallel", "serving", "compaction", "query", "accuracy":
+	default:
+		if jsonOut {
+			fatalf("-format json is only supported by the parallel, serving, compaction, query and accuracy subcommands")
+		}
 	}
 	banner := func(s string) {
 		if !csvOut && !jsonOut {
@@ -221,6 +231,16 @@ func main() {
 				check(bench.WriteServingJSON(out, nil, comp, nil))
 			} else {
 				bench.PrintCompaction(out, comp)
+			}
+		case "accuracy":
+			banner("== Containment accuracy: index answers vs brute-force ground truth ==")
+			// UNIFORM005 only, like serving and query: one workload keeps
+			// the threshold × topology grid affordable on every run.
+			arows := bench.RunAccuracyBench(bench.SyntheticWorkloads(scale)[:1], bench.AccuracyThresholds, cfg, progress)
+			if jsonOut {
+				check(bench.WriteAccuracyJSON(out, arows))
+			} else {
+				bench.PrintAccuracy(out, arows)
 			}
 		case "query":
 			banner("== Query microbenchmarks: layout and cache dimensions (λ=0.5) ==")

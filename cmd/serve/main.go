@@ -17,17 +17,20 @@
 // With -save-on-shutdown it snapshots the live index (including buffered
 // appends and tombstones) into DIR on graceful shutdown.
 //
-// Endpoints:
+// Endpoints (each also reachable at its bare pre-/v1 path, kept as an
+// alias; errors are structured JSON {"error":..., "code":...}):
 //
-//	POST /query        {"set":[1,2,3], "all":true, "debug":true}  one query (debug adds the per-shard trace)
-//	POST /query_batch  {"sets":[[1,2,3],[4,5,6]]}    many queries, one round trip
-//	POST /add          {"sets":[[7,8,9]]}            append sets (no rebuild)
-//	POST /delete       {"ids":[3,17]}                tombstone sets
-//	POST /compact      merge small shards, reclaim tombstones (non-blocking for queries)
-//	GET  /stats                                      index shape snapshot
-//	GET  /metrics                                    Prometheus text exposition (disable with -metrics=false)
-//	GET  /healthz                                    liveness (always 200, health JSON body)
-//	GET  /readyz                                     readiness (503 while a remote shard is unanswerable)
+//	POST /v1/query        {"set":[1,2,3], "all":true, "debug":true}  one query (debug adds the per-shard trace)
+//	POST /v1/query        {"set":[1,2,3], "mode":"containment", "threshold":0.8, "limit":10}
+//	                                                    containment search: indexed sets holding ≥ threshold of the query
+//	POST /v1/query_batch  {"sets":[[1,2,3],[4,5,6]]}    many queries, one round trip
+//	POST /v1/add          {"sets":[[7,8,9]]}            append sets (no rebuild)
+//	POST /v1/delete       {"ids":[3,17]}                tombstone sets
+//	POST /v1/compact      merge small shards, reclaim tombstones (non-blocking for queries)
+//	GET  /v1/stats                                      index shape snapshot
+//	GET  /v1/metrics                                    Prometheus text exposition (disable with -metrics=false)
+//	GET  /v1/healthz                                    liveness (always 200, health JSON body)
+//	GET  /v1/readyz                                     readiness (503 while a remote shard is unanswerable)
 //
 // Observability: /metrics exposes query/mutation latency histograms, the
 // candidate pipeline counters, per-peer RPC and failover counters,
@@ -147,7 +150,6 @@ func main() {
 		if err != nil {
 			fatal("restore failed", "dir", *dataDir, "err", err)
 		}
-		ix.SetAutoCompact(*autoComp)
 		st := ix.Stats()
 		logger.Info("restored snapshot",
 			"sets", st.Sets, "shards", st.Shards, "partition", st.Partition,
@@ -200,9 +202,20 @@ func main() {
 			"seconds", time.Since(distStart).Seconds())
 	}
 
+	// One validated Configure call applies the runtime tuning (the old
+	// per-setter calls are deprecated). Flags override what a restored
+	// snapshot carried: -auto-compact always wins, -cache only when set
+	// (so a snapshot's persisted cache size survives a plain restart).
+	rt := ix.Runtime()
+	rt.AutoCompact = *autoComp
 	if *cacheSize > 0 {
-		ix.EnableCache(*cacheSize)
-		logger.Info("result cache enabled", "entries", *cacheSize)
+		rt.CacheSize = *cacheSize
+	}
+	if err := ix.Configure(rt); err != nil {
+		fatal("runtime configuration rejected", "err", err)
+	}
+	if rt.CacheSize > 0 {
+		logger.Info("result cache enabled", "entries", rt.CacheSize)
 	}
 
 	var handler http.Handler = shard.NewServerOpts(ix, &shard.ServerOptions{

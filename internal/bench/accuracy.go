@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+
+	"repro/internal/cpindex"
+	"repro/internal/intset"
+	"repro/internal/shard"
+)
+
+// AccuracyRow is one containment-accuracy measurement: the sharded
+// index's containment answers for one (workload, threshold, topology)
+// cell scored against brute-force ground truth. Precision is structurally
+// 1.0 — every candidate is exact-verified with intset.ContainmentAtLeast
+// before it is returned — so the row is really a recall measurement of
+// the LSH Ensemble-style candidate structure, plus the determinism flag:
+// answers must be byte-identical across shard counts and partition
+// schemes (the containment signer is seeded globally, not per shard).
+type AccuracyRow struct {
+	Dataset   string  `json:"dataset"`
+	Threshold float64 `json:"threshold"`
+	Shards    int     `json:"shards"`
+	Partition string  `json:"partition"`
+	// Queries is the probe count; TruthPairs and Returned count
+	// (query, set) pairs in the brute-force truth and the index answer.
+	Queries    int     `json:"queries"`
+	TruthPairs int     `json:"truth_pairs"`
+	Returned   int     `json:"returned"`
+	Precision  float64 `json:"precision"`
+	Recall     float64 `json:"recall"`
+	F1         float64 `json:"f1"`
+	// Identical reports whether this cell's answers are byte-identical to
+	// the reference cell's (1 shard, contiguous partition). One flag name
+	// across every bench artifact keeps the CI gate uniform.
+	Identical bool `json:"identical_to_sequential"`
+}
+
+// DefaultRecallFloor is the containment recall CI gates on. The measured
+// recall at smoke scale sits near 1.0 (subset probes always contain
+// their source set, and the default bands-per-signature budget is
+// generous); the floor leaves room for workload drift without letting a
+// broken candidate structure pass.
+const DefaultRecallFloor = 0.8
+
+// AccuracyThresholds is the containment-threshold grid of the accuracy
+// harness.
+var AccuracyThresholds = []float64{0.5, 0.7, 0.9}
+
+// RunAccuracyBench measures containment search accuracy: probes are
+// random subsets of indexed sets (so every probe has at least one
+// perfect-containment answer), ground truth is a brute-force
+// ContainmentAtLeast sweep, and the index answers are scored per
+// (workload, threshold) across a topology grid of shard counts ×
+// partition schemes. The first cell (1 shard, contiguous) is the
+// reference every other cell must answer byte-identically to.
+func RunAccuracyBench(workloads []Workload, thresholds []float64, cfg Config, progress io.Writer) []AccuracyRow {
+	const lambda = 0.5
+	var rows []AccuracyRow
+	for _, w := range workloads {
+		queries := accuracyProbes(w, cfg.Seed)
+		truth := make([][]map[int]bool, len(thresholds))
+		for ti, t := range thresholds {
+			truth[ti] = bruteForceContainment(w.Sets, queries, t)
+		}
+
+		type cell struct {
+			shards    int
+			partition shard.Partition
+		}
+		grid := []cell{
+			{1, shard.PartitionContiguous},
+			{4, shard.PartitionContiguous},
+			{4, shard.PartitionHash},
+		}
+		// reference answers per threshold, from the first (sequential-like)
+		// cell, for the byte-identical check.
+		var ref [][][]cpindex.Match
+		for ci, c := range grid {
+			ix := shard.Build(w.Sets, lambda, &shard.Options{
+				Shards:    c.shards,
+				Partition: c.partition,
+				Seed:      cfg.Seed,
+				Workers:   cfg.Workers,
+			})
+			answers := make([][][]cpindex.Match, len(thresholds))
+			for ti, t := range thresholds {
+				answers[ti] = make([][]cpindex.Match, len(queries))
+				for qi, q := range queries {
+					ms, err := ix.QueryContain(q, t)
+					if err != nil {
+						panic(fmt.Sprintf("bench: all-local containment query failed: %v", err))
+					}
+					answers[ti][qi] = ms
+				}
+			}
+			if ci == 0 {
+				ref = answers
+			}
+			for ti, t := range thresholds {
+				row := scoreContainment(w.Name, t, c.shards, c.partition.String(),
+					answers[ti], truth[ti])
+				row.Identical = equalAnswerSets(answers[ti], ref[ti])
+				rows = append(rows, row)
+				if progress != nil {
+					fmt.Fprintf(progress,
+						"accuracy %-12s t=%.2f shards=%d part=%-10s truth=%-5d returned=%-5d P=%.3f R=%.3f F1=%.3f identical=%v\n",
+						row.Dataset, row.Threshold, row.Shards, row.Partition,
+						row.TruthPairs, row.Returned, row.Precision, row.Recall, row.F1, row.Identical)
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// accuracyProbes derives the containment probes: up to 200 indexed sets,
+// each thinned to a random ~60% subset (never empty), so a probe's
+// source set contains it fully and near neighbors contain most of it.
+// Deterministic in the seed; a subset of a sorted set stays sorted.
+func accuracyProbes(w Workload, seed uint64) [][]uint32 {
+	rng := rand.New(rand.NewSource(int64(seed)*31 + int64(len(w.Sets))))
+	n := len(w.Sets)
+	count := 200
+	if n < count {
+		count = n
+	}
+	probes := make([][]uint32, 0, count)
+	for i := 0; i < count; i++ {
+		src := w.Sets[i*n/count]
+		var q []uint32
+		for _, tok := range src {
+			if rng.Float64() < 0.6 {
+				q = append(q, tok)
+			}
+		}
+		if len(q) == 0 {
+			q = append(q, src[rng.Intn(len(src))])
+		}
+		probes = append(probes, q)
+	}
+	return probes
+}
+
+// bruteForceContainment computes ground truth: for each probe, the id set
+// of every indexed set containing at least t of it.
+func bruteForceContainment(sets [][]uint32, queries [][]uint32, t float64) []map[int]bool {
+	out := make([]map[int]bool, len(queries))
+	for qi, q := range queries {
+		hits := make(map[int]bool)
+		for id, y := range sets {
+			if _, ok := intset.ContainmentAtLeast(q, y, t); ok {
+				hits[id] = true
+			}
+		}
+		out[qi] = hits
+	}
+	return out
+}
+
+// scoreContainment folds one cell's answers against truth into a row.
+// Empty-truth probes score 1.0 by convention (nothing to find, nothing
+// found counts as found).
+func scoreContainment(dataset string, t float64, shards int, partition string,
+	answers [][]cpindex.Match, truth []map[int]bool) AccuracyRow {
+	var truthPairs, returned, hits int
+	for qi, ms := range answers {
+		truthPairs += len(truth[qi])
+		returned += len(ms)
+		for _, m := range ms {
+			if truth[qi][m.ID] {
+				hits++
+			}
+		}
+	}
+	row := AccuracyRow{
+		Dataset: dataset, Threshold: t, Shards: shards, Partition: partition,
+		Queries: len(answers), TruthPairs: truthPairs, Returned: returned,
+		Precision: 1, Recall: 1,
+	}
+	if returned > 0 {
+		row.Precision = float64(hits) / float64(returned)
+	}
+	if truthPairs > 0 {
+		row.Recall = float64(hits) / float64(truthPairs)
+	}
+	if row.Precision+row.Recall > 0 {
+		row.F1 = 2 * row.Precision * row.Recall / (row.Precision + row.Recall)
+	}
+	return row
+}
+
+// equalAnswerSets reports whether two per-query answer sets are
+// byte-identical: same ids, same exact scores, same order.
+func equalAnswerSets(a, b [][]cpindex.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteAccuracyJSON emits the accuracy rows as the BENCH_accuracy.json
+// artifact: precision/recall/F1 per cell plus the recall floor CI gates
+// on and the usual determinism flags.
+func WriteAccuracyJSON(w io.Writer, rows []AccuracyRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		GOMAXPROCS  int           `json:"gomaxprocs"`
+		RecallFloor float64       `json:"recall_floor"`
+		Rows        []AccuracyRow `json:"rows"`
+	}{runtime.GOMAXPROCS(0), DefaultRecallFloor, rows})
+}
+
+// PrintAccuracy writes the accuracy table for human consumption.
+func PrintAccuracy(w io.Writer, rows []AccuracyRow) {
+	fmt.Fprintf(w, "%-12s %9s %6s %-10s %7s %6s %8s %9s %7s %7s %10s\n",
+		"Dataset", "threshold", "shards", "partition", "queries", "truth", "returned", "precision", "recall", "f1", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %9.2f %6d %-10s %7d %6d %8d %9.3f %7.3f %7.3f %10v\n",
+			r.Dataset, r.Threshold, r.Shards, r.Partition, r.Queries,
+			r.TruthPairs, r.Returned, r.Precision, r.Recall, r.F1, r.Identical)
+	}
+}

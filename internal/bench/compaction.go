@@ -84,13 +84,13 @@ func RunCompactionBench(workloads []Workload, shardCounts, workerCounts []int, c
 					}
 				}
 				before := ix.Stats()
-				pre := ix.QueryBatch(w.Sets)
+				pre, _ := ix.QueryBatchErr(w.Sets)
 
 				var res shard.CompactResult
 				compactT := timed(1, func() { res = ix.Compact() })
 
 				var post [][]cpindex.Match
-				d := timed(cfg.Runs, func() { post = ix.QueryBatch(w.Sets) })
+				d := timed(cfg.Runs, func() { post, _ = ix.QueryBatchErr(w.Sets) })
 
 				row := CompactionRow{
 					Dataset:                  w.Name,

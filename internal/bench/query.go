@@ -127,15 +127,18 @@ func runShard(dataset string, queries [][]uint32, lambda float64, cfg Config, em
 		}
 		ix := shard.Build(queries, lambda, opts)
 
+		// All-local rings never hit the remote-topology error, so the
+		// error-returning primaries are used with the error discarded.
 		answers := func() ([]queryBest, [][]cpindex.Match, [][]cpindex.Match) {
 			best := make([]queryBest, len(queries))
 			all := make([][]cpindex.Match, len(queries))
 			for i, q := range queries {
-				id, sim, ok := ix.Query(q)
+				id, sim, ok, _ := ix.QueryErr(q)
 				best[i] = queryBest{id, sim, ok}
-				all[i] = ix.QueryAll(q)
+				all[i], _ = ix.QueryAllErr(q)
 			}
-			return best, all, ix.QueryBatch(queries)
+			batch, _ := ix.QueryBatchErr(queries)
+			return best, all, batch
 		}
 		// Two passes: the first is the cold (cache-filling) one, the
 		// second answers warm — both must match the uncached reference.
@@ -150,11 +153,11 @@ func runShard(dataset string, queries [][]uint32, lambda float64, cfg Config, em
 			equalBatches(warmBatch, refBatch)
 
 		emit(benchCell(dataset, "shard", "Query", "flat", cache, identical, 1,
-			queries, func(qi int) { ix.Query(queries[qi]) }))
+			queries, func(qi int) { ix.QueryErr(queries[qi]) }))
 		emit(benchCell(dataset, "shard", "QueryAll", "flat", cache, identical, 1,
-			queries, func(qi int) { ix.QueryAll(queries[qi]) }))
+			queries, func(qi int) { ix.QueryAllErr(queries[qi]) }))
 		emit(benchCell(dataset, "shard", "QueryBatch", "flat", cache, identical, len(queries),
-			queries, func(int) { ix.QueryBatch(queries) }))
+			queries, func(int) { ix.QueryBatchErr(queries) }))
 	}
 }
 

@@ -1,0 +1,347 @@
+// Package contain implements LSH Ensemble-style Jaccard containment
+// search (Zhu, Nargesian, Pu & Miller, "LSH Ensemble: Internet-Scale
+// Domain Search", VLDB 2016): given a query set q and a threshold t,
+// find indexed sets y with containment C(q, y) = |q ∩ y| / |q| >= t.
+//
+// Containment is not directly LSHable, but for sets whose cardinality
+// is bounded above by u it translates into an equivalent Jaccard
+// threshold
+//
+//	ξ(|q|, u, t) = t·|q| / (|q| + u − t·|q|)
+//
+// (any y with |y| <= u and C(q, y) >= t has J(q, y) >= ξ). So the index
+// partitions sets into geometric cardinality bands — band j holds sets
+// with |y| in [2^j, 2^(j+1))— and banding-based MinHash LSH answers a
+// Jaccard query per band, with (b, r) tuned *per query and per band*
+// from the band's upper bound: the signature is cut into b bands of r
+// rows each, and a set collides when any band of r minhash values
+// matches exactly. At query time the largest r whose collision
+// probability 1 − (1 − ξ^r)^b still reaches TargetProb is selected, so
+// bands close to the threshold are probed precisely while permissive
+// bands stay cheap.
+//
+// Candidates are approximate (recall ~ TargetProb, possible false
+// positives from banding); callers verify each candidate exactly with
+// intset.ContainmentAtLeast, which makes final results exact-precision
+// and deterministic regardless of how a collection is sharded — every
+// shard builds with the same seed and the same global band boundaries,
+// so the union of per-shard candidate sets always covers the same true
+// matches.
+//
+// A KMV sketch per cardinality band summarizes the band's distinct
+// token universe (the LSH Ensemble cardinality-estimation device),
+// exposed through Stats for capacity planning and the accuracy harness.
+package contain
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/minhash"
+	"repro/internal/sketch"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultT          = 64
+	DefaultTargetProb = 0.9
+	DefaultKMVSize    = 128
+)
+
+// maxBands bounds the geometric cardinality partition: band j covers
+// set sizes [2^j, 2^(j+1)), so 32 bands cover every possible set.
+const maxBands = 32
+
+// Options configures a containment index.
+type Options struct {
+	// T is the MinHash signature length (default DefaultT). Larger T
+	// raises recall resolution at proportional signing cost.
+	T int
+	// Seed derives every hash function. Two indexes built with equal
+	// seeds produce identical candidates for identical inputs; shards
+	// of one logical index must share a seed so candidate generation
+	// is independent of the partitioning.
+	Seed uint64
+	// TargetProb is the per-band collision probability the query-time
+	// (b, r) tuning aims for at the equivalent Jaccard threshold
+	// (default DefaultTargetProb). It lower-bounds the recall of
+	// candidate generation for true matches.
+	TargetProb float64
+	// KMVSize is the size of the per-band KMV cardinality sketch
+	// (default DefaultKMVSize).
+	KMVSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.T <= 0 {
+		o.T = DefaultT
+	}
+	if o.TargetProb <= 0 || o.TargetProb >= 1 {
+		o.TargetProb = DefaultTargetProb
+	}
+	if o.KMVSize < 2 {
+		o.KMVSize = DefaultKMVSize
+	}
+	return o
+}
+
+// band is one cardinality partition: the sets whose size falls in
+// [lo, hi], with one bucket map per probe-able row count r.
+type band struct {
+	lo, hi  int
+	members []int32
+	// buckets[ri] maps a hashed (band index, r signature rows) key to
+	// the members that produced it, in insertion order; ri indexes the
+	// index-wide rs slice.
+	buckets []map[uint64][]int32
+	kmv     *sketch.KMV
+}
+
+// Index is an immutable containment index over a collection of sets.
+// Build it once; concurrent Query calls are safe.
+type Index struct {
+	opt    Options
+	signer *minhash.Signer
+	n      int
+	sigs   []uint32 // n*T flattened signatures; empty sets hold zeros
+	lens   []int    // set sizes (band assignment + persistence checks)
+	rs     []int    // probe-able row counts: 1, 2, 4, ... <= T
+	bands  [maxBands]*band
+}
+
+// Build indexes the collection. Empty sets are tolerated and simply
+// never returned as candidates. The input slices are not retained.
+func Build(sets [][]uint32, opts Options) *Index {
+	opts = opts.withDefaults()
+	signer := minhash.NewSigner(opts.T, opts.Seed)
+	sigs := make([]uint32, len(sets)*opts.T)
+	for i, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		signer.SignInto(set, sigs[i*opts.T:(i+1)*opts.T])
+	}
+	ix, err := FromSignatures(sets, sigs, opts)
+	if err != nil {
+		// Impossible: the signatures were just produced at the right length.
+		panic(err)
+	}
+	return ix
+}
+
+// FromSignatures builds the index from precomputed flattened signatures
+// (the persistence path: signing is the expensive part of Build, so
+// snapshots store signatures and rebuild the cheap bucket structure on
+// load). sets supplies cardinalities and KMV tokens and must be the
+// same collection the signatures were computed from, in the same order
+// and with the same T and Seed.
+func FromSignatures(sets [][]uint32, sigs []uint32, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if len(sigs) != len(sets)*opts.T {
+		return nil, fmt.Errorf("contain: %d signature words for %d sets with T=%d (want %d)",
+			len(sigs), len(sets), opts.T, len(sets)*opts.T)
+	}
+	ix := &Index{
+		opt:    opts,
+		signer: minhash.NewSigner(opts.T, opts.Seed),
+		n:      len(sets),
+		sigs:   sigs,
+		lens:   make([]int, len(sets)),
+	}
+	for r := 1; r <= opts.T; r <<= 1 {
+		ix.rs = append(ix.rs, r)
+	}
+	for i, set := range sets {
+		ix.lens[i] = len(set)
+		if len(set) == 0 {
+			continue
+		}
+		ix.insert(int32(i), set)
+	}
+	return ix, nil
+}
+
+// bandFor returns the cardinality band index of a set of size n >= 1:
+// the j with n in [2^j, 2^(j+1)).
+func bandFor(n int) int {
+	return bits.Len(uint(n)) - 1
+}
+
+func (ix *Index) insert(lid int32, set []uint32) {
+	j := bandFor(len(set))
+	b := ix.bands[j]
+	if b == nil {
+		b = &band{
+			lo:      1 << j,
+			hi:      1<<(j+1) - 1,
+			buckets: make([]map[uint64][]int32, len(ix.rs)),
+			kmv:     sketch.NewKMV(ix.opt.KMVSize, ix.opt.Seed),
+		}
+		for ri := range b.buckets {
+			b.buckets[ri] = make(map[uint64][]int32)
+		}
+		ix.bands[j] = b
+	}
+	b.members = append(b.members, lid)
+	b.kmv.AddSet(set)
+	sig := ix.sigs[int(lid)*ix.opt.T : (int(lid)+1)*ix.opt.T]
+	for ri, r := range ix.rs {
+		nb := ix.opt.T / r
+		for bi := 0; bi < nb; bi++ {
+			key := bucketHash(bi, sig[bi*r:(bi+1)*r])
+			b.buckets[ri][key] = append(b.buckets[ri][key], lid)
+		}
+	}
+}
+
+// bucketHash hashes one LSH band (r consecutive signature words plus
+// the band position) to a bucket key, FNV-1a style. Cross-band key
+// collisions only ever add candidates, which exact verification
+// removes, so a single map per r suffices.
+func bucketHash(bandIdx int, words []uint32) uint64 {
+	h := uint64(14695981039346656037)
+	h ^= uint64(bandIdx)
+	h *= 1099511628211
+	for _, w := range words {
+		h ^= uint64(w)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// EquivalentJaccard returns ξ(qlen, upper, t): the Jaccard threshold
+// equivalent to containment threshold t for a query of qlen tokens
+// against sets of cardinality at most upper. Using a band's upper
+// bound makes ξ a lower bound over the band, which is the recall-safe
+// direction.
+func EquivalentJaccard(qlen, upper int, t float64) float64 {
+	return t * float64(qlen) / (float64(qlen+upper) - t*float64(qlen))
+}
+
+// CollisionProb returns the probability 1 − (1 − s^r)^b that banding
+// with b bands of r rows emits a pair with Jaccard similarity s.
+func CollisionProb(s float64, r, b int) float64 {
+	return 1 - math.Pow(1-math.Pow(s, float64(r)), float64(b))
+}
+
+// Query returns the local ids of candidate sets whose containment of q
+// may reach t, sorted ascending and duplicate-free. Callers must verify
+// each candidate exactly (intset.ContainmentAtLeast); recall of true
+// matches is approximately TargetProb per matching set. It panics if t
+// is outside (0, 1]. An empty query has no candidates.
+func (ix *Index) Query(q []uint32, t float64) []int32 {
+	if t <= 0 || t > 1 {
+		panic(fmt.Sprintf("contain: threshold %v out of (0,1]", t))
+	}
+	if len(q) == 0 || ix.n == 0 {
+		return nil
+	}
+	sig := ix.signer.Sign(q)
+	var out []int32
+	var seen map[int32]bool
+	lq := len(q)
+	for _, b := range ix.bands {
+		if b == nil {
+			continue
+		}
+		// No member of this band can pass exact verification: the best
+		// possible intersection is min(|q|, hi) tokens.
+		if float64(min(lq, b.hi))/float64(lq) < t {
+			continue
+		}
+		xi := EquivalentJaccard(lq, b.hi, t)
+		ri := ix.chooseR(xi)
+		r := ix.rs[ri]
+		nb := ix.opt.T / r
+		for bi := 0; bi < nb; bi++ {
+			key := bucketHash(bi, sig[bi*r:(bi+1)*r])
+			for _, lid := range b.buckets[ri][key] {
+				if seen == nil {
+					seen = make(map[int32]bool, 16)
+				}
+				if !seen[lid] {
+					seen[lid] = true
+					out = append(out, lid)
+				}
+			}
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+// chooseR picks the largest probe-able row count whose collision
+// probability at the equivalent Jaccard threshold xi still reaches
+// TargetProb, falling back to r=1 (probe everything that shares a
+// single minhash) when even that is too selective.
+func (ix *Index) chooseR(xi float64) int {
+	best := 0
+	for ri, r := range ix.rs {
+		if CollisionProb(xi, r, ix.opt.T/r) >= ix.opt.TargetProb {
+			best = ri
+		}
+	}
+	return best
+}
+
+// Len returns the number of indexed sets (including empty ones).
+func (ix *Index) Len() int { return ix.n }
+
+// T returns the signature length.
+func (ix *Index) T() int { return ix.opt.T }
+
+// Seed returns the seed the index hashes with.
+func (ix *Index) Seed() uint64 { return ix.opt.Seed }
+
+// Signatures returns the flattened n*T signature matrix backing the
+// index. The slice is shared, not copied; callers must not mutate it.
+func (ix *Index) Signatures() []uint32 { return ix.sigs }
+
+// BandStats describes one cardinality partition.
+type BandStats struct {
+	Lo, Hi int
+	// Sets is the number of member sets.
+	Sets int
+	// DistinctTokens is the KMV estimate of the band's token universe.
+	DistinctTokens float64
+}
+
+// Stats summarizes the partition structure.
+type Stats struct {
+	Sets  int
+	T     int
+	Bands []BandStats
+}
+
+// Stats returns the partition summary, band order ascending by
+// cardinality range.
+func (ix *Index) Stats() Stats {
+	st := Stats{Sets: ix.n, T: ix.opt.T}
+	for _, b := range ix.bands {
+		if b == nil {
+			continue
+		}
+		st.Bands = append(st.Bands, BandStats{
+			Lo:             b.lo,
+			Hi:             b.hi,
+			Sets:           len(b.members),
+			DistinctTokens: b.kmv.Estimate(),
+		})
+	}
+	return st
+}
+
+func sortInt32(s []int32) {
+	// Insertion sort: candidate lists are short and nearly sorted
+	// (bands emit in ascending member order).
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

@@ -1,0 +1,255 @@
+package contain
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/intset"
+)
+
+func randomSet(rng *rand.Rand, minLen, maxLen, universe int) []uint32 {
+	n := minLen + rng.Intn(maxLen-minLen+1)
+	s := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, uint32(rng.Intn(universe)))
+	}
+	return intset.Normalize(s)
+}
+
+// subsetOf returns a random subset of set covering roughly frac of it.
+func subsetOf(rng *rand.Rand, set []uint32, frac float64) []uint32 {
+	out := make([]uint32, 0, len(set))
+	for _, tok := range set {
+		if rng.Float64() < frac {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func buildCorpus(rng *rand.Rand, n int) [][]uint32 {
+	sets := make([][]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		// Spread across cardinality bands: sizes 2..200.
+		sets = append(sets, randomSet(rng, 2, 200, 4000))
+	}
+	return sets
+}
+
+func TestBandFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9, 1024: 10}
+	for n, want := range cases {
+		if got := bandFor(n); got != want {
+			t.Errorf("bandFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEquivalentJaccard(t *testing.T) {
+	// t=1, u=|q|: only exact duplicates qualify, ξ = 1.
+	if xi := EquivalentJaccard(10, 10, 1); xi != 1 {
+		t.Fatalf("ξ(10,10,1) = %v, want 1", xi)
+	}
+	// Larger upper bounds relax the equivalent Jaccard threshold.
+	hi, lo := EquivalentJaccard(10, 10, 0.5), EquivalentJaccard(10, 1000, 0.5)
+	if lo >= hi {
+		t.Fatalf("ξ must decrease with the upper bound: ξ(u=10)=%v ξ(u=1000)=%v", hi, lo)
+	}
+	// Soundness on random instances: any y with |y| <= u and
+	// C(q,y) >= t has J(q,y) >= ξ.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		q := randomSet(rng, 2, 40, 200)
+		y := randomSet(rng, 1, 60, 200)
+		if len(q) == 0 || len(y) == 0 {
+			continue
+		}
+		th := 0.1 + 0.9*rng.Float64()
+		c := intset.Containment(q, y)
+		if c < th {
+			continue
+		}
+		xi := EquivalentJaccard(len(q), len(y), th)
+		if j := intset.Jaccard(q, y); j < xi-1e-12 {
+			t.Fatalf("C=%v >= t=%v but J=%v < ξ=%v (|q|=%d |y|=%d)", c, th, j, xi, len(q), len(y))
+		}
+	}
+}
+
+// TestQueryRecall checks candidate generation against brute-force
+// ground truth: precision is not promised (callers verify), but recall
+// of true matches must land near TargetProb.
+func TestQueryRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sets := buildCorpus(rng, 1500)
+	ix := Build(sets, Options{Seed: 99})
+	truth, hit := 0, 0
+	for i := 0; i < 300; i++ {
+		// Queries are subsets of indexed sets — the domain-discovery
+		// workload — so true matches exist.
+		base := sets[rng.Intn(len(sets))]
+		q := subsetOf(rng, base, 0.8)
+		if len(q) == 0 {
+			continue
+		}
+		th := 0.5 + 0.4*rng.Float64()
+		cands := make(map[int32]bool)
+		for _, lid := range ix.Query(q, th) {
+			cands[lid] = true
+		}
+		for j, y := range sets {
+			if _, ok := intset.ContainmentAtLeast(q, y, th); ok {
+				truth++
+				if cands[int32(j)] {
+					hit++
+				}
+			}
+		}
+	}
+	if truth == 0 {
+		t.Fatal("ground truth is empty; workload generator broken")
+	}
+	recall := float64(hit) / float64(truth)
+	if recall < 0.85 {
+		t.Fatalf("candidate recall %.3f below 0.85 (%d/%d)", recall, hit, truth)
+	}
+	t.Logf("candidate recall %.3f (%d/%d true matches)", recall, hit, truth)
+}
+
+// TestQueryDeterministicAcrossPartitions pins the sharding contract:
+// because seeds and cardinality-band boundaries are global, whether a
+// given set is a candidate for a given query is independent of which
+// partition of the collection it is indexed in.
+func TestQueryDeterministicAcrossPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sets := buildCorpus(rng, 600)
+	opts := Options{Seed: 123}
+	whole := Build(sets, opts)
+	// Partition round-robin into 3 sub-indexes.
+	var parts [3][][]uint32
+	var gids [3][]int
+	for i, s := range sets {
+		parts[i%3] = append(parts[i%3], s)
+		gids[i%3] = append(gids[i%3], i)
+	}
+	var subs [3]*Index
+	for p := range parts {
+		subs[p] = Build(parts[p], opts)
+	}
+	for i := 0; i < 100; i++ {
+		q := subsetOf(rng, sets[rng.Intn(len(sets))], 0.7)
+		if len(q) == 0 {
+			continue
+		}
+		th := 0.4 + 0.5*rng.Float64()
+		want := make(map[int]bool)
+		for _, lid := range whole.Query(q, th) {
+			want[int(lid)] = true
+		}
+		got := make(map[int]bool)
+		for p := range subs {
+			for _, lid := range subs[p].Query(q, th) {
+				got[gids[p][lid]] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("candidate sets differ across partitioning: %d vs %d", len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("candidate %d missing from partitioned indexes", id)
+			}
+		}
+	}
+}
+
+func TestQueryInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sets := buildCorpus(rng, 400)
+	sets = append(sets, nil) // empty set rides along, never a candidate
+	ix := Build(sets, Options{Seed: 17})
+	for i := 0; i < 200; i++ {
+		q := randomSet(rng, 1, 50, 4000)
+		th := 0.2 + 0.8*rng.Float64()
+		cands := ix.Query(q, th)
+		for j := 1; j < len(cands); j++ {
+			if cands[j] <= cands[j-1] {
+				t.Fatalf("candidates not sorted/deduped: %v", cands)
+			}
+		}
+		for _, lid := range cands {
+			if int(lid) == len(sets)-1 {
+				t.Fatal("empty set emitted as a candidate")
+			}
+		}
+	}
+	if got := ix.Query(nil, 0.5); got != nil {
+		t.Fatalf("empty query returned candidates: %v", got)
+	}
+}
+
+func TestFromSignaturesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sets := buildCorpus(rng, 300)
+	opts := Options{Seed: 55, T: 32}
+	a := Build(sets, opts)
+	b, err := FromSignatures(sets, a.Signatures(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		q := subsetOf(rng, sets[rng.Intn(len(sets))], 0.7)
+		if len(q) == 0 {
+			continue
+		}
+		ca, cb := a.Query(q, 0.6), b.Query(q, 0.6)
+		if len(ca) != len(cb) {
+			t.Fatalf("rebuilt index differs: %v vs %v", ca, cb)
+		}
+		for j := range ca {
+			if ca[j] != cb[j] {
+				t.Fatalf("rebuilt index differs at %d: %v vs %v", j, ca, cb)
+			}
+		}
+	}
+	if _, err := FromSignatures(sets, a.Signatures()[:1], opts); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sets := buildCorpus(rng, 500)
+	ix := Build(sets, Options{Seed: 1})
+	st := ix.Stats()
+	if st.Sets != 500 || st.T != DefaultT {
+		t.Fatalf("Stats header wrong: %+v", st)
+	}
+	total := 0
+	for _, b := range st.Bands {
+		if b.Lo > b.Hi || b.Sets <= 0 {
+			t.Fatalf("degenerate band: %+v", b)
+		}
+		if b.DistinctTokens <= 0 {
+			t.Fatalf("band KMV estimate missing: %+v", b)
+		}
+		total += b.Sets
+	}
+	if total != 500 {
+		t.Fatalf("bands hold %d sets, want 500", total)
+	}
+}
+
+func TestQueryPanicsOnBadThreshold(t *testing.T) {
+	ix := Build([][]uint32{{1, 2}}, Options{})
+	for _, bad := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("threshold %v must panic", bad)
+				}
+			}()
+			ix.Query([]uint32{1}, bad)
+		}()
+	}
+}

@@ -1,0 +1,73 @@
+package intset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestContainmentBasics(t *testing.T) {
+	q := []uint32{1, 2, 3, 4}
+	y := []uint32{2, 3, 4, 5, 6, 7}
+	if got := Containment(q, y); got != 0.75 {
+		t.Fatalf("Containment = %v, want 0.75", got)
+	}
+	// Asymmetric: all of y's overlap with q covers 3/6 of y... but we
+	// measure coverage of the first argument.
+	if got := Containment(y, q); got != 0.5 {
+		t.Fatalf("Containment = %v, want 0.5", got)
+	}
+	if got := Containment(nil, y); got != 0 {
+		t.Fatalf("Containment(∅, y) = %v, want 0", got)
+	}
+	if got := Containment(q, nil); got != 0 {
+		t.Fatalf("Containment(q, ∅) = %v, want 0", got)
+	}
+}
+
+// TestContainmentAtLeastMatchesReference drives random pairs and random
+// thresholds through ContainmentAtLeast and checks the accept/reject
+// decision and the returned value are bit-identical to the float
+// reference `Containment(q, y) >= t`.
+func TestContainmentAtLeastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20000; i++ {
+		q := randomSet(rng, 24, 60)
+		y := randomSet(rng, 24, 60)
+		var th float64
+		switch rng.Intn(4) {
+		case 0:
+			th = rng.Float64()
+		case 1:
+			// Exact boundary values: c/|q| for a random feasible c, the
+			// case where a rearranged inequality would round differently.
+			if len(q) > 0 {
+				th = float64(rng.Intn(len(q)+1)) / float64(len(q))
+			}
+		case 2:
+			th = Containment(q, y)
+		default:
+			th = 1
+		}
+		wantC := Containment(q, y)
+		wantOK := wantC >= th
+		gotC, gotOK := ContainmentAtLeast(q, y, th)
+		if gotOK != wantOK {
+			t.Fatalf("ContainmentAtLeast(%v, %v, %v) ok=%v, reference %v (C=%v)",
+				q, y, th, gotOK, wantOK, wantC)
+		}
+		if gotOK && gotC != wantC {
+			t.Fatalf("ContainmentAtLeast(%v, %v, %v) = %v, want exact %v",
+				q, y, th, gotC, wantC)
+		}
+	}
+}
+
+func TestContainmentAtLeastEmptyQuery(t *testing.T) {
+	y := []uint32{1, 2, 3}
+	if _, ok := ContainmentAtLeast(nil, y, 0.5); ok {
+		t.Fatal("empty query must not reach a positive threshold")
+	}
+	if _, ok := ContainmentAtLeast(nil, y, 0); !ok {
+		t.Fatal("zero threshold accepts the empty query (0 >= 0)")
+	}
+}

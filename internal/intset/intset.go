@@ -241,6 +241,73 @@ func JaccardAtLeast(a, b []uint32, lambda float64) (float64, bool) {
 	return float64(c) / float64(n-c), true
 }
 
+// Containment returns |q ∩ y| / |q|, the fraction of q's tokens present
+// in y, with C(∅, y) defined as 0. Unlike Jaccard it is asymmetric: it
+// measures how much of the query the candidate covers, regardless of how
+// much larger the candidate is — the domain-search semantics of LSH
+// Ensemble (Zhu et al., VLDB 2016).
+func Containment(q, y []uint32) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	return float64(IntersectSize(q, y)) / float64(len(q))
+}
+
+// ContainmentAtLeast reports whether C(q, y) = |q ∩ y| / |q| >= t and,
+// when it is, returns the exact containment (the same value Containment
+// would). Pairs that cannot reach t are rejected early — first by the
+// size bound, then mid-merge as soon as the remaining elements cannot
+// close the gap — mirroring JaccardAtLeast.
+//
+// The accept/reject decision is bit-identical to
+// `Containment(q, y) >= t`: the cutoff intersection size is found by
+// binary search over the very float comparison that check performs
+// (the denominator |q| is fixed, so the division is monotone in the
+// intersection size), never by a rearranged inequality that could round
+// differently at the boundary.
+func ContainmentAtLeast(q, y []uint32, t float64) (float64, bool) {
+	lq, ly := len(q), len(y)
+	if lq == 0 {
+		return 0, 0 >= t
+	}
+	maxC := min(lq, ly)
+	if float64(maxC)/float64(lq) < t {
+		return 0, false
+	}
+	// Smallest intersection size whose containment passes t.
+	lo, hi := 0, maxC
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if float64(mid)/float64(lq) < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cReq := lo
+	c := 0
+	i, j := 0, 0
+	for i < lq && j < ly {
+		if c+min(lq-i, ly-j) < cReq {
+			return 0, false
+		}
+		qi, yj := q[i], y[j]
+		if qi == yj {
+			c++
+			i++
+			j++
+		} else if qi < yj {
+			i++
+		} else {
+			j++
+		}
+	}
+	if c < cReq {
+		return 0, false
+	}
+	return float64(c) / float64(lq), true
+}
+
 // BraunBlanquet returns |a ∩ b| / max(|a|, |b|), with BB(∅, ∅) = 0.
 func BraunBlanquet(a, b []uint32) float64 {
 	m := max(len(a), len(b))

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"container/list"
+	"math"
 	"sync"
 
 	"repro/internal/cpindex"
@@ -9,11 +10,12 @@ import (
 	"repro/internal/tabhash"
 )
 
-// Result kinds a cache entry can hold; part of the key, so a Query and a
-// QueryAll for the same set never collide.
+// Result kinds a cache entry can hold; part of the key, so a Query, a
+// QueryAll and a QueryContain for the same set never collide.
 const (
 	cacheKindBest uint8 = iota
 	cacheKindAll
+	cacheKindContain
 )
 
 // resultCache is the hot-query result cache: a size-bounded LRU keyed on
@@ -42,11 +44,15 @@ type cacheEntry struct {
 	version uint64
 	kind    uint8
 	q       []uint32 // private copy of the query
+	// threshold is the containment threshold of a cacheKindContain entry
+	// (part of the key: the same query at two thresholds has two answers);
+	// zero for the similarity kinds, whose threshold is the index lambda.
+	threshold float64
 	// cacheKindBest payload.
 	id  int
 	sim float64
 	ok  bool
-	// cacheKindAll payload.
+	// cacheKindAll / cacheKindContain payload.
 	all []cpindex.Match
 }
 
@@ -68,25 +74,51 @@ func cacheKey(version uint64, kind uint8, q []uint32) uint64 {
 	return h ^ uint64(len(q))
 }
 
-// lookup finds a verified entry and marks it most recently used. Caller
-// holds mu.
-func (c *resultCache) lookup(version uint64, kind uint8, q []uint32) (*cacheEntry, bool) {
-	el, ok := c.entries[cacheKey(version, kind, q)]
+// cacheKeyContain is cacheKey with the containment threshold mixed in,
+// so the same query at two thresholds lands on two slots instead of
+// evicting each other.
+func cacheKeyContain(version uint64, q []uint32, t float64) uint64 {
+	h := tabhash.Mix64(version ^ uint64(cacheKindContain)<<56 ^ 0x9e3779b97f4a7c15)
+	h = tabhash.Mix64(h ^ math.Float64bits(t))
+	for _, w := range q {
+		h = tabhash.Mix64(h ^ uint64(w))
+	}
+	return h ^ uint64(len(q))
+}
+
+// keyFor computes an entry's map key from its stored tuple.
+func (e *cacheEntry) keyFor() uint64 {
+	if e.kind == cacheKindContain {
+		return cacheKeyContain(e.version, e.q, e.threshold)
+	}
+	return cacheKey(e.version, e.kind, e.q)
+}
+
+// lookupKey finds a verified entry under a precomputed key and marks it
+// most recently used. Caller holds mu.
+func (c *resultCache) lookupKey(key, version uint64, kind uint8, q []uint32, t float64) (*cacheEntry, bool) {
+	el, ok := c.entries[key]
 	if !ok {
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
-	if e.version != version || e.kind != kind || !intset.Equal(e.q, q) {
+	if e.version != version || e.kind != kind || e.threshold != t || !intset.Equal(e.q, q) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
 	return e, true
 }
 
+// lookup finds a verified similarity-kind entry (threshold 0 by
+// construction) and marks it most recently used. Caller holds mu.
+func (c *resultCache) lookup(version uint64, kind uint8, q []uint32) (*cacheEntry, bool) {
+	return c.lookupKey(cacheKey(version, kind, q), version, kind, q, 0)
+}
+
 // put inserts or replaces the entry for its key and evicts from the LRU
 // tail past capacity.
 func (c *resultCache) put(e *cacheEntry) {
-	e.key = cacheKey(e.version, e.kind, e.q)
+	e.key = e.keyFor()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[e.key]; ok {
@@ -143,6 +175,28 @@ func (c *resultCache) putAll(version uint64, q []uint32, ms []cpindex.Match) {
 		kind:    cacheKindAll,
 		q:       append([]uint32(nil), q...),
 		all:     ms,
+	})
+}
+
+func (c *resultCache) getContain(version uint64, q []uint32, t float64) ([]cpindex.Match, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.lookupKey(cacheKeyContain(version, q, t), version, cacheKindContain, q, t)
+	if !found {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.all, true
+}
+
+func (c *resultCache) putContain(version uint64, q []uint32, t float64, ms []cpindex.Match) {
+	c.put(&cacheEntry{
+		version:   version,
+		kind:      cacheKindContain,
+		q:         append([]uint32(nil), q...),
+		threshold: t,
+		all:       ms,
 	})
 }
 

@@ -20,18 +20,18 @@ func TestCacheIdenticalAnswers(t *testing.T) {
 		qs := sets[:60]
 		for pass := 0; pass < 2; pass++ { // cold then warm
 			for i, q := range qs {
-				wid, wsim, wok := plain.Query(q)
-				gid, gsim, gok := cached.Query(q)
+				wid, wsim, wok := mustQuery(t, plain, q)
+				gid, gsim, gok := mustQuery(t, cached, q)
 				if wid != gid || wsim != gsim || wok != gok {
 					t.Fatalf("%s pass %d Query(%d): cached (%d,%v,%v) != plain (%d,%v,%v)",
 						stage, pass, i, gid, gsim, gok, wid, wsim, wok)
 				}
-				if !equalMatches(t, cached.QueryAll(q), plain.QueryAll(q)) {
+				if !equalMatches(t, mustQueryAll(t, cached, q), mustQueryAll(t, plain, q)) {
 					t.Fatalf("%s pass %d QueryAll(%d) differs", stage, pass, i)
 				}
 			}
-			wb := plain.QueryBatch(qs)
-			gb := cached.QueryBatch(qs)
+			wb := mustQueryBatch(t, plain, qs)
+			gb := mustQueryBatch(t, cached, qs)
 			for i := range wb {
 				if !equalMatches(t, gb[i], wb[i]) {
 					t.Fatalf("%s pass %d QueryBatch[%d] differs", stage, pass, i)
@@ -80,9 +80,9 @@ func TestCacheHitMissCounters(t *testing.T) {
 	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 11, CacheSize: 32})
 	q := sets[3]
 
-	x.Query(q) // miss
-	x.Query(q) // hit
-	x.Query(q) // hit
+	mustQuery(t, x, q) // miss
+	mustQuery(t, x, q) // hit
+	mustQuery(t, x, q) // hit
 	if _, hits, misses := x.cache.Load().stats(); hits != 2 || misses != 1 {
 		t.Fatalf("after 3 queries: hits=%d misses=%d, want 2/1", hits, misses)
 	}
@@ -90,8 +90,8 @@ func TestCacheHitMissCounters(t *testing.T) {
 	// Any mutation bumps the version: the same query misses once, then
 	// hits again under the new version.
 	x.Delete(7)
-	x.Query(q)
-	x.Query(q)
+	mustQuery(t, x, q)
+	mustQuery(t, x, q)
 	if _, hits, misses := x.cache.Load().stats(); hits != 3 || misses != 2 {
 		t.Fatalf("after delete: hits=%d misses=%d, want 3/2", hits, misses)
 	}
@@ -141,12 +141,12 @@ func TestEnableCacheAfterBuild(t *testing.T) {
 	if x.Stats().CacheEnabled {
 		t.Fatal("cache on without CacheSize")
 	}
-	before := x.QueryAll(sets[0])
+	before := mustQueryAll(t, x, sets[0])
 	x.EnableCache(16)
 	if !x.Stats().CacheEnabled {
 		t.Fatal("cache off after EnableCache")
 	}
-	if !equalMatches(t, x.QueryAll(sets[0]), before) {
+	if !equalMatches(t, mustQueryAll(t, x, sets[0]), before) {
 		t.Fatal("answers changed when cache enabled")
 	}
 	x.EnableCache(0)
@@ -162,11 +162,11 @@ func TestQueryZeroAllocsAllLocal(t *testing.T) {
 	sets, _ := workload(1500, 0.8, 331)
 	x := Build(sets, 0.5, &Options{Shards: 3, Seed: 15})
 	for i := 0; i < 30; i++ { // warm scratch pools
-		x.Query(sets[i])
+		mustQuery(t, x, sets[i])
 	}
 	qi := 0
 	if n := testing.AllocsPerRun(100, func() {
-		x.Query(sets[qi%700])
+		mustQuery(t, x, sets[qi%700])
 		qi++
 	}); n != 0 {
 		t.Errorf("shard Query allocates %v/op, want 0", n)

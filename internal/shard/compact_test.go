@@ -60,10 +60,10 @@ func TestCompactEquivalence(t *testing.T) {
 	if before.Shards < 4 {
 		t.Fatalf("churn produced only %d shards, want several seals", before.Shards)
 	}
-	wantBatch := x.QueryBatch(probes)
+	wantBatch := mustQueryBatch(t, x, probes)
 	wantBest := make([][3]any, len(probes))
 	for i, q := range probes {
-		id, sim, ok := x.Query(q)
+		id, sim, ok := mustQuery(t, x, q)
 		wantBest[i] = [3]any{id, sim, ok}
 	}
 
@@ -91,12 +91,12 @@ func TestCompactEquivalence(t *testing.T) {
 		t.Fatalf("generation did not bump: %d -> %d", before.Generation, after.Generation)
 	}
 
-	got := x.QueryBatch(probes)
+	got := mustQueryBatch(t, x, probes)
 	for i := range probes {
 		if !equalMatches(t, got[i], wantBatch[i]) {
 			t.Fatalf("query %d: QueryBatch changed across Compact: %v != %v", i, got[i], wantBatch[i])
 		}
-		id, sim, ok := x.Query(probes[i])
+		id, sim, ok := mustQuery(t, x, probes[i])
 		if w := wantBest[i]; id != w[0] || sim != w[1] || ok != w[2] {
 			t.Fatalf("query %d: Query changed across Compact: (%d %v %v) != %v", i, id, sim, ok, w)
 		}
@@ -124,7 +124,7 @@ func TestCompactTombstoneRatioRewritesLargeShard(t *testing.T) {
 		x.Delete(id + 1)
 	}
 	probes := sets[:150]
-	want := x.QueryBatch(probes)
+	want := mustQueryBatch(t, x, probes)
 
 	res := x.Compact()
 	if res.Merged != 1 || res.Reclaimed != 120 {
@@ -137,7 +137,7 @@ func TestCompactTombstoneRatioRewritesLargeShard(t *testing.T) {
 	if st.Tombstones != 0 {
 		t.Fatalf("tombstones not reclaimed: %d left", st.Tombstones)
 	}
-	got := x.QueryBatch(probes)
+	got := mustQueryBatch(t, x, probes)
 	for i := range probes {
 		if !equalMatches(t, got[i], want[i]) {
 			t.Fatalf("query %d changed across ratio-triggered rewrite", i)
@@ -157,10 +157,10 @@ func TestCompactAllTombstonedShards(t *testing.T) {
 	if res.Merged == 0 || res.Reclaimed != 2 {
 		t.Fatalf("Compact = %+v, want both tombstones reclaimed", res)
 	}
-	if id, _, ok := x.Query([]uint32{1, 2, 3}); ok {
+	if id, _, ok := mustQuery(t, x, []uint32{1, 2, 3}); ok {
 		t.Fatalf("query found id %d in a fully deleted shard", id)
 	}
-	if id, _, ok := x.Query([]uint32{50, 51}); !ok || id != 2 {
+	if id, _, ok := mustQuery(t, x, []uint32{50, 51}); !ok || id != 2 {
 		t.Fatalf("live set lost across compaction: id=%d ok=%v", id, ok)
 	}
 	if st := x.Stats(); st.Sets != 2 || st.Tombstones != 0 {
@@ -187,16 +187,16 @@ func TestQueryDeadBestMatchRescan(t *testing.T) {
 	}
 	x := Build(sets, 0.5, exactOptions(1, 100, 53))
 	x.Delete(0)
-	if id, sim, ok := x.Query(q); !ok || id != 1 || sim != 0.8 {
+	if id, sim, ok := mustQuery(t, x, q); !ok || id != 1 || sim != 0.8 {
 		t.Fatalf("rescan past dead best: got id=%d sim=%v ok=%v, want id=1 sim=0.8", id, sim, ok)
 	}
 
 	// Every match tombstoned: the shard must report no match.
 	x.Delete(1)
-	if id, _, ok := x.Query(q); ok {
+	if id, _, ok := mustQuery(t, x, q); ok {
 		t.Fatalf("all matches dead, Query still returned id=%d", id)
 	}
-	if ms := x.QueryAll(q); len(ms) != 0 {
+	if ms := mustQueryAll(t, x, q); len(ms) != 0 {
 		t.Fatalf("all matches dead, QueryAll returned %v", ms)
 	}
 
@@ -204,16 +204,16 @@ func TestQueryDeadBestMatchRescan(t *testing.T) {
 	// contributes nothing, the live shard's match wins.
 	y := Build([][]uint32{{1, 2, 3, 4}, {1, 2, 3, 4, 5, 6}}, 0.5, exactOptions(2, 100, 59))
 	y.Delete(0)
-	if id, sim, ok := y.Query(q); !ok || id != 1 || sim < 0.5 {
+	if id, sim, ok := mustQuery(t, y, q); !ok || id != 1 || sim < 0.5 {
 		t.Fatalf("live match in other shard lost: id=%d sim=%v ok=%v", id, sim, ok)
 	}
 
 	// After compaction reclaims the dead entries the answers must hold.
 	x.Compact()
-	if id, _, ok := x.Query(q); ok {
+	if id, _, ok := mustQuery(t, x, q); ok {
 		t.Fatalf("after compaction, Query resurrected id=%d", id)
 	}
-	if id, _, ok := x.Query([]uint32{90, 91}); !ok || id != 2 {
+	if id, _, ok := mustQuery(t, x, []uint32{90, 91}); !ok || id != 2 {
 		t.Fatalf("live filler lost after compaction: id=%d ok=%v", id, ok)
 	}
 }
@@ -267,7 +267,7 @@ func TestDeleteIdempotentAfterReclaim(t *testing.T) {
 // compaction restore an index that answers identically.
 func TestCompactSaveLoad(t *testing.T) {
 	x, probes, dead := churn(t, exactOptions(2, 40, 71))
-	want := x.QueryBatch(probes)
+	want := mustQueryBatch(t, x, probes)
 
 	// Save racing the compaction: the snapshot sees the old or the new
 	// ring, both of which answer identically.
@@ -286,7 +286,7 @@ func TestCompactSaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := mid.QueryBatch(probes)
+	got := mustQueryBatch(t, mid, probes)
 	for i := range probes {
 		if !equalMatches(t, got[i], want[i]) {
 			t.Fatalf("query %d differs after mid-compaction save/load", i)
@@ -302,7 +302,7 @@ func TestCompactSaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got = post.QueryBatch(probes)
+	got = mustQueryBatch(t, post, probes)
 	for i := range probes {
 		if !equalMatches(t, got[i], want[i]) {
 			t.Fatalf("query %d differs after post-compaction save/load", i)
@@ -352,12 +352,12 @@ func TestCompactConcurrentServing(t *testing.T) {
 		deadSince := len(sets)
 		for pass := 0; pass < 6; pass++ {
 			for i := 0; i < len(sets); i += 7 {
-				if _, sim, ok := x.Query(sets[i]); !ok || sim < 0.5 {
+				if _, sim, ok := mustQuery(t, x, sets[i]); !ok || sim < 0.5 {
 					t.Errorf("self-query %d lost during compaction churn", i)
 					return
 				}
 			}
-			for _, ms := range x.QueryBatch(extra[:40]) {
+			for _, ms := range mustQueryBatch(t, x, extra[:40]) {
 				for _, m := range ms {
 					if m.ID >= deadSince && (m.ID-deadSince)%4 == 0 {
 						// The add/delete goroutine may not have deleted it
@@ -410,7 +410,7 @@ func TestAutoCompact(t *testing.T) {
 	// Every appended set remains findable under its global id.
 	for i, q := range extra {
 		found := false
-		for _, m := range x.QueryAll(q) {
+		for _, m := range mustQueryAll(t, x, q) {
 			if m.ID == len(sets)+i {
 				found = true
 			}

@@ -1,0 +1,569 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cpindex"
+	"repro/internal/intset"
+	"repro/internal/snapshot"
+)
+
+// containThresholds is the threshold grid the containment tests probe.
+var containThresholds = []float64{0.5, 0.7, 1.0}
+
+// containProbes derives containment probes from the indexed sets: every
+// stride-th set thinned to a deterministic ~2/3 subset, so each probe is
+// fully contained by at least its source set. A subset of a sorted set
+// stays sorted.
+func containProbes(sets [][]uint32, count int) [][]uint32 {
+	if count > len(sets) {
+		count = len(sets)
+	}
+	probes := make([][]uint32, 0, count)
+	for i := 0; i < count; i++ {
+		src := sets[i*len(sets)/count]
+		var q []uint32
+		for j, tok := range src {
+			if j%3 != 0 {
+				q = append(q, tok)
+			}
+		}
+		if len(q) == 0 {
+			q = src[:1]
+		}
+		probes = append(probes, q)
+	}
+	return probes
+}
+
+// bruteContain is the reference answer: every live id whose set contains
+// at least t of q, with the exact containment score, ascending id.
+func bruteContain(sets [][]uint32, dead map[int]bool, q []uint32, t float64) []cpindex.Match {
+	var out []cpindex.Match
+	for id, s := range sets {
+		if dead[id] || s == nil {
+			continue
+		}
+		if sim, ok := intset.ContainmentAtLeast(q, s, t); ok {
+			out = append(out, cpindex.Match{ID: id, Sim: sim})
+		}
+	}
+	return out
+}
+
+// TestQueryContainAgainstBruteForce pins the containment contract on a
+// churned index (sealed primaries, buffered appends, tombstones), for
+// both partition schemes and several shard counts:
+//   - precision is exactly 1.0: every returned match is in the brute-force
+//     truth with the exact containment score, in strictly ascending id
+//     order, and never a deleted id;
+//   - buffered appends have recall 1.0 (they are scanned exactly);
+//   - aggregate recall over the probe grid clears the CI floor by a wide
+//     margin (the candidate structure is approximate, so per-probe recall
+//     is not 1.0 — but it must not be quietly broken either).
+func TestQueryContainAgainstBruteForce(t *testing.T) {
+	sets, _ := workload(600, 0.8, 401)
+	extra, _ := workload(40, 0.8, 403)
+	probes := containProbes(sets, 120)
+	probes = append(probes, containProbes(extra, 20)...)
+
+	for _, part := range []Partition{PartitionContiguous, PartitionHash} {
+		for _, shards := range []int{1, 4} {
+			x := Build(sets, 0.5, &Options{
+				Shards: shards, Partition: part, Seed: 17, MergeThreshold: 500, Workers: 2,
+			})
+			bufferedIDs := x.Add(extra) // stays buffered: threshold not reached
+			if st := x.Stats(); st.Buffered != len(extra) {
+				t.Fatalf("%v/%d: setup buffered %d, want %d", part, shards, st.Buffered, len(extra))
+			}
+			all := append(append([][]uint32{}, sets...), extra...)
+			dead := map[int]bool{3: true, 77: true, bufferedIDs[5]: true}
+			for id := range dead {
+				if !x.Delete(id) {
+					t.Fatalf("%v/%d: Delete(%d) found nothing", part, shards, id)
+				}
+			}
+			buffered := map[int]bool{}
+			for _, id := range bufferedIDs {
+				buffered[id] = true
+			}
+
+			var truthPairs, hits int
+			for pi, q := range probes {
+				for _, th := range containThresholds {
+					truth := bruteContain(all, dead, q, th)
+					inTruth := make(map[int]float64, len(truth))
+					for _, m := range truth {
+						inTruth[m.ID] = m.Sim
+					}
+					got, err := x.QueryContain(q, th)
+					if err != nil {
+						t.Fatalf("%v/%d: probe %d t=%v: %v", part, shards, pi, th, err)
+					}
+					for i, m := range got {
+						if i > 0 && got[i-1].ID >= m.ID {
+							t.Fatalf("%v/%d: probe %d t=%v: ids not strictly ascending: %v",
+								part, shards, pi, th, got)
+						}
+						if dead[m.ID] {
+							t.Fatalf("%v/%d: probe %d t=%v: deleted id %d returned",
+								part, shards, pi, th, m.ID)
+						}
+						want, ok := inTruth[m.ID]
+						if !ok || want != m.Sim {
+							t.Fatalf("%v/%d: probe %d t=%v: match %+v not in truth (want sim %v, in truth %v)",
+								part, shards, pi, th, m, want, ok)
+						}
+					}
+					returned := make(map[int]bool, len(got))
+					for _, m := range got {
+						returned[m.ID] = true
+					}
+					for _, m := range truth {
+						truthPairs++
+						if returned[m.ID] {
+							hits++
+						} else if buffered[m.ID] {
+							t.Fatalf("%v/%d: probe %d t=%v: buffered id %d missed (buffer scans are exact)",
+								part, shards, pi, th, m.ID)
+						}
+					}
+				}
+			}
+			if truthPairs == 0 {
+				t.Fatalf("%v/%d: degenerate workload: empty truth", part, shards)
+			}
+			if recall := float64(hits) / float64(truthPairs); recall < 0.9 {
+				t.Fatalf("%v/%d: aggregate recall %.3f (%d/%d) below 0.9",
+					part, shards, recall, hits, truthPairs)
+			}
+		}
+	}
+}
+
+// TestQueryContainIdenticalAcrossTopologies pins the determinism leg of
+// the contract: with one index seed, containment answers are
+// byte-identical for every shard count, partition scheme and worker
+// count — the signer is seeded globally (ContainSeed), not per shard, so
+// candidacy is a property of (q, y, seed) alone.
+func TestQueryContainIdenticalAcrossTopologies(t *testing.T) {
+	sets, _ := workload(500, 0.8, 411)
+	extra, _ := workload(30, 0.8, 413)
+	probes := containProbes(sets, 60)
+
+	type config struct {
+		shards  int
+		part    Partition
+		workers int
+	}
+	configs := []config{
+		{1, PartitionContiguous, 0},
+		{4, PartitionContiguous, 4},
+		{4, PartitionHash, 0},
+		{4, PartitionHash, 4},
+	}
+	var ref [][]cpindex.Match
+	for ci, c := range configs {
+		x := Build(sets, 0.5, &Options{
+			Shards: c.shards, Partition: c.part, Seed: 23, MergeThreshold: 500, Workers: c.workers,
+		})
+		x.Add(extra)
+		x.Delete(11)
+		x.Delete(len(sets) + 7)
+		var answers []cpindex.Match
+		for _, q := range probes {
+			for _, th := range containThresholds {
+				ms, err := x.QueryContain(q, th)
+				if err != nil {
+					t.Fatalf("config %d: %v", ci, err)
+				}
+				answers = append(answers, ms...)
+				answers = append(answers, cpindex.Match{ID: -1}) // probe separator
+			}
+		}
+		if ci == 0 {
+			ref = append(ref, answers)
+			continue
+		}
+		if !equalMatches(t, answers, ref[0]) {
+			t.Fatalf("config %+v: containment answers differ from single-shard reference", c)
+		}
+	}
+}
+
+// TestQueryContainValidation covers the error surface: thresholds outside
+// (0,1] are rejected, empty queries and empty indexes answer empty.
+func TestQueryContainValidation(t *testing.T) {
+	sets, _ := workload(80, 0.8, 421)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 5})
+	for _, bad := range []float64{0, -0.5, 1.0001, 2} {
+		if _, err := x.QueryContain(sets[0], bad); err == nil ||
+			!strings.Contains(err.Error(), "containment threshold") {
+			t.Fatalf("threshold %v: error %v, want containment-threshold rejection", bad, err)
+		}
+	}
+	if ms, err := x.QueryContain(nil, 0.5); err != nil || ms != nil {
+		t.Fatalf("empty query: (%v, %v), want (nil, nil)", ms, err)
+	}
+	empty := Build(nil, 0.5, &Options{})
+	if ms, err := empty.QueryContain(sets[0], 0.5); err != nil || len(ms) != 0 {
+		t.Fatalf("empty index: (%v, %v), want no matches", ms, err)
+	}
+	// t=1 is valid: exact full containment.
+	if _, err := x.QueryContain(sets[0][:5], 1); err != nil {
+		t.Fatalf("t=1: %v", err)
+	}
+}
+
+// TestQueryContainSaveLoadRoundTrip: a version-2 snapshot persists the
+// containment signatures, so a loaded index answers byte-identically
+// without rebuilding — including for an index that never served a
+// containment query before Save (encoding forces the signing).
+func TestQueryContainSaveLoadRoundTrip(t *testing.T) {
+	sets, _ := workload(400, 0.8, 431)
+	extra, _ := workload(25, 0.8, 433)
+	probes := containProbes(sets, 50)
+	build := func() *Index {
+		x := Build(sets, 0.5, &Options{Shards: 3, Seed: 29, MergeThreshold: 500, Workers: 2})
+		x.Add(extra)
+		x.Delete(9)
+		return x
+	}
+
+	// never-queried twin: Save must sign, and the loaded answers must equal
+	// a fresh index's.
+	x := build()
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range y.shards {
+		if sh.(*subIndex).contain.Load() == nil {
+			t.Fatal("loaded v2 shard has no decoded containment side")
+		}
+	}
+	for pi, q := range probes {
+		for _, th := range containThresholds {
+			want, err1 := x.QueryContain(q, th)
+			got, err2 := y.QueryContain(q, th)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("probe %d t=%v: errs %v / %v", pi, th, err1, err2)
+			}
+			if !equalMatches(t, got, want) {
+				t.Fatalf("probe %d t=%v: answers differ across save/load", pi, th)
+			}
+		}
+	}
+}
+
+// stripContainSection rewrites one cpshard container file as a version-1
+// legacy container: walk the section frames (8-byte name, u64 length,
+// u32 crc), truncate at the "contain" section, and patch the header's
+// version word down to 1 — byte surgery standing in for a file written
+// by a pre-containment build.
+func stripContainSection(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const headerLen = 8 + 4 + 8 // magic + version + kind
+	off := headerLen
+	for off < len(raw) {
+		if off+20 > len(raw) {
+			t.Fatalf("%s: truncated section header at %d", path, off)
+		}
+		name := raw[off : off+8]
+		length := binary.LittleEndian.Uint64(raw[off+8 : off+16])
+		if strings.TrimRight(string(name), "\x00") == "contain" {
+			raw = raw[:off]
+			binary.LittleEndian.PutUint32(raw[8:12], 1)
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		off += 20 + int(length)
+	}
+	t.Fatalf("%s: no contain section found", path)
+}
+
+// TestLoadLegacyV1RebuildsContainment: a version-1 snapshot (no contain
+// sections, pre-containment manifest) still loads, and containment
+// queries work by rebuilding the candidate structure lazily — with
+// byte-identical answers, because the signer's seed is derived from the
+// index seed, not stored state.
+func TestLoadLegacyV1RebuildsContainment(t *testing.T) {
+	sets, _ := workload(300, 0.8, 441)
+	probes := containProbes(sets, 40)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 37, Workers: 2})
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Surgery: strip every shard's contain section and downgrade both the
+	// container headers and the manifest to format version 1.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surgeries := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".cps") {
+			stripContainSection(t, filepath.Join(dir, e.Name()))
+			surgeries++
+		}
+	}
+	if surgeries == 0 {
+		t.Fatal("no shard files found")
+	}
+	mpath := filepath.Join(dir, snapshot.ManifestFile)
+	mraw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(mraw), `"format_version": 2`, `"format_version": 1`, 1)
+	if patched == string(mraw) {
+		t.Fatalf("manifest carries no format_version 2 marker:\n%s", mraw)
+	}
+	if err := os.WriteFile(mpath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	y, err := Load(dir, 2)
+	if err != nil {
+		t.Fatalf("loading legacy v1 snapshot: %v", err)
+	}
+	for _, sh := range y.shards {
+		if sh.(*subIndex).contain.Load() != nil {
+			t.Fatal("v1 shard decoded a containment side it cannot contain")
+		}
+	}
+	for pi, q := range probes {
+		for _, th := range containThresholds {
+			want, err1 := x.QueryContain(q, th)
+			got, err2 := y.QueryContain(q, th)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("probe %d t=%v: errs %v / %v", pi, th, err1, err2)
+			}
+			if !equalMatches(t, got, want) {
+				t.Fatalf("probe %d t=%v: lazily rebuilt answers differ from original", pi, th)
+			}
+		}
+	}
+	// The lazy build happened exactly where expected.
+	for _, sh := range y.shards {
+		if sh.(*subIndex).contain.Load() == nil {
+			t.Fatal("containment side not built after first containment query")
+		}
+	}
+}
+
+// TestQueryContainCache: containment answers are cached under their own
+// key kind (keyed by threshold too), stay correct across thresholds, and
+// invalidate on mutation like every cached answer.
+func TestQueryContainCache(t *testing.T) {
+	sets, _ := workload(300, 0.8, 451)
+	probes := containProbes(sets, 30)
+	cached := Build(sets, 0.5, &Options{Shards: 2, Seed: 41, Workers: 2})
+	plain := Build(sets, 0.5, &Options{Shards: 2, Seed: 41, Workers: 2})
+	if err := cached.Configure(RuntimeOptions{CacheSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for pi, q := range probes {
+			for _, th := range containThresholds {
+				want, _ := plain.QueryContain(q, th)
+				for rep := 0; rep < 2; rep++ { // second rep is the cache hit
+					got, err := cached.QueryContain(q, th)
+					if err != nil {
+						t.Fatalf("%s: probe %d t=%v rep %d: %v", stage, pi, th, rep, err)
+					}
+					if !equalMatches(t, got, want) {
+						t.Fatalf("%s: probe %d t=%v rep %d: cached answers diverge", stage, pi, th, rep)
+					}
+				}
+			}
+		}
+	}
+	check("cold")
+	// Mutation bumps the version: stale entries must never resurface.
+	for _, id := range []int{2, 55, 121} {
+		cached.Delete(id)
+		plain.Delete(id)
+	}
+	check("after delete")
+}
+
+// TestQueryContainBuiltRequiresShippedSide: the hosted-shard entry point
+// refuses to lazily build — a peer signing with guessed options would
+// break the global determinism contract — so a shard without a shipped
+// containment side answers with an error.
+func TestQueryContainBuiltRequiresShippedSide(t *testing.T) {
+	sets, _ := workload(50, 0.8, 461)
+	x := Build(sets, 0.5, &Options{Shards: 1, Seed: 3})
+	sub := x.shards[0].(*subIndex)
+	if sub.contain.Load() != nil {
+		t.Fatal("containment side built eagerly; the lazy contract changed")
+	}
+	if _, err := sub.queryContainBuilt(sets[0], 0.5); err == nil {
+		t.Fatal("queryContainBuilt answered without a shipped containment side")
+	}
+	// After any containment query the side exists and the built path works.
+	if _, err := x.QueryContain(sets[0], 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.queryContainBuilt(sets[0], 0.5); err != nil {
+		t.Fatalf("queryContainBuilt after build: %v", err)
+	}
+}
+
+// TestDistributeContainmentEquivalence: a distributed topology answers
+// containment queries byte-identically to the all-local twin — shipped
+// containers carry the signatures, so peers answer without knowing the
+// coordinator's configuration — and failover to a second replica keeps
+// the answers intact.
+func TestDistributeContainmentEquivalence(t *testing.T) {
+	peer1, _ := newPeer(t)
+	peer2, _ := newPeer(t)
+	local, dist, _ := distributedPair(t, []string{peer1.URL, peer2.URL},
+		&DistributeOptions{Replicas: 2, KeepLocal: false})
+	probes := containProbes(localSets(t, local), 40)
+	probes = append(probes, nil)
+
+	assertContainIdentical := func(stage string) {
+		t.Helper()
+		for pi, q := range probes {
+			for _, th := range containThresholds {
+				want, err1 := local.QueryContain(q, th)
+				got, err2 := dist.QueryContain(q, th)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: probe %d t=%v: errs %v / %v", stage, pi, th, err1, err2)
+				}
+				if !equalMatches(t, got, want) {
+					t.Fatalf("%s: probe %d t=%v: distributed containment diverges", stage, pi, th)
+				}
+			}
+		}
+	}
+	assertContainIdentical("both replicas up")
+	peer1.Close() // failover: every query falls to the second replica
+	assertContainIdentical("first replica down")
+}
+
+// localSets reconstructs the live set collection of an all-local index
+// from its shards and side buffer, indexed by global id (nil = absent),
+// so tests can derive probes without carrying the build inputs around.
+func localSets(t *testing.T, x *Index) [][]uint32 {
+	t.Helper()
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([][]uint32, x.total)
+	for _, sh := range x.shards {
+		sub, ok := sh.(*subIndex)
+		if !ok {
+			t.Fatal("localSets wants an all-local index")
+		}
+		for local, id := range sub.ids {
+			out[id] = sub.ix.Sets()[local]
+		}
+	}
+	for i, id := range x.side.ids {
+		out[id] = x.side.sets[i]
+	}
+	kept := out[:0]
+	for _, s := range out {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// TestConfigureValidationAndPersistence: Configure rejects invalid
+// options, reports the applied state via Runtime, survives a Save/Load
+// cycle, and a manifest smuggling invalid runtime state is rejected as
+// corrupt.
+func TestConfigureValidationAndPersistence(t *testing.T) {
+	sets, _ := workload(200, 0.8, 471)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 13, Workers: 2})
+
+	if err := x.Configure(RuntimeOptions{CacheSize: -1}); err == nil {
+		t.Fatal("negative cache size accepted")
+	}
+	want := RuntimeOptions{AutoCompact: true, PointerLayout: true, CacheSize: 32}
+	if err := x.Configure(want); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Runtime(); got != want {
+		t.Fatalf("Runtime() = %+v, want %+v", got, want)
+	}
+
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := y.Runtime(); got != want {
+		t.Fatalf("Runtime() after reload = %+v, want %+v", got, want)
+	}
+	// The restored configuration changes no answer.
+	probes := containProbes(sets, 20)
+	for pi, q := range probes {
+		id1, s1, ok1 := mustQuery(t, x, q)
+		id2, s2, ok2 := mustQuery(t, y, q)
+		if id1 != id2 || s1 != s2 || ok1 != ok2 {
+			t.Fatalf("probe %d: similarity answer changed across configured reload", pi)
+		}
+	}
+
+	// Back to defaults: a zero runtime is not persisted, and a reload
+	// starts on the defaults again.
+	if err := y.Configure(RuntimeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := y.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	z, err := Load(dir2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := z.Runtime(); got != (RuntimeOptions{}) {
+		t.Fatalf("Runtime() after default reload = %+v, want zero", got)
+	}
+
+	// A manifest with invalid runtime state must fail Load as corrupt, not
+	// half-apply it.
+	mpath := filepath.Join(dir, snapshot.ManifestFile)
+	mraw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(mraw), `"cache_size": 32`, `"cache_size": -5`, 1)
+	if patched == string(mraw) {
+		t.Fatalf("manifest carries no cache_size marker:\n%s", mraw)
+	}
+	if err := os.WriteFile(mpath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 2); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("Load with invalid runtime state: %v, want ErrCorrupt", err)
+	}
+}

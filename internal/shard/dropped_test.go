@@ -19,7 +19,7 @@ func TestDroppedBitmapRoundTrip(t *testing.T) {
 	if st.Reclaimed == 0 {
 		t.Fatalf("churn produced no reclaimed ids: %+v", st)
 	}
-	want := x.QueryBatch(probes)
+	want := mustQueryBatch(t, x, probes)
 
 	dir := t.TempDir()
 	if err := x.Save(dir); err != nil {
@@ -59,7 +59,7 @@ func TestDroppedBitmapRoundTrip(t *testing.T) {
 	if y.Len() != live {
 		t.Fatalf("re-deletes moved the live count: %d -> %d", live, y.Len())
 	}
-	got := y.QueryBatch(probes)
+	got := mustQueryBatch(t, y, probes)
 	for i := range probes {
 		if !equalMatches(t, got[i], want[i]) {
 			t.Fatalf("probe %d diverges after bitmap round trip", i)
@@ -73,7 +73,7 @@ func TestDroppedBitmapRoundTrip(t *testing.T) {
 func TestLegacyDroppedListStillLoads(t *testing.T) {
 	x, probes, _ := churn(t, exactOptions(2, 40, 157))
 	x.Compact()
-	want := x.QueryBatch(probes)
+	want := mustQueryBatch(t, x, probes)
 	dir := t.TempDir()
 	if err := x.Save(dir); err != nil {
 		t.Fatal(err)
@@ -95,7 +95,7 @@ func TestLegacyDroppedListStillLoads(t *testing.T) {
 	if got, wantN := y.Stats().Reclaimed, len(m.Dropped); got != wantN {
 		t.Fatalf("reclaimed count %d from legacy list of %d", got, wantN)
 	}
-	got := y.QueryBatch(probes)
+	got := mustQueryBatch(t, y, probes)
 	for i := range probes {
 		if !equalMatches(t, got[i], want[i]) {
 			t.Fatalf("probe %d diverges under legacy dropped list", i)

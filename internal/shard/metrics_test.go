@@ -172,7 +172,7 @@ func TestMetricsCounterDeltas(t *testing.T) {
 		t.Fatal("Build left the index uninstrumented")
 	}
 
-	x.Query(sets[3])
+	mustQuery(t, x, sets[3])
 	if got := m.queryBest.Count(); got != 1 {
 		t.Errorf("query histogram count = %d, want 1", got)
 	}
@@ -180,11 +180,11 @@ func TestMetricsCounterDeltas(t *testing.T) {
 		t.Errorf("candidate pipeline after Query: candidates=%d verified=%d, want both > 0", c, v)
 	}
 
-	x.QueryAll(sets[3])
+	mustQueryAll(t, x, sets[3])
 	if got := m.queryAll.Count(); got != 1 {
 		t.Errorf("query_all histogram count = %d, want 1", got)
 	}
-	x.QueryBatch(sets[:4])
+	mustQueryBatch(t, x, sets[:4])
 	if got := m.queryBatch.Count(); got != 1 {
 		t.Errorf("query_batch histogram count = %d, want 1 (one batch, not one per query)", got)
 	}
@@ -232,12 +232,12 @@ func TestQueryMetricsAllocs(t *testing.T) {
 		t.Fatal("Build left the index uninstrumented")
 	}
 	for i := 0; i < 30; i++ {
-		x.Query(sets[i])
+		mustQuery(t, x, sets[i])
 	}
 	before := x.metrics.cand.Candidates.Load()
 	qi := 0
 	if n := testing.AllocsPerRun(100, func() {
-		x.Query(sets[qi%700])
+		mustQuery(t, x, sets[qi%700])
 		qi++
 	}); n != 0 {
 		t.Errorf("instrumented Query allocates %v/op, want 0", n)

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/contain"
 	"repro/internal/cpindex"
 	"repro/internal/exec"
 	"repro/internal/snapshot"
@@ -109,7 +110,15 @@ func (x *Index) Save(dir string) error {
 		Tombstones:            sortedTombstones(x.tombs),
 		DroppedBitmap:         x.dropped.Bytes(),
 	}
+	if rt := x.runtime; rt != (RuntimeOptions{}) {
+		m.Runtime = &snapshot.RuntimeState{
+			AutoCompact:   rt.AutoCompact,
+			PointerLayout: rt.PointerLayout,
+			CacheSize:     rt.CacheSize,
+		}
+	}
 	x.mu.RUnlock()
+	copts := x.containOptions()
 
 	// Snapshots are topology-free: a remote-backed shard saves the same
 	// cpshard bytes as a local one — from the retained local copy when
@@ -124,11 +133,11 @@ func (x *Index) Save(dir string) error {
 		switch sh := shards[i].(type) {
 		case *subIndex:
 			m.Shards[i] = snapshot.ShardEntry{File: file, Seed: sh.ix.Options().Seed, Sets: sh.ix.Len()}
-			errs[i] = saveShard(path, sh)
+			errs[i] = saveShard(path, sh, copts)
 		case *remoteShard:
 			m.Shards[i] = snapshot.ShardEntry{File: file, Seed: sh.seed, Sets: len(sh.ids)}
 			if sh.local != nil {
-				errs[i] = saveShard(path, sh.local)
+				errs[i] = saveShard(path, sh.local, copts)
 				return
 			}
 			raw, err := sh.fetchSnapshot()
@@ -164,16 +173,20 @@ func sortedTombstones(ids map[int]struct{}) []int {
 	return out
 }
 
-func saveShard(path string, sh *subIndex) error {
+func saveShard(path string, sh *subIndex, copts contain.Options) error {
 	return snapshot.WriteFile(path, shardKind, func(w *snapshot.Writer) error {
-		return encodeShardSections(w, sh)
+		return encodeShardSections(w, sh, copts)
 	})
 }
 
 // encodeShardSections writes one shard's container body — cpindex
-// sections plus the local→global id map. Shared by disk saves and shard
-// shipping, so a shipped shard is bit-for-bit a saved one.
-func encodeShardSections(w *snapshot.Writer, sh *subIndex) error {
+// sections, the local→global id map, and the containment signatures.
+// Shared by disk saves and shard shipping, so a shipped shard is
+// bit-for-bit a saved one. Encoding forces the containment side to exist
+// (signing is the expensive part; the bucket structure rebuilds on load),
+// which is what lets version-2 readers consume the section
+// unconditionally: sections are sequential, so presence cannot be probed.
+func encodeShardSections(w *snapshot.Writer, sh *subIndex, copts contain.Options) error {
 	if err := sh.ix.EncodeSections(w); err != nil {
 		return err
 	}
@@ -182,7 +195,60 @@ func encodeShardSections(w *snapshot.Writer, sh *subIndex) error {
 	for _, id := range sh.ids {
 		ids.Uvarint(uint64(id))
 	}
-	return w.Section("ids", ids.B)
+	if err := w.Section("ids", ids.B); err != nil {
+		return err
+	}
+	c := sh.containIndex(copts)
+	var cb snapshot.Buf
+	cb.U32(uint32(c.T()))
+	cb.U64(c.Seed())
+	cb.Uvarint(uint64(c.Len()))
+	for _, word := range c.Signatures() {
+		cb.U32(word)
+	}
+	return w.Section("contain", cb.B)
+}
+
+// decodeContainSection reads the containment signatures of a version-2
+// shard container and rebuilds the candidate structure over the decoded
+// cpindex's sets. The section is self-contained (it carries its own T
+// and seed), so a peer hosting a shipped shard answers containment
+// queries without knowing the coordinator's configuration.
+func decodeContainSection(r *snapshot.Reader, ix *cpindex.Index) (*contain.Index, error) {
+	raw, err := r.Section("contain")
+	if err != nil {
+		return nil, err
+	}
+	c := snapshot.NewCursor("contain", raw)
+	t := c.U32()
+	seed := c.U64()
+	if t == 0 || t > 1<<16 {
+		c.Fail("implausible signature length %d", t)
+	}
+	n := c.Uvarint()
+	if uint64(ix.Len()) != n {
+		c.Fail("containment side covers %d sets, shard holds %d", n, ix.Len())
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	words := int(n) * int(t)
+	if words*4 != c.Remaining() {
+		return nil, fmt.Errorf("%w: section %q: %d signature bytes for %d sets with T=%d",
+			snapshot.ErrCorrupt, "contain", c.Remaining(), n, t)
+	}
+	sigs := make([]uint32, words)
+	for i := range sigs {
+		sigs[i] = c.U32()
+	}
+	if err := c.Done(); err != nil {
+		return nil, err
+	}
+	ci, err := contain.FromSignatures(ix.Sets(), sigs, contain.Options{T: int(t), Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	return ci, nil
 }
 
 // pruneUnreferenced deletes every shard file the freshly written
@@ -348,6 +414,19 @@ func Load(dir string, workers int) (*Index, error) {
 	for _, sh := range x.shards {
 		x.live += sh.size()
 	}
+	// Re-apply the runtime configuration the index was saved with, so a
+	// restart restores tuning (layout, cache, auto-compaction) and not just
+	// data. Absent on pre-runtime manifests — defaults then.
+	if m.Runtime != nil {
+		ro := RuntimeOptions{
+			AutoCompact:   m.Runtime.AutoCompact,
+			PointerLayout: m.Runtime.PointerLayout,
+			CacheSize:     m.Runtime.CacheSize,
+		}
+		if err := x.Configure(ro); err != nil {
+			return nil, fmt.Errorf("%s: %w: saved runtime options: %v", dir, snapshot.ErrCorrupt, err)
+		}
+	}
 	return x, nil
 }
 
@@ -405,5 +484,17 @@ func decodeSubIndex(r *snapshot.Reader, entry snapshot.ShardEntry, total int) (*
 		return nil, fmt.Errorf("%w: shard built with seed %d, manifest says %d (files shuffled?)",
 			snapshot.ErrCorrupt, got, entry.Seed)
 	}
-	return &subIndex{ix: ix, ids: ids}, nil
+	sub := &subIndex{ix: ix, ids: ids}
+	// Version-2 containers always carry the containment section (sections
+	// are sequential, so its presence is a format property, not a choice).
+	// Version-1 containers predate containment; the side stays nil and the
+	// owning coordinator rebuilds it lazily on first use.
+	if r.Version() >= 2 {
+		ci, err := decodeContainSection(r, ix)
+		if err != nil {
+			return nil, err
+		}
+		sub.contain.Store(ci)
+	}
+	return sub, nil
 }

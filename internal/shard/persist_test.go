@@ -36,7 +36,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			if err := x.Save(dir); err != nil {
 				t.Fatalf("%v/%d: Save: %v", part, shards, err)
 			}
-			want := x.QueryBatch(queries)
+			want := mustQueryBatch(t, x, queries)
 
 			for _, workers := range []int{0, 1, 4, 8} {
 				y, err := Load(dir, workers)
@@ -46,15 +46,15 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 				if y.Len() != x.Len() {
 					t.Fatalf("%v/%d/w=%d: Len %d != %d", part, shards, workers, y.Len(), x.Len())
 				}
-				got := y.QueryBatch(queries)
+				got := mustQueryBatch(t, y, queries)
 				for i := range got {
 					if !equalMatches(t, got[i], want[i]) {
 						t.Fatalf("%v/%d/w=%d: query %d differs after reload", part, shards, workers, i)
 					}
 				}
 				for _, q := range queries[:40] {
-					id1, sim1, ok1 := x.Query(q)
-					id2, sim2, ok2 := y.Query(q)
+					id1, sim1, ok1 := mustQuery(t, x, q)
+					id2, sim2, ok2 := mustQuery(t, y, q)
 					if id1 != id2 || sim1 != sim2 || ok1 != ok2 {
 						t.Fatalf("%v/%d/w=%d: Query differs after reload", part, shards, workers)
 					}
@@ -141,15 +141,15 @@ func TestDeleteTombstones(t *testing.T) {
 			} else {
 				q = extra[victim-len(sets)]
 			}
-			if id, _, ok := x.Query(q); ok && id == victim {
+			if id, _, ok := mustQuery(t, x, q); ok && id == victim {
 				t.Fatalf("%s: Query returned deleted id %d", label, victim)
 			}
-			for _, m := range x.QueryAll(q) {
+			for _, m := range mustQueryAll(t, x, q) {
 				if m.ID == victim {
 					t.Fatalf("%s: QueryAll returned deleted id %d", label, victim)
 				}
 			}
-			for _, ms := range x.QueryBatch([][]uint32{q}) {
+			for _, ms := range mustQueryBatch(t, x, [][]uint32{q}) {
 				for _, m := range ms {
 					if m.ID == victim {
 						t.Fatalf("%s: QueryBatch returned deleted id %d", label, victim)
@@ -228,7 +228,7 @@ func TestQueryFallbackPastTombstone(t *testing.T) {
 	if !x.Delete(0) {
 		t.Fatal("Delete(0) failed")
 	}
-	id, sim, ok := x.Query(base)
+	id, sim, ok := mustQuery(t, x, base)
 	if !ok || id != 1 || sim != 1.0 {
 		t.Fatalf("Query after deleting best: id=%d sim=%v ok=%v, want id=1 sim=1", id, sim, ok)
 	}
@@ -492,9 +492,9 @@ func TestConcurrentSaveDeleteQuery(t *testing.T) {
 	}()
 	go func() {
 		for pass := 0; pass < 4; pass++ {
-			x.QueryBatch(sets[:40])
+			mustQueryBatch(t, x, sets[:40])
 			for i := 0; i < len(sets); i += 11 {
-				x.QueryAll(sets[i])
+				mustQueryAll(t, x, sets[i])
 			}
 		}
 		done <- nil
@@ -516,8 +516,8 @@ func TestConcurrentSaveDeleteQuery(t *testing.T) {
 	if y.Len() != x.Len() {
 		t.Fatalf("final reload Len %d != %d", y.Len(), x.Len())
 	}
-	want := x.QueryBatch(sets[:60])
-	got := y.QueryBatch(sets[:60])
+	want := mustQueryBatch(t, x, sets[:60])
+	got := mustQueryBatch(t, y, sets[:60])
 	for i := range got {
 		if !equalMatches(t, got[i], want[i]) {
 			t.Fatalf("query %d differs after settled reload", i)
@@ -536,7 +536,7 @@ func TestCrashedSaveLeavesPreviousSnapshotReadable(t *testing.T) {
 	if err := x.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	want := x.QueryBatch(sets[:50])
+	want := mustQueryBatch(t, x, sets[:50])
 
 	// Simulate the crash window of a DIFFERENT index's save: its shard
 	// files landed (next generation), the manifest write never happened.
@@ -546,7 +546,7 @@ func TestCrashedSaveLeavesPreviousSnapshotReadable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, sh := range other.shards {
-		if err := saveShard(filepath.Join(dir, shardFileName(gen, i)), sh.(*subIndex)); err != nil {
+		if err := saveShard(filepath.Join(dir, shardFileName(gen, i)), sh.(*subIndex), other.containOptions()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -556,7 +556,7 @@ func TestCrashedSaveLeavesPreviousSnapshotReadable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("snapshot unreadable after crashed save: %v", err)
 	}
-	got := y.QueryBatch(sets[:50])
+	got := mustQueryBatch(t, y, sets[:50])
 	for i := range got {
 		if !equalMatches(t, got[i], want[i]) {
 			t.Fatalf("query %d differs after crashed save", i)
@@ -635,14 +635,14 @@ func TestSaveLoadEmptyIndex(t *testing.T) {
 	if y.Len() != 0 {
 		t.Fatalf("empty index loaded with %d sets", y.Len())
 	}
-	if _, _, ok := y.Query([]uint32{1, 2, 3}); ok {
+	if _, _, ok := mustQuery(t, y, []uint32{1, 2, 3}); ok {
 		t.Error("reloaded empty index found a match")
 	}
 	ids := y.Add([][]uint32{{1, 2, 3}})
 	if len(ids) != 1 || ids[0] != 0 {
 		t.Fatalf("Add after empty reload: ids %v", ids)
 	}
-	if id, _, ok := y.Query([]uint32{1, 2, 3}); !ok || id != 0 {
+	if id, _, ok := mustQuery(t, y, []uint32{1, 2, 3}); !ok || id != 0 {
 		t.Fatal("appended set not found after empty reload")
 	}
 }

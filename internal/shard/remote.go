@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/contain"
 	"repro/internal/cpindex"
 	"repro/internal/exec"
 	"repro/internal/snapshot"
@@ -48,6 +49,10 @@ type remoteShard struct {
 	replicas []string // peer base URLs, failover order
 	local    *subIndex
 	client   *http.Client
+	// copts are the index-wide containment options, kept so a save-time
+	// re-encode of the local copy writes the containment section with the
+	// right global seed.
+	copts contain.Options
 	// metrics is the owning index's instrumentation hub (nil-safe); RPC
 	// latency, errors, failovers and passive health are recorded per peer.
 	metrics *indexMetrics
@@ -128,6 +133,30 @@ func (r *remoteShard) queryAll(q []uint32) ([]cpindex.Match, error) {
 	return nil, r.deadErr(last)
 }
 
+func (r *remoteShard) queryContain(q []uint32, t float64, opts contain.Options) ([]cpindex.Match, error) {
+	var last error
+	for i, base := range r.replicas {
+		pm := r.metrics.peer(base)
+		start := time.Now()
+		var resp queryResponse
+		err := postJSON(r.httpClient(), base+"/shard/query",
+			shardQueryRequest{Shard: r.key, Set: q, Mode: "containment", Threshold: t}, &resp)
+		pm.observe(time.Since(start), err)
+		if err != nil {
+			last = err
+			if r.hasFallback(i) {
+				pm.failover()
+			}
+			continue
+		}
+		return resp.Matches, nil
+	}
+	if r.local != nil {
+		return r.local.queryContain(q, t, opts)
+	}
+	return nil, r.deadErr(last)
+}
+
 func (r *remoteShard) queryBatch(qs [][]uint32) ([][]cpindex.Match, error) {
 	var last error
 	for i, base := range r.replicas {
@@ -181,7 +210,7 @@ func (r *remoteShard) fetchSnapshot() ([]byte, error) {
 		return raw, nil
 	}
 	if r.local != nil {
-		return encodeShardBytes(r.local)
+		return encodeShardBytes(r.local, r.copts)
 	}
 	return nil, r.deadErr(last)
 }
@@ -193,6 +222,11 @@ type shardQueryRequest struct {
 	Shard string   `json:"shard"`
 	Set   []uint32 `json:"set"`
 	All   bool     `json:"all,omitempty"`
+	// Mode "containment" asks for containment matches at Threshold
+	// instead of similarity matches; absent means similarity, so the
+	// wire stays compatible with pre-containment coordinators.
+	Mode      string  `json:"mode,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
 }
 
 type shardBatchRequest struct {
@@ -253,13 +287,15 @@ func shardKey(seed uint64, crc uint32) string {
 
 // encodeShardBytes serializes one local shard as the self-contained
 // cpshard container Save writes to disk — the unit of shard shipping.
-func encodeShardBytes(sh *subIndex) ([]byte, error) {
+// copts seed the containment section, so a hosted shard answers
+// containment queries from exactly the structure the coordinator built.
+func encodeShardBytes(sh *subIndex, copts contain.Options) ([]byte, error) {
 	var buf bytes.Buffer
 	w, err := snapshot.NewWriter(&buf, shardKind)
 	if err != nil {
 		return nil, err
 	}
-	if err := encodeShardSections(w, sh); err != nil {
+	if err := encodeShardSections(w, sh, copts); err != nil {
 		return nil, err
 	}
 	if err := w.Flush(); err != nil {
@@ -394,7 +430,7 @@ func (x *Index) Distribute(peers []string, o *DistributeOptions) error {
 		if !ok {
 			return
 		}
-		raw, err := encodeShardBytes(sub)
+		raw, err := encodeShardBytes(sub, x.containOptions())
 		if err != nil {
 			errs[i] = fmt.Errorf("shard: encoding shard %d: %w", i, err)
 			return
@@ -421,6 +457,7 @@ func (x *Index) Distribute(peers []string, o *DistributeOptions) error {
 			replicas: assigned,
 			client:   opt.Client,
 			metrics:  x.metrics,
+			copts:    x.containOptions(),
 		}
 		// Pre-create the peer collectors so /metrics and Health cover
 		// every replica from placement time, not first contact.

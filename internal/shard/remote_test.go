@@ -85,7 +85,7 @@ func distributedPair(t *testing.T, peers []string, o *DistributeOptions) (local,
 func assertIdentical(t *testing.T, local, dist *Index, probes [][]uint32) {
 	t.Helper()
 	for i, q := range probes {
-		wantID, wantSim, wantOK := local.Query(q)
+		wantID, wantSim, wantOK := mustQuery(t, local, q)
 		id, sim, ok, err := dist.QueryErr(q)
 		if err != nil {
 			t.Fatalf("probe %d: QueryErr: %v", i, err)
@@ -98,7 +98,7 @@ func assertIdentical(t *testing.T, local, dist *Index, probes [][]uint32) {
 		if err != nil {
 			t.Fatalf("probe %d: QueryAllErr: %v", i, err)
 		}
-		if !equalMatches(t, got, local.QueryAll(q)) {
+		if !equalMatches(t, got, mustQueryAll(t, local, q)) {
 			t.Fatalf("probe %d: QueryAll diverges from all-local index", i)
 		}
 	}
@@ -106,7 +106,7 @@ func assertIdentical(t *testing.T, local, dist *Index, probes [][]uint32) {
 	if err != nil {
 		t.Fatalf("QueryBatchErr: %v", err)
 	}
-	wantBatch := local.QueryBatch(probes)
+	wantBatch := mustQueryBatch(t, local, probes)
 	for i := range probes {
 		if !equalMatches(t, gotBatch[i], wantBatch[i]) {
 			t.Fatalf("QueryBatch[%d] diverges from all-local index", i)
@@ -230,7 +230,7 @@ func TestShardSnapshotShipping(t *testing.T) {
 	x.mu.RLock()
 	sub := x.shards[0].(*subIndex)
 	x.mu.RUnlock()
-	raw, err := encodeShardBytes(sub)
+	raw, err := encodeShardBytes(sub, x.containOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestShardSnapshotShipping(t *testing.T) {
 	y.mu.RLock()
 	otherSub := y.shards[0].(*subIndex)
 	y.mu.RUnlock()
-	otherRaw, err := encodeShardBytes(otherSub)
+	otherRaw, err := encodeShardBytes(otherSub, y.containOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestLegacyQueryPanicsOnDeadTopology(t *testing.T) {
 			t.Fatal("Query on a dead topology did not panic")
 		}
 	}()
-	dist.Query(probes[0])
+	dist.Query(probes[0]) // deliberately the deprecated panicking wrapper
 }
 
 // Compile-time checks: both backends satisfy the ring interface.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -18,35 +19,47 @@ import (
 
 // Server wraps a sharded index as an HTTP/JSON query service — the
 // serving facade that cmd/serve binds to a listener. All endpoints are
-// safe under concurrent requests; /add serializes against queries through
-// the index's lock.
+// safe under concurrent requests; /v1/add serializes against queries
+// through the index's lock. Every endpoint is mounted twice: at its
+// canonical versioned path under /v1/ and at the bare legacy path it had
+// before versioning, which aliases the same handler. Errors are uniform
+// structured JSON — {"error": "...", "code": NNN} — on every endpoint.
 //
-//	POST /query        {"set":[...], "all":bool, "debug":bool} -> best match or all matches
-//	POST /query_batch  {"sets":[[...],...]}      -> per-query match lists
-//	POST /add          {"sets":[[...],...]}      -> assigned global ids
-//	POST /delete       {"ids":[...]}             -> tombstone ids
-//	POST /compact      (no body)                 -> run one compaction pass
-//	GET  /stats                                  -> index shape snapshot
-//	GET  /metrics                                -> Prometheus text exposition
-//	GET  /healthz                                -> liveness: 200 + health JSON
-//	GET  /readyz                                 -> readiness: 503 when a remote shard is unanswerable
+//	POST /v1/query        {"set":[...], "mode":"similarity"|"containment",
+//	                       "threshold":t, "all":bool, "limit":n, "debug":bool}
+//	POST /v1/query_batch  {"sets":[[...],...]}      -> per-query match lists
+//	POST /v1/add          {"sets":[[...],...]}      -> assigned global ids
+//	POST /v1/delete       {"ids":[...]}             -> tombstone ids
+//	POST /v1/compact      (no body)                 -> run one compaction pass
+//	GET  /v1/stats                                  -> index shape snapshot
+//	GET  /v1/metrics                                -> Prometheus text exposition
+//	GET  /v1/healthz                                -> liveness: 200 + health JSON
+//	GET  /v1/readyz                                 -> readiness: 503 when a remote shard is unanswerable
 //
-// "debug":true on /query returns the per-shard trace (timings, candidate
-// counts, cache outcome) alongside the answer; with ServerOptions.SlowQuery
-// set, every /query over the threshold additionally emits one structured
-// log line with the same breakdown.
+// /v1/query's default mode ("similarity", or the field absent) answers
+// with the best match over the index's similarity threshold, or every
+// match with "all":true. Mode "containment" requires "threshold" in
+// (0,1] and returns every indexed set whose containment of the query —
+// |q ∩ x| / |q| — reaches it, the domain-discovery primitive. "limit",
+// when positive, re-ranks the matches by score (ties by id) and keeps
+// the top n. "debug":true returns the per-shard trace (timings,
+// candidate counts, cache outcome) alongside the answer; with
+// ServerOptions.SlowQuery set, every similarity query over the threshold
+// additionally emits one structured log line with the same breakdown.
 //
-// The /shard/* endpoints make any serve instance a peer in a distributed
-// topology: a coordinator ships cpshard snapshot files here and then fans
-// per-shard queries out to them (see Distribute). They operate on the
-// hosted-shard registry, not on the instance's own index, so one process
-// can serve its own ring and host replicas for others simultaneously.
+// The /v1/shard/* endpoints make any serve instance a peer in a
+// distributed topology: a coordinator ships cpshard snapshot files here
+// and then fans per-shard queries out to them (see Distribute). They
+// operate on the hosted-shard registry, not on the instance's own index,
+// so one process can serve its own ring and host replicas for others
+// simultaneously.
 //
-//	POST   /shard/snapshot?shard=K&seed=S&sets=N&total=T  (body: cpshard bytes) -> validated receipt
-//	GET    /shard/snapshot?shard=K                        -> the hosted container bytes back
-//	DELETE /shard/snapshot?shard=K                        -> evict a hosted shard
-//	POST   /shard/query        {"shard":K, "set":[...], "all":bool} -> matches with global ids
-//	POST   /shard/query_batch  {"shard":K, "sets":[[...],...]}      -> per-query match lists
+//	POST   /v1/shard/snapshot?shard=K&seed=S&sets=N&total=T  (body: cpshard bytes) -> validated receipt
+//	GET    /v1/shard/snapshot?shard=K                        -> the hosted container bytes back
+//	DELETE /v1/shard/snapshot?shard=K                        -> evict a hosted shard
+//	POST   /v1/shard/query        {"shard":K, "set":[...], "all":bool,
+//	                               "mode":"containment", "threshold":t}   -> matches with global ids
+//	POST   /v1/shard/query_batch  {"shard":K, "sets":[[...],...]}         -> per-query match lists
 type Server struct {
 	ix  *Index
 	mux *http.ServeMux
@@ -121,24 +134,51 @@ func NewServerOpts(ix *Index, o *ServerOptions) *Server {
 		logger:    opt.Logger,
 		hosted:    make(map[string]*hostedShard),
 	}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/query_batch", s.handleQueryBatch)
-	s.mux.HandleFunc("/add", s.handleAdd)
-	s.mux.HandleFunc("/delete", s.handleDelete)
-	s.mux.HandleFunc("/compact", s.handleCompact)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/shard/snapshot", s.handleShardSnapshot)
-	s.mux.HandleFunc("/shard/query", s.handleShardQuery)
-	s.mux.HandleFunc("/shard/query_batch", s.handleShardQueryBatch)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.route("/query", s.handleQuery)
+	s.route("/query_batch", s.handleQueryBatch)
+	s.route("/add", s.handleAdd)
+	s.route("/delete", s.handleDelete)
+	s.route("/compact", s.handleCompact)
+	s.route("/stats", s.handleStats)
+	s.route("/shard/snapshot", s.handleShardSnapshot)
+	s.route("/shard/query", s.handleShardQuery)
+	s.route("/shard/query_batch", s.handleShardQueryBatch)
+	s.route("/healthz", s.handleHealthz)
+	s.route("/readyz", s.handleReadyz)
 	if reg := ix.Metrics(); reg != nil && !opt.DisableMetrics {
 		reg.GaugeFunc("cps_hosted_shards", "shards hosted here for coordinators", func() float64 {
 			return float64(s.HostedShards())
 		})
+		s.mux.Handle("/v1/metrics", reg)
 		s.mux.Handle("/metrics", reg)
 	}
 	return s
+}
+
+// route registers a handler at its canonical /v1 path and at the bare
+// legacy path it occupied before API versioning. Both stay live — the
+// alias costs nothing and keeps pre-/v1 clients working — but new
+// surface area only appears under /v1/.
+func (s *Server) route(path string, h http.HandlerFunc) {
+	s.mux.HandleFunc("/v1"+path, h)
+	s.mux.HandleFunc(path, h)
+}
+
+// errorResponse is the uniform error body of every endpoint: the
+// message plus the HTTP status it rode in on, so clients that log the
+// body alone keep the code.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// writeError emits the structured JSON error body with the matching
+// HTTP status. Every handler error funnels through here — no endpoint
+// answers with a bare text/plain error.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // handleHealthz is the liveness probe: always 200 (the process serves),
@@ -165,8 +205,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 type queryRequest struct {
 	Set []uint32 `json:"set"`
-	// All requests every match instead of the single best one.
+	// Mode selects the search semantics: "" or "similarity" for Jaccard
+	// similarity against the index's threshold, "containment" for
+	// |q ∩ x| / |q| ≥ Threshold.
+	Mode string `json:"mode,omitempty"`
+	// Threshold is the containment threshold, required in (0,1] when Mode
+	// is "containment"; it must be absent (zero) in similarity mode, whose
+	// threshold is fixed at index build time.
+	Threshold float64 `json:"threshold,omitempty"`
+	// All requests every match instead of the single best one
+	// (similarity mode only; containment always returns every match).
 	All bool `json:"all"`
+	// Limit, when positive, re-ranks matches by score (ties by ascending
+	// id) and keeps the top Limit.
+	Limit int `json:"limit,omitempty"`
 	// Debug requests the per-shard trace in the response.
 	Debug bool `json:"debug"`
 }
@@ -216,6 +268,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := intset.Normalize(req.Set)
+	switch req.Mode {
+	case "", "similarity":
+		if req.Threshold != 0 {
+			writeError(w, http.StatusBadRequest,
+				"bad request: threshold applies to containment mode only (similarity threshold is fixed at build time)")
+			return
+		}
+	case "containment":
+		s.handleContainQuery(w, q, req)
+		return
+	default:
+		writeError(w, http.StatusBadRequest,
+			"bad request: unknown mode %q (want \"similarity\" or \"containment\")", req.Mode)
+		return
+	}
 	// Trace when the client asked for the breakdown or when the slow-query
 	// log might need it — the threshold check can only happen after the
 	// fact, so the breakdown must be captured up front. A nil trace is the
@@ -230,15 +297,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// A dead remote topology (no live replica, no local copy) is a
 			// hard serving error, never a silently partial answer.
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			writeError(w, http.StatusBadGateway, "%v", err)
 			return
 		}
-		resp.Matches = ms
+		resp.Matches = limitMatches(ms, req.Limit)
 		resp.Found = len(resp.Matches) > 0
 	} else {
 		id, sim, ok, err := s.ix.QueryTraced(q, tr)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			writeError(w, http.StatusBadGateway, "%v", err)
 			return
 		}
 		if ok {
@@ -252,6 +319,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// handleContainQuery answers the containment arm of /v1/query: every
+// indexed set containing at least Threshold of the query, scored by the
+// exact containment value.
+func (s *Server) handleContainQuery(w http.ResponseWriter, q []uint32, req queryRequest) {
+	if req.Threshold <= 0 || req.Threshold > 1 {
+		writeError(w, http.StatusBadRequest,
+			"bad request: containment mode needs a threshold in (0,1], got %v", req.Threshold)
+		return
+	}
+	ms, err := s.ix.QueryContain(q, req.Threshold)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	resp := queryResponse{ID: -1, Matches: limitMatches(ms, req.Limit), Found: len(ms) > 0}
+	writeJSON(w, resp)
+}
+
+// limitMatches applies the query API's "limit" parameter: re-rank by
+// score descending (ties by ascending id) and keep the top n. It sorts a
+// copy — the input may be a live cache entry, which is read-only by
+// contract. Zero (or negative) limit returns the input untouched, in its
+// canonical id order.
+func limitMatches(ms []cpindex.Match, limit int) []cpindex.Match {
+	if limit <= 0 || ms == nil {
+		return ms
+	}
+	ranked := append([]cpindex.Match(nil), ms...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Sim != ranked[j].Sim {
+			return ranked[i].Sim > ranked[j].Sim
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	if len(ranked) > limit {
+		ranked = ranked[:limit]
+	}
+	return ranked
 }
 
 // logSlow emits the slow-query line when the traced request crossed the
@@ -284,7 +391,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.ix.QueryBatchErr(req.Sets)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
+		writeError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
 	// Empty match lists marshal as [] rather than null so clients can
@@ -301,14 +408,14 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 // when the request names no shard or an unknown one.
 func (s *Server) hostedShardFor(w http.ResponseWriter, key string) *hostedShard {
 	if key == "" {
-		http.Error(w, "bad request: missing shard key", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad request: missing shard key")
 		return nil
 	}
 	s.hostedMu.RLock()
 	h := s.hosted[key]
 	s.hostedMu.RUnlock()
 	if h == nil {
-		http.Error(w, fmt.Sprintf("shard %q not hosted here", key), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "shard %q not hosted here", key)
 		return nil
 	}
 	return h
@@ -329,12 +436,33 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := queryResponse{ID: -1}
-	if req.All {
+	switch {
+	case req.Mode == "containment":
+		if req.Threshold <= 0 || req.Threshold > 1 {
+			writeError(w, http.StatusBadRequest,
+				"bad request: containment mode needs a threshold in (0,1], got %v", req.Threshold)
+			return
+		}
+		// The shipped container must carry its coordinator's containment
+		// signatures — a peer must never sign with guessed options, or the
+		// global determinism contract breaks — so a shard shipped by a
+		// pre-containment build answers with an error and the coordinator
+		// fails over to its local copy.
+		ms, err := h.sub.queryContainBuilt(req.Set, req.Threshold)
+		if err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		resp.Matches = ms
+		resp.Found = len(resp.Matches) > 0
+	case req.All:
 		// Local backends never error.
 		resp.Matches, _ = h.sub.queryAll(req.Set)
 		resp.Found = len(resp.Matches) > 0
-	} else if id, sim, ok, _ := h.sub.queryBest(req.Set); ok {
-		resp.Found, resp.ID, resp.Sim = true, id, sim
+	default:
+		if id, sim, ok, _ := h.sub.queryBest(req.Set); ok {
+			resp.Found, resp.ID, resp.Sim = true, id, sim
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -377,24 +505,24 @@ func (s *Server) handleShardSnapshot(w http.ResponseWriter, r *http.Request) {
 		w.Write(h.raw)
 	case http.MethodPost:
 		if key == "" {
-			http.Error(w, "bad request: missing shard key", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad request: missing shard key")
 			return
 		}
 		seed, err1 := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
 		sets, err2 := strconv.Atoi(r.URL.Query().Get("sets"))
 		total, err3 := strconv.Atoi(r.URL.Query().Get("total"))
 		if err1 != nil || err2 != nil || err3 != nil || sets < 0 || total < 0 {
-			http.Error(w, "bad request: seed, sets and total must be non-negative integers", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad request: seed, sets and total must be non-negative integers")
 			return
 		}
 		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxShardSnapshotBytes))
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
 		sub, err := decodeShardBytes(raw, snapshot.ShardEntry{Seed: seed, Sets: sets}, total)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad request: shard snapshot rejected: %v", err), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad request: shard snapshot rejected: %v", err)
 			return
 		}
 		// Hosted shards answer coordinator RPCs from this process, so their
@@ -412,7 +540,7 @@ func (s *Server) handleShardSnapshot(w http.ResponseWriter, r *http.Request) {
 		// don't accumulate dead shards. Idempotent: deleting an unknown
 		// key reports removed=false rather than erroring.
 		if key == "" {
-			http.Error(w, "bad request: missing shard key", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad request: missing shard key")
 			return
 		}
 		s.hostedMu.Lock()
@@ -424,7 +552,7 @@ func (s *Server) handleShardSnapshot(w http.ResponseWriter, r *http.Request) {
 			Removed bool   `json:"removed"`
 		}{key, removed})
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 	}
 }
 
@@ -444,7 +572,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	for i, set := range req.Sets {
 		req.Sets[i] = intset.Normalize(set)
 		if len(req.Sets[i]) == 0 {
-			http.Error(w, fmt.Sprintf("bad request: set %d is empty", i), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad request: set %d is empty", i)
 			return
 		}
 	}
@@ -476,7 +604,7 @@ type compactResponse struct {
 // calling this on a live service is safe; concurrent calls serialize.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
 	res := s.ix.Compact()
@@ -494,7 +622,7 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
 	writeJSON(w, statsResponse{Stats: s.ix.Stats(), HostedShards: s.HostedShards()})
@@ -516,13 +644,13 @@ func decodeBulk(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func decodeLimited(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return false
 	}
 	return true
@@ -531,6 +659,6 @@ func decodeLimited(w http.ResponseWriter, r *http.Request, v any, limit int64) b
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }

@@ -335,6 +335,199 @@ func TestServerErrors(t *testing.T) {
 	}
 }
 
+// decodeError reads a non-200 response's body as the uniform structured
+// error shape and checks the embedded code matches the HTTP status.
+func decodeError(t *testing.T, resp *http.Response) errorResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("error body is not structured JSON: %v", err)
+	}
+	if er.Code != resp.StatusCode {
+		t.Fatalf("error body code %d != HTTP status %d", er.Code, resp.StatusCode)
+	}
+	if er.Error == "" {
+		t.Fatal("error body carries no message")
+	}
+	return er
+}
+
+// TestServerV1Aliases: every endpoint serves identically at its /v1
+// canonical path and at the bare legacy alias.
+func TestServerV1Aliases(t *testing.T) {
+	ts, sets := newTestServer(t)
+
+	var v1, legacy queryResponse
+	if resp := post(t, ts.URL+"/v1/query", queryRequest{Set: sets[3], All: true}, &v1); resp.StatusCode != 200 {
+		t.Fatalf("/v1/query status %d", resp.StatusCode)
+	}
+	post(t, ts.URL+"/query", queryRequest{Set: sets[3], All: true}, &legacy)
+	if len(v1.Matches) == 0 || len(v1.Matches) != len(legacy.Matches) {
+		t.Fatalf("/v1/query (%d matches) != /query (%d matches)", len(v1.Matches), len(legacy.Matches))
+	}
+	for i := range v1.Matches {
+		if v1.Matches[i] != legacy.Matches[i] {
+			t.Fatalf("match %d differs across /v1 alias", i)
+		}
+	}
+
+	for _, path := range []string{"/v1/stats", "/v1/healthz", "/v1/readyz", "/v1/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerStructuredErrors: every failure answers with the uniform
+// {"error", "code"} JSON body, matching the HTTP status.
+func TestServerStructuredErrors(t *testing.T) {
+	ts, sets := newTestServer(t)
+
+	// Method not allowed.
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query status %d, want 405", resp.StatusCode)
+	}
+	decodeError(t, resp)
+
+	// Malformed JSON.
+	resp, err = http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d, want 400", resp.StatusCode)
+	}
+	decodeError(t, resp)
+
+	// Mode dispatch errors: unknown mode, similarity with a threshold,
+	// containment without one (or out of range).
+	for _, req := range []queryRequest{
+		{Set: sets[0], Mode: "fuzzy"},
+		{Set: sets[0], Threshold: 0.7},
+		{Set: sets[0], Mode: "containment"},
+		{Set: sets[0], Mode: "containment", Threshold: -0.2},
+		{Set: sets[0], Mode: "containment", Threshold: 1.5},
+	} {
+		b, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("request %+v: status %d, want 400", req, resp.StatusCode)
+		}
+		decodeError(t, resp)
+	}
+}
+
+// TestServerContainmentQuery drives the containment arm of /v1/query end
+// to end: a thinned probe of an indexed set must surface its source with
+// the exact containment score, limit re-ranks, and the answers match the
+// index's own QueryContain.
+func TestServerContainmentQuery(t *testing.T) {
+	sets, _ := workload(400, 0.8, 331)
+	ix := Build(sets, 0.5, &Options{Shards: 3, Seed: 47, Workers: 2})
+	ts := httptest.NewServer(NewServer(ix))
+	t.Cleanup(ts.Close)
+
+	probe := append([]uint32{}, sets[11][:len(sets[11])*2/3]...)
+	var qr queryResponse
+	if resp := post(t, ts.URL+"/v1/query",
+		queryRequest{Set: probe, Mode: "containment", Threshold: 0.6}, &qr); resp.StatusCode != 200 {
+		t.Fatalf("containment query status %d", resp.StatusCode)
+	}
+	want, err := ix.QueryContain(probe, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Found || !equalMatches(t, qr.Matches, want) {
+		t.Fatalf("wire answer %+v != index answer %v", qr, want)
+	}
+	self := false
+	for _, m := range qr.Matches {
+		if m.ID == 11 && m.Sim == 1.0 {
+			self = true
+		}
+	}
+	if !self {
+		t.Fatalf("probe's source set not a full-containment match: %+v", qr.Matches)
+	}
+
+	// limit=1 keeps the single best-scored match (ties to the lowest id).
+	var limited queryResponse
+	post(t, ts.URL+"/v1/query",
+		queryRequest{Set: probe, Mode: "containment", Threshold: 0.6, Limit: 1}, &limited)
+	if len(limited.Matches) != 1 {
+		t.Fatalf("limit=1 returned %d matches", len(limited.Matches))
+	}
+	best := limited.Matches[0]
+	for _, m := range want {
+		if m.Sim > best.Sim || (m.Sim == best.Sim && m.ID < best.ID) {
+			t.Fatalf("limit=1 kept %+v, but %+v scores higher", best, m)
+		}
+	}
+}
+
+// TestServerShardQueryContainment covers the internal shard RPC's
+// containment arm: a hosted shard answers containment with the shipped
+// signatures, and an invalid threshold from a (buggy) coordinator is a
+// 400, not a panic.
+func TestServerShardQueryContainment(t *testing.T) {
+	peerURL, peerSrv := newPeer(t)
+	_ = peerSrv
+	sets, _ := workload(200, 0.8, 341)
+	x := Build(sets, 0.5, &Options{Shards: 2, Seed: 53, Workers: 2})
+	if err := x.Distribute([]string{peerURL.URL}, &DistributeOptions{Replicas: 1, KeepLocal: false}); err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+
+	probe := sets[5][:len(sets[5])*2/3]
+	want, err := x.QueryContain(probe, 0.6)
+	if err != nil {
+		t.Fatalf("distributed QueryContain: %v", err)
+	}
+	found := false
+	for _, m := range want {
+		if m.ID == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hosted-shard containment missed the probe's source: %v", want)
+	}
+
+	// The peer rejects an out-of-range threshold on the shard RPC itself.
+	key := ""
+	peerSrv.hostedMu.RLock()
+	for k := range peerSrv.hosted {
+		key = k
+		break
+	}
+	peerSrv.hostedMu.RUnlock()
+	if key == "" {
+		t.Fatal("peer hosts no shards after Distribute")
+	}
+	b, _ := json.Marshal(shardQueryRequest{Shard: key, Set: probe, Mode: "containment", Threshold: 7})
+	resp, err := http.Post(peerURL.URL+"/v1/shard/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shard-RPC threshold: status %d, want 400", resp.StatusCode)
+	}
+	decodeError(t, resp)
+}
+
 // TestServerConcurrentTraffic drives queries, batches and adds from many
 // goroutines at once — the serving path the race job guards.
 func TestServerConcurrentTraffic(t *testing.T) {

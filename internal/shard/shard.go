@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/contain"
 	"repro/internal/cpindex"
 	"repro/internal/exec"
 	"repro/internal/intset"
@@ -143,6 +144,23 @@ func SeedFor(seed uint64, k int) uint64 {
 	return tabhash.DeriveSeed(seed, 0x5a17, uint64(k))
 }
 
+// ContainSeed derives the containment-signing seed from the index seed.
+// Unlike SeedFor it is deliberately not per-shard: every shard's
+// containment side signs with the same hash functions and the same
+// global cardinality-band boundaries, so "y is a candidate for q" is a
+// property of (q, y, seed) alone — independent of which shard holds y —
+// and containment results are byte-identical for any partitioning.
+func ContainSeed(seed uint64) uint64 {
+	return tabhash.DeriveSeed(seed, 0xC047, 0)
+}
+
+// containOptions are the options every shard's containment side builds
+// with; defaults (T, TargetProb, KMV size) are filled by the contain
+// package.
+func (x *Index) containOptions() contain.Options {
+	return contain.Options{Seed: ContainSeed(x.opt.Seed)}
+}
+
 // ContiguousRanges returns the [lo, hi) ranges of the contiguous
 // partition of n sets into k shards: the first n%k ranges are one longer,
 // matching Build's assignment exactly.
@@ -187,6 +205,12 @@ type shardBackend interface {
 	// queryBatch answers qs against the shard; results[i] corresponds to
 	// qs[i]. Remote backends answer the whole batch in one round trip.
 	queryBatch(qs [][]uint32) ([][]cpindex.Match, error)
+	// queryContain returns the shard's exact-verified containment matches
+	// (C(q, y) >= t) with global ids, in shard-traversal order. opts are
+	// the index-wide containment options, threaded through so a shard
+	// whose containment side is not built yet (a lazily loaded snapshot)
+	// can build it with the right global seed.
+	queryContain(q []uint32, t float64, opts contain.Options) ([]cpindex.Match, error)
 	// size is the number of physically present sets (tombstoned included).
 	size() int
 	// globalIDs is the shard's local→global id map, kept coordinator-side
@@ -201,10 +225,58 @@ type shardBackend interface {
 type subIndex struct {
 	ix  *cpindex.Index
 	ids []int // local id -> global id
+
+	// contain is the shard's containment side (LSH Ensemble candidate
+	// structure over the same sets), built lazily on the first containment
+	// query or encode — similarity-only workloads never pay for it — and
+	// decoded directly from version-2 snapshots. containMu serializes the
+	// one-time build; readers go through the atomic pointer.
+	containMu sync.Mutex
+	contain   atomic.Pointer[contain.Index]
 }
 
 func (s *subIndex) size() int        { return len(s.ids) }
 func (s *subIndex) globalIDs() []int { return s.ids }
+
+// containIndex returns the shard's containment side, building it from
+// the cpindex's sets on first use. Double-checked under containMu so
+// concurrent first queries build once.
+func (s *subIndex) containIndex(opts contain.Options) *contain.Index {
+	if c := s.contain.Load(); c != nil {
+		return c
+	}
+	s.containMu.Lock()
+	defer s.containMu.Unlock()
+	if c := s.contain.Load(); c != nil {
+		return c
+	}
+	c := contain.Build(s.ix.Sets(), opts)
+	s.contain.Store(c)
+	return c
+}
+
+func (s *subIndex) queryContain(q []uint32, t float64, opts contain.Options) ([]cpindex.Match, error) {
+	c := s.containIndex(opts)
+	sets := s.ix.Sets()
+	var ms []cpindex.Match
+	for _, lid := range c.Query(q, t) {
+		if sim, ok := intset.ContainmentAtLeast(q, sets[lid], t); ok {
+			ms = append(ms, cpindex.Match{ID: s.ids[lid], Sim: sim})
+		}
+	}
+	return ms, nil
+}
+
+// queryContainBuilt answers containment from an already-built (shipped
+// or decoded) containment side, erroring when none exists — the
+// hosted-shard path, where the coordinator's containment options are not
+// known and a lazy build would break the global-seed contract.
+func (s *subIndex) queryContainBuilt(q []uint32, t float64) ([]cpindex.Match, error) {
+	if s.contain.Load() == nil {
+		return nil, fmt.Errorf("shard: hosted shard has no containment index (shipped by an older build)")
+	}
+	return s.queryContain(q, t, contain.Options{})
+}
 
 func (s *subIndex) queryBest(q []uint32) (int, float64, bool, error) {
 	local, sim, ok := s.ix.Query(q)
@@ -311,6 +383,11 @@ type Index struct {
 	// shards they removed or rewrote.
 	compactions     int
 	compactedShards int
+	// runtime mirrors the operational knobs currently applied (layout,
+	// cache, auto-compaction), whether they arrived through Configure or a
+	// legacy setter. Save persists it so Load can re-apply the configured
+	// state. Guarded by mu.
+	runtime RuntimeOptions
 
 	// metrics is the index's instrumentation hub (latency histograms,
 	// candidate counters, per-peer health — see indexMetrics). Set once by
@@ -389,6 +466,11 @@ func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 	if opt.CacheSize > 0 {
 		x.cache.Store(newResultCache(opt.CacheSize))
 	}
+	x.runtime = RuntimeOptions{
+		AutoCompact:   opt.AutoCompact,
+		PointerLayout: opt.Layout == cpindex.LayoutPointer,
+		CacheSize:     max(opt.CacheSize, 0),
+	}
 	x.metrics = newIndexMetrics(x)
 	for _, sh := range x.shards {
 		x.attachCounters(sh.(*subIndex).ix)
@@ -396,13 +478,59 @@ func Build(sets [][]uint32, lambda float64, o *Options) *Index {
 	return x
 }
 
+// RuntimeOptions are the operational knobs adjustable on a built or
+// loaded index without rebuilding anything — as opposed to the
+// build-time parameters in Options. Configure applies the whole set
+// atomically; Save persists it and Load re-applies it, so a restarted
+// service keeps its configured state.
+type RuntimeOptions struct {
+	// AutoCompact runs Compact in the background after every seal.
+	AutoCompact bool
+	// PointerLayout routes queries through the pointer-trie representation
+	// instead of the flat-array engine (answers are byte-identical; the
+	// flat default is faster).
+	PointerLayout bool
+	// CacheSize installs the hot-query result cache with room for that
+	// many entries; 0 removes it. Negative values are rejected.
+	CacheSize int
+}
+
+// Configure applies the runtime options and remembers them as the
+// index's configured state. It subsumes the legacy SetAutoCompact /
+// SetLayout / EnableCache setters: one validated call instead of three,
+// and the applied state is persisted by Save and re-applied by Load.
+// Like SetLayout, the layout switch is a configuration call — apply it
+// before serving, not concurrently with queries.
+func (x *Index) Configure(ro RuntimeOptions) error {
+	if ro.CacheSize < 0 {
+		return fmt.Errorf("shard: cache size %d must be >= 0", ro.CacheSize)
+	}
+	l := cpindex.LayoutFlat
+	if ro.PointerLayout {
+		l = cpindex.LayoutPointer
+	}
+	x.SetLayout(l)
+	x.SetAutoCompact(ro.AutoCompact)
+	x.EnableCache(ro.CacheSize)
+	return nil
+}
+
+// Runtime returns the runtime options currently applied.
+func (x *Index) Runtime() RuntimeOptions {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.runtime
+}
+
 // SetLayout switches every local shard's query representation. Like
 // cpindex.SetLayout it is a configuration call: apply it before serving,
-// not concurrently with queries.
+// not concurrently with queries. Prefer Configure, which applies every
+// runtime knob in one validated call.
 func (x *Index) SetLayout(l cpindex.Layout) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.opt.Layout = l
+	x.runtime.PointerLayout = l == cpindex.LayoutPointer
 	for _, sh := range x.shards {
 		switch b := sh.(type) {
 		case *subIndex:
@@ -418,8 +546,12 @@ func (x *Index) SetLayout(l cpindex.Layout) {
 // EnableCache installs a result cache with room for maxEntries entries
 // (or removes it when maxEntries <= 0). Safe on a serving index: queries
 // pick the cache up atomically, and entries are version-keyed, so there
-// is no warm-up hazard.
+// is no warm-up hazard. Prefer Configure, which applies every runtime
+// knob in one validated call.
 func (x *Index) EnableCache(maxEntries int) {
+	x.mu.Lock()
+	x.runtime.CacheSize = max(maxEntries, 0)
+	x.mu.Unlock()
 	if maxEntries <= 0 {
 		x.cache.Store(nil)
 		return
@@ -490,6 +622,10 @@ func (x *Index) snapshot() ([]shardBackend, []*sideBuffer, sideBuffer, map[int]s
 // copy — an all-local ring can never fail, and serving paths over a
 // distributed ring must use QueryErr, which reports the dead topology as
 // an error instead of a silent partial merge.
+//
+// Deprecated: the error-returning path is the primary API. Query remains
+// only as a convenience for all-local rings, where the error is
+// structurally impossible; use QueryErr everywhere else.
 func (x *Index) Query(q []uint32) (id int, sim float64, ok bool) {
 	id, sim, ok, err := x.QueryErr(q)
 	if err != nil {
@@ -708,6 +844,10 @@ func contains(xs []int, v int) bool {
 // concatenation with no deduplication. Tombstoned ids are filtered here,
 // at merge time. Like Query, it panics on a dead remote topology; use
 // QueryAllErr on a distributed ring.
+//
+// Deprecated: the error-returning path is the primary API. QueryAll
+// remains only as a convenience for all-local rings; use QueryAllErr
+// everywhere else.
 func (x *Index) QueryAll(q []uint32) []cpindex.Match {
 	ms, err := x.QueryAllErr(q)
 	if err != nil {
@@ -903,6 +1043,10 @@ func appendBufferMatches(out []cpindex.Match, b sideBuffer, q []uint32, lambda f
 // worker count (each query writes only its own slot). Like Query, it
 // panics on a dead remote topology; use QueryBatchErr on a distributed
 // ring.
+//
+// Deprecated: the error-returning path is the primary API. QueryBatch
+// remains only as a convenience for all-local rings; use QueryBatchErr
+// everywhere else.
 func (x *Index) QueryBatch(qs [][]uint32) [][]cpindex.Match {
 	out, err := x.QueryBatchErr(qs)
 	if err != nil {
@@ -998,6 +1142,115 @@ func (x *Index) queryBatchUncached(qs [][]uint32) ([][]cpindex.Match, error) {
 		out[i], _ = mergeQuery(locals, extra, sealing, side, tombs, x.lambda, qs[i])
 	})
 	return out, nil
+}
+
+// QueryContain returns every indexed set whose containment of the query
+// C(q, y) = |q ∩ y| / |q| reaches t, with the exact containment score,
+// sorted by global id — the domain-discovery workload: "which indexed
+// domains cover (almost) all of my query column". Candidates come from
+// each shard's LSH Ensemble structure (recall ≈ the contain package's
+// TargetProb per true match) and every candidate is exact-verified, so
+// precision is 1.0 and, because candidate generation hashes with one
+// global seed and global cardinality bands, results are byte-identical
+// across shard counts, partition schemes, worker counts and distributed
+// topologies. Buffered appends are scanned exactly. The threshold must
+// lie in (0, 1]; an unreachable remote shard surfaces as an error like
+// the QueryErr family.
+func (x *Index) QueryContain(q []uint32, t float64) ([]cpindex.Match, error) {
+	start := time.Now()
+	ms, err := x.queryContainCached(q, t)
+	if m := x.metrics; m != nil {
+		m.queryContain.Observe(time.Since(start))
+		if err != nil {
+			m.queryErrors.Inc()
+		}
+	}
+	return ms, err
+}
+
+func (x *Index) queryContainCached(q []uint32, t float64) ([]cpindex.Match, error) {
+	if t <= 0 || t > 1 {
+		return nil, fmt.Errorf("shard: containment threshold %v out of (0,1]", t)
+	}
+	if len(q) == 0 {
+		return nil, nil
+	}
+	if c := x.cache.Load(); c != nil {
+		v := x.version.Load()
+		if ms, hit := c.getContain(v, q, t); hit {
+			return ms, nil
+		}
+		ms, err := x.queryContainUncached(q, t)
+		if err == nil {
+			c.putContain(v, q, t, ms)
+		}
+		return ms, err
+	}
+	return x.queryContainUncached(q, t)
+}
+
+func (x *Index) queryContainUncached(q []uint32, t float64) ([]cpindex.Match, error) {
+	shards, sealing, side, tombs := x.snapshot()
+	opts := x.containOptions()
+	var locals, remotes []shardBackend
+	for _, sh := range shards {
+		if _, ok := sh.(*remoteShard); ok {
+			remotes = append(remotes, sh)
+		} else {
+			locals = append(locals, sh)
+		}
+	}
+	extra := make([][]cpindex.Match, len(remotes))
+	if len(remotes) > 0 {
+		errs := make([]error, len(remotes))
+		exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(remotes), func(i int) {
+			extra[i], errs[i] = remotes[i].queryContain(q, t, opts)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	var out []cpindex.Match
+	keep := func(ms []cpindex.Match) {
+		for _, m := range ms {
+			if _, dead := tombs[m.ID]; dead {
+				continue
+			}
+			out = append(out, m)
+		}
+	}
+	for _, sh := range locals {
+		ms, err := sh.queryContain(q, t, opts)
+		if err != nil {
+			return nil, err
+		}
+		keep(ms)
+	}
+	for _, ms := range extra {
+		keep(ms)
+	}
+	for _, b := range sealing {
+		out = appendBufferContain(out, *b, q, t, tombs)
+	}
+	out = appendBufferContain(out, side, q, t, tombs)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// appendBufferContain exact-scans one buffer for containment matches —
+// buffered appends need no candidate structure, so they keep recall 1.0.
+func appendBufferContain(out []cpindex.Match, b sideBuffer, q []uint32, t float64, tombs map[int]struct{}) []cpindex.Match {
+	for i, set := range b.sets {
+		if _, dead := tombs[b.ids[i]]; dead {
+			continue
+		}
+		if sim, ok := intset.ContainmentAtLeast(q, set, t); ok {
+			out = append(out, cpindex.Match{ID: b.ids[i], Sim: sim})
+		}
+	}
+	return out
 }
 
 // Add appends sets to the index and returns their global ids. The sets
@@ -1217,11 +1470,12 @@ func (x *Index) Flush() {
 }
 
 // SetAutoCompact enables or disables seal-triggered background compaction
-// on a built or loaded index (the loaded path is how cmd/serve applies
-// -auto-compact to a restored snapshot, whose manifest predates the flag).
+// on a built or loaded index. Prefer Configure, which applies every
+// runtime knob in one validated call.
 func (x *Index) SetAutoCompact(on bool) {
 	x.mu.Lock()
 	x.opt.AutoCompact = on
+	x.runtime.AutoCompact = on
 	x.mu.Unlock()
 }
 

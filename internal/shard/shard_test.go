@@ -59,7 +59,7 @@ func TestShardedMatchesStandaloneShards(t *testing.T) {
 			}
 		}
 		sortMatches(want)
-		if got := x.QueryAll(q); !equalMatches(t, got, want) {
+		if got := mustQueryAll(t, x, q); !equalMatches(t, got, want) {
 			t.Fatalf("query %d: sharded QueryAll %v != standalone merge %v", qi, got, want)
 		}
 	}
@@ -75,7 +75,7 @@ func TestQueryBatchDeterministic(t *testing.T) {
 		var base [][]cpindex.Match
 		for _, workers := range []int{0, 1, 2, 4, 8} {
 			x := Build(sets, 0.5, &Options{Shards: shards, Seed: 11, Workers: workers})
-			got := x.QueryBatch(queries)
+			got := mustQueryBatch(t, x, queries)
 			if len(got) != len(queries) {
 				t.Fatalf("shards=%d workers=%d: %d results for %d queries", shards, workers, len(got), len(queries))
 			}
@@ -83,7 +83,7 @@ func TestQueryBatchDeterministic(t *testing.T) {
 				base = got
 				// The batch must agree with one-at-a-time queries.
 				for i, q := range queries[:50] {
-					if !equalMatches(t, got[i], x.QueryAll(q)) {
+					if !equalMatches(t, got[i], mustQueryAll(t, x, q)) {
 						t.Fatalf("shards=%d: batch result %d differs from QueryAll", shards, i)
 					}
 				}
@@ -107,7 +107,7 @@ func TestQueryBestAcrossShards(t *testing.T) {
 		if intset.Jaccard(q, sets[p[1]]) < 0.6 {
 			continue
 		}
-		id, sim, ok := x.Query(q)
+		id, sim, ok := mustQuery(t, x, q)
 		if !ok {
 			t.Fatalf("query %d found nothing despite an indexed neighbor (itself)", p[0])
 		}
@@ -138,7 +138,7 @@ func TestHashPartitionCoversAllIDs(t *testing.T) {
 	// Every set must be reachable under its global id: self-queries reach
 	// identical sets with certainty.
 	for i := 0; i < len(sets); i += 7 {
-		ms := x.QueryAll(sets[i])
+		ms := mustQueryAll(t, x, sets[i])
 		self := false
 		for _, m := range ms {
 			if m.ID == i {
@@ -171,7 +171,7 @@ func TestAddBufferSealAndQuery(t *testing.T) {
 		t.Fatalf("unexpected stats after buffer: %+v", st)
 	}
 	for i, q := range extra[:60] {
-		id, sim, ok := x.Query(q)
+		id, sim, ok := mustQuery(t, x, q)
 		if !ok || sim != 1.0 || id != len(sets)+i {
 			t.Fatalf("buffered self-query %d: id=%d sim=%v ok=%v", i, id, sim, ok)
 		}
@@ -190,7 +190,7 @@ func TestAddBufferSealAndQuery(t *testing.T) {
 	// position, so self-queries reach their leaves with certainty).
 	for i, q := range extra {
 		found := false
-		for _, m := range x.QueryAll(q) {
+		for _, m := range mustQueryAll(t, x, q) {
 			if m.ID == len(sets)+i {
 				found = true
 			}
@@ -218,7 +218,7 @@ func TestAddDeterministicAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{0, 3, 8} {
 		x := Build(sets, 0.5, &Options{Shards: 3, Seed: 23, MergeThreshold: 80, Workers: workers})
 		x.Add(extra)
-		got := x.QueryBatch(append(sets[:100:100], extra...))
+		got := mustQueryBatch(t, x, append(sets[:100:100], extra...))
 		if base == nil {
 			base = got
 			continue
@@ -247,12 +247,12 @@ func TestConcurrentAddAndQuery(t *testing.T) {
 		defer wg.Done()
 		for pass := 0; pass < 4; pass++ {
 			for i := 0; i < len(sets); i += 5 {
-				if _, sim, ok := x.Query(sets[i]); !ok || sim < 0.6 {
+				if _, sim, ok := mustQuery(t, x, sets[i]); !ok || sim < 0.6 {
 					t.Errorf("self-query %d failed during concurrent adds", i)
 					return
 				}
 			}
-			x.QueryBatch(sets[:50])
+			mustQueryBatch(t, x, sets[:50])
 			x.Stats()
 		}
 	}()
@@ -265,17 +265,17 @@ func TestConcurrentAddAndQuery(t *testing.T) {
 func TestEdgeCases(t *testing.T) {
 	// Empty collection: queries miss, Add still works.
 	x := Build(nil, 0.5, &Options{Shards: 4, Seed: 31})
-	if _, _, ok := x.Query([]uint32{1, 2, 3}); ok {
+	if _, _, ok := mustQuery(t, x, []uint32{1, 2, 3}); ok {
 		t.Error("query against empty index found a neighbor")
 	}
-	if ms := x.QueryAll(nil); ms != nil {
+	if ms := mustQueryAll(t, x, nil); ms != nil {
 		t.Errorf("empty QueryAll returned %v", ms)
 	}
 	ids := x.Add([][]uint32{{1, 2, 3}})
 	if len(ids) != 1 || ids[0] != 0 {
 		t.Fatalf("Add on empty index assigned ids %v", ids)
 	}
-	if id, sim, ok := x.Query([]uint32{1, 2, 3}); !ok || id != 0 || sim != 1.0 {
+	if id, sim, ok := mustQuery(t, x, []uint32{1, 2, 3}); !ok || id != 0 || sim != 1.0 {
 		t.Fatalf("buffered set not found: id=%d sim=%v ok=%v", id, sim, ok)
 	}
 
@@ -286,7 +286,7 @@ func TestEdgeCases(t *testing.T) {
 		t.Fatalf("got %d shards for 3 sets, want 3", st.Shards)
 	}
 	for i, q := range small {
-		if id, _, ok := y.Query(q); !ok || id != i {
+		if id, _, ok := mustQuery(t, y, q); !ok || id != i {
 			t.Fatalf("self-query %d returned id=%d ok=%v", i, id, ok)
 		}
 	}

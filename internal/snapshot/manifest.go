@@ -78,6 +78,20 @@ type Manifest struct {
 	// validated) for snapshots written before the bitmap existed; new
 	// saves write only the bitmap. At most one of the two may be present.
 	Dropped []int `json:"dropped,omitempty"`
+	// Runtime carries the runtime options applied to the index via
+	// Configure, so a Load re-applies them instead of callers having to
+	// remember to. Absent in format-version-1 manifests (defaults apply).
+	Runtime *RuntimeState `json:"runtime,omitempty"`
+}
+
+// RuntimeState is the persisted form of the index's runtime options
+// (layout, cache, auto-compaction): operational knobs rather than
+// build-time parameters, but part of the service's identity across a
+// restart all the same.
+type RuntimeState struct {
+	AutoCompact   bool `json:"auto_compact,omitempty"`
+	PointerLayout bool `json:"pointer_layout,omitempty"`
+	CacheSize     int  `json:"cache_size,omitempty"`
 }
 
 // DroppedIDs decodes the reclaimed-id set, whichever representation the
@@ -135,9 +149,9 @@ func decodeManifest(path string, data []byte) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%s: %w: %v", path, ErrCorrupt, err)
 	}
-	if m.FormatVersion != Version {
-		return nil, fmt.Errorf("%s: %w: manifest has version %d, this build reads version %d",
-			path, ErrVersion, m.FormatVersion, Version)
+	if m.FormatVersion < MinVersion || m.FormatVersion > Version {
+		return nil, fmt.Errorf("%s: %w: manifest has version %d, this build reads versions %d..%d",
+			path, ErrVersion, m.FormatVersion, MinVersion, Version)
 	}
 	if m.Lambda <= 0 || m.Lambda >= 1 {
 		return nil, fmt.Errorf("%s: %w: lambda %v out of (0,1)", path, ErrCorrupt, m.Lambda)

@@ -33,11 +33,23 @@ import (
 	"path/filepath"
 )
 
-// Version is the current container format version. Readers reject any
-// other version with ErrVersion: forward compatibility is explicitly out
-// of scope (a snapshot is a cache of a rebuildable structure, not an
-// archival format).
-const Version = 1
+// Version is the current container format version; MinVersion is the
+// oldest version this build still reads. Readers reject anything outside
+// [MinVersion, Version] with ErrVersion: forward compatibility is
+// explicitly out of scope (a snapshot is a cache of a rebuildable
+// structure, not an archival format), but old snapshots keep loading —
+// decoders branch on Reader.Version for sections that newer versions
+// added.
+//
+// Version history:
+//
+//	1  initial container (cpindex trees + sets, cpshard manifest/ids)
+//	2  cpshard files append a "contain" section (containment-index
+//	   signatures); the manifest gains the persisted runtime options
+const (
+	Version    = 2
+	MinVersion = 1
+)
 
 var magic = [8]byte{'C', 'P', 'S', 'N', 'A', 'P', 0, 0}
 
@@ -120,12 +132,13 @@ func (w *Writer) Flush() error { return w.bw.Flush() }
 
 // Reader deserializes a container written by Writer.
 type Reader struct {
-	br *bufio.Reader
+	br      *bufio.Reader
+	version uint32
 }
 
 // NewReader validates the header: magic, format version, kind. A version
-// mismatch is reported as ErrVersion (with both versions named), every
-// other failure as ErrCorrupt.
+// outside [MinVersion, Version] is reported as ErrVersion (with both
+// versions named), every other failure as ErrCorrupt.
 func NewReader(r io.Reader, kind string) (*Reader, error) {
 	k, err := tag(kind)
 	if err != nil {
@@ -139,14 +152,19 @@ func NewReader(r io.Reader, kind string) (*Reader, error) {
 	if [8]byte(hdr[:8]) != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:8])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d", ErrVersion, v, Version)
+	v := binary.LittleEndian.Uint32(hdr[8:12])
+	if v < MinVersion || v > Version {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads versions %d..%d", ErrVersion, v, MinVersion, Version)
 	}
 	if [8]byte(hdr[12:20]) != k {
 		return nil, fmt.Errorf("%w: snapshot kind %q, want %q", ErrCorrupt, trimTag(hdr[12:20]), kind)
 	}
-	return &Reader{br: br}, nil
+	return &Reader{br: br, version: v}, nil
 }
+
+// Version returns the container format version read from the header, so
+// decoders can skip sections that the writing build did not emit yet.
+func (r *Reader) Version() uint32 { return r.version }
 
 func trimTag(b []byte) string {
 	end := len(b)

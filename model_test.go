@@ -19,6 +19,11 @@ import (
 // a real ShardedIndex, and every op's result is checked for byte-identical
 // agreement, across partition schemes × shard counts × worker counts ×
 // topologies × query layouts (flat and pointer) × result cache on/off.
+// Containment queries ride the same sequences: every returned match must
+// be in the model's brute-force containment truth with the exact score
+// (the candidate structure is approximate, so recall is gated in
+// aggregate rather than per probe), Search and QueryContain must agree
+// byte-for-byte, and answers must survive save/load unchanged.
 // This is what makes the compaction equivalence claim a theorem about the
 // implementation rather than a hope: any reorganization the ops trigger —
 // seals, compactions, snapshot round trips — must leave every answer
@@ -81,6 +86,26 @@ func (m *refModel) queryAll(q []uint32) []Match {
 			continue
 		}
 		if sim := intset.Jaccard(q, s); sim >= m.lambda {
+			out = append(out, Match{ID: id, Sim: sim})
+		}
+	}
+	return out
+}
+
+// queryContain is the brute-force containment reference: every live id
+// whose set contains at least t of q, with the exact containment score,
+// ascending id.
+func (m *refModel) queryContain(q []uint32, t float64) []Match {
+	if len(q) == 0 {
+		return nil
+	}
+	var out []Match
+	for id := 0; id < m.next; id++ {
+		s, live := m.sets[id]
+		if !live {
+			continue
+		}
+		if sim, ok := intset.ContainmentAtLeast(q, s, t); ok {
 			out = append(out, Match{ID: id, Sim: sim})
 		}
 	}
@@ -294,14 +319,19 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 			})
 			distribute(ix)
 
-			// Layout and cache are runtime knobs, not snapshot state: a
-			// loaded index always starts flat and uncached, so the
-			// configuration must be re-applied after every Load for the
-			// dimension to keep testing anything across round trips.
+			// Layout and cache go through the consolidated runtime
+			// configuration, which Save persists and Load re-applies — so
+			// the explicit re-apply after each round trip is also checking
+			// that Configure is idempotent on an already-restored index.
 			reconfigure := func(ix *ShardedIndex) {
-				ix.SetPointerLayout(cfg.pointer)
-				ix.EnableCache(cacheSize)
+				if err := ix.Configure(RuntimeOptions{
+					PointerLayout: cfg.pointer,
+					CacheSize:     cacheSize,
+				}); err != nil {
+					t.Fatalf("Configure: %v", err)
+				}
 			}
+			reconfigure(ix)
 
 			fail := func(op int, format string, args ...any) {
 				t.Helper()
@@ -310,13 +340,62 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 			checkQuery := func(op int, q []uint32) {
 				t.Helper()
 				wantID, wantSim, wantOK := model.query(q)
-				id, sim, ok := ix.Query(q)
+				id, sim, ok, err := ix.QueryErr(q)
+				if err != nil {
+					fail(op, "QueryErr(%v): %v", q, err)
+				}
 				if id != wantID || sim != wantSim || ok != wantOK {
 					fail(op, "Query(%v) = (%d, %v, %v), model says (%d, %v, %v)",
 						q, id, sim, ok, wantID, wantSim, wantOK)
 				}
-				if got, want := ix.QueryAll(q), model.queryAll(q); !equalModelMatches(got, want) {
+				got, err := ix.QueryAllErr(q)
+				if err != nil {
+					fail(op, "QueryAllErr(%v): %v", q, err)
+				}
+				if want := model.queryAll(q); !equalModelMatches(got, want) {
 					fail(op, "QueryAll(%v) = %v, model says %v", q, got, want)
+				}
+			}
+
+			// The containment dimension: the index's containment answers are
+			// checked for exactness against the brute-force model — every
+			// returned match must be in the model's truth with the exact
+			// containment score, in ascending id order — and the Search
+			// entry point must agree byte-for-byte with QueryContain. The
+			// candidate structure is approximate (recall is a target, not
+			// 1.0), so misses are tallied and gated in aggregate at the end
+			// instead of per probe.
+			var containTruth, containHits int
+			checkContain := func(op int, q []uint32) {
+				t.Helper()
+				for _, th := range []float64{0.5, 1.0} {
+					want := model.queryContain(q, th)
+					inTruth := make(map[int]float64, len(want))
+					for _, m := range want {
+						inTruth[m.ID] = m.Sim
+					}
+					res, err := ix.Search(Query{Set: q, Mode: ModeContainment, Threshold: th})
+					if err != nil {
+						fail(op, "containment Search(%v, t=%v): %v", q, th, err)
+					}
+					got := res.Matches
+					for i, m := range got {
+						if i > 0 && got[i-1].ID >= m.ID {
+							fail(op, "containment matches not ascending: %v", got)
+						}
+						if sim, in := inTruth[m.ID]; !in || sim != m.Sim {
+							fail(op, "containment match %+v at t=%v not in model truth %v", m, th, want)
+						}
+					}
+					conv, err := ix.QueryContain(q, th)
+					if err != nil {
+						fail(op, "QueryContain(%v, t=%v): %v", q, th, err)
+					}
+					if !equalModelMatches(got, conv) {
+						fail(op, "Search containment %v != QueryContain %v", got, conv)
+					}
+					containTruth += len(want)
+					containHits += len(got)
 				}
 			}
 
@@ -343,14 +422,19 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 							fail(op, "Delete(%d) = %v, model says %v", id, got, want)
 						}
 					}
-				case k < 70: // Query + QueryAll
-					checkQuery(op, genQuery(r, model))
+				case k < 70: // Query + QueryAll + containment
+					q := genQuery(r, model)
+					checkQuery(op, q)
+					checkContain(op, q)
 				case k < 80: // QueryBatch
 					qs := make([][]uint32, 4+r.Intn(5))
 					for i := range qs {
 						qs[i] = genQuery(r, model)
 					}
-					got := ix.QueryBatch(qs)
+					got, err := ix.QueryBatchErr(qs)
+					if err != nil {
+						fail(op, "QueryBatchErr: %v", err)
+					}
 					for i, q := range qs {
 						if want := model.queryAll(q); !equalModelMatches(got[i], want) {
 							fail(op, "QueryBatch[%d](%v) = %v, model says %v", i, q, got[i], want)
@@ -367,6 +451,15 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 						}
 					}
 				default: // Save + Load round trip, continuing on the loaded index
+					// Containment answers must survive the round trip
+					// byte-identically: the snapshot carries the signatures,
+					// and the signer's seed is global, so no rebuild may
+					// change a single match.
+					containProbe := genQuery(r, model)
+					preContain, err := ix.QueryContain(containProbe, 0.5)
+					if err != nil {
+						fail(op, "pre-save QueryContain: %v", err)
+					}
 					if err := ix.Save(dir); err != nil {
 						fail(op, "Save: %v", err)
 					}
@@ -380,6 +473,14 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 					// every round trip exercises placement afresh.
 					distribute(ix)
 					reconfigure(ix)
+					postContain, err := ix.QueryContain(containProbe, 0.5)
+					if err != nil {
+						fail(op, "post-load QueryContain: %v", err)
+					}
+					if !equalModelMatches(preContain, postContain) {
+						fail(op, "containment answers changed across save/load: %v -> %v",
+							preContain, postContain)
+					}
 				}
 
 				if got, want := ix.Len(), len(model.sets); got != want {
@@ -389,6 +490,7 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 					for p := 0; p < 5; p++ {
 						checkQuery(op, genQuery(r, model))
 					}
+					checkContain(op, genQuery(r, model))
 				}
 			}
 
@@ -415,10 +517,22 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 			for p := 0; p < 30; p++ {
 				finals = append(finals, genQuery(r, model))
 			}
-			got := ix.QueryBatch(finals)
+			got, err := ix.QueryBatchErr(finals)
+			if err != nil {
+				t.Fatalf("seed=%d final: QueryBatchErr: %v", seed, err)
+			}
 			for i, q := range finals {
 				if want := model.queryAll(q); !equalModelMatches(got[i], want) {
 					t.Fatalf("seed=%d final: QueryBatch[%d](%v) = %v, model says %v", seed, i, q, got[i], want)
+				}
+			}
+			// Aggregate containment recall over the whole run: the candidate
+			// structure is approximate by design, but a broken one (wrong
+			// seed plumbing, dropped shards) collapses well below this.
+			if containTruth > 0 {
+				if recall := float64(containHits) / float64(containTruth); recall < 0.9 {
+					t.Fatalf("seed=%d: aggregate containment recall %.3f (%d/%d hits) below 0.9",
+						seed, recall, containHits, containTruth)
 				}
 			}
 		})

@@ -91,6 +91,10 @@ func NewShardedIndex(sets [][]uint32, lambda float64, opts *ShardedOptions) *Sha
 // J(q, result) >= λ and its exact similarity, or ok = false when no shard
 // finds one. On a distributed index it panics when a moved shard has no
 // live replica; serving paths should use QueryErr there.
+//
+// Deprecated: use Search (the query-mode API) or QueryErr. Query remains
+// only as an all-local-ring convenience, where the panic is structurally
+// unreachable.
 func (s *ShardedIndex) Query(q []uint32) (id int, sim float64, ok bool) {
 	return s.ix.Query(q)
 }
@@ -106,6 +110,9 @@ func (s *ShardedIndex) QueryErr(q []uint32) (id int, sim float64, ok bool, err e
 // QueryAll returns every match across all shards (and any buffered
 // appends, which are scanned exactly), sorted by id. Panics on a dead
 // distributed topology; use QueryAllErr there.
+//
+// Deprecated: use Search with All set, or QueryAllErr. QueryAll remains
+// only as an all-local-ring convenience.
 func (s *ShardedIndex) QueryAll(q []uint32) []Match {
 	return toMatches(s.ix.QueryAll(q))
 }
@@ -124,6 +131,9 @@ func (s *ShardedIndex) QueryAllErr(q []uint32) ([]Match, error) {
 // read-only snapshot of the shards; results[i] is QueryAll(qs[i]) and the
 // output is identical for any worker count. Panics on a dead distributed
 // topology; use QueryBatchErr there.
+//
+// Deprecated: use QueryBatchErr. QueryBatch remains only as an
+// all-local-ring convenience.
 func (s *ShardedIndex) QueryBatch(qs [][]uint32) [][]Match {
 	raw := s.ix.QueryBatch(qs)
 	out := make([][]Match, len(raw))
@@ -198,6 +208,9 @@ func (s *ShardedIndex) Compact() CompactResult {
 
 // SetAutoCompact enables or disables background compaction after each
 // seal (also settable up front via ShardedOptions.AutoCompact).
+//
+// Deprecated: use Configure, which applies every runtime option in one
+// validated call and persists across Save/Load.
 func (s *ShardedIndex) SetAutoCompact(on bool) {
 	s.ix.SetAutoCompact(on)
 }
@@ -205,7 +218,11 @@ func (s *ShardedIndex) SetAutoCompact(on bool) {
 // SetPointerLayout switches every shard between the flat-array query
 // engine (false, the default) and the pointer-trie reference layout
 // (true). A configuration call: apply it before serving, not concurrently
-// with queries. Loaded indexes always start on the flat layout.
+// with queries.
+//
+// Deprecated: use Configure, which applies every runtime option in one
+// validated call and persists across Save/Load (a loaded index resumes
+// on the layout it was saved with).
 func (s *ShardedIndex) SetPointerLayout(on bool) {
 	l := cpindex.LayoutFlat
 	if on {
@@ -216,7 +233,10 @@ func (s *ShardedIndex) SetPointerLayout(on bool) {
 
 // EnableCache installs (or, with maxEntries <= 0, removes) the hot-query
 // result cache on a built or loaded index — the post-Load counterpart of
-// ShardedOptions.CacheSize, which is not persisted.
+// ShardedOptions.CacheSize.
+//
+// Deprecated: use Configure, which applies every runtime option in one
+// validated call and persists across Save/Load.
 func (s *ShardedIndex) EnableCache(maxEntries int) {
 	s.ix.EnableCache(maxEntries)
 }
