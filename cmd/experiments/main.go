@@ -216,19 +216,24 @@ func main() {
 			// instrumented distributed index and record the verdict with
 			// the rows, so CI gates on the exposition staying valid.
 			scrape := bench.CheckMetricsExposition(ws[0], cfg)
+			// So does the placement-GC soak: seal + compact + re-distribute
+			// churn against live peers, gated on peers hosting exactly the
+			// final ring.
+			churn := bench.RunPlacementChurn(ws[0], cfg, progress)
 			if jsonOut {
-				check(bench.WriteServingJSON(out, rows, comp, &scrape))
+				check(bench.WriteServingJSON(out, rows, comp, &scrape, &churn))
 			} else {
 				bench.PrintServing(out, rows)
 				banner("== Compaction: churn, one pass, post-compaction queries (λ=0.5) ==")
 				bench.PrintCompaction(out, comp)
 				fmt.Fprintf(out, "\nmetrics scrape: ok=%v series=%d %s\n", scrape.OK, scrape.Series, scrape.Error)
+				fmt.Fprintf(out, "placement churn: gc_clean=%v identical=%v ring=%d\n", churn.GCClean, churn.Identical, churn.RingKeys)
 			}
 		case "compaction":
 			banner("== Compaction: churn, one pass, post-compaction queries (λ=0.5) ==")
 			comp := bench.RunCompactionBench(bench.SyntheticWorkloads(scale)[:1], []int{2, 4}, bench.DefaultWorkerCounts(), cfg, progress)
 			if jsonOut {
-				check(bench.WriteServingJSON(out, nil, comp, nil))
+				check(bench.WriteServingJSON(out, nil, comp, nil, nil))
 			} else {
 				bench.PrintCompaction(out, comp)
 			}

@@ -10,6 +10,7 @@
 //	      [-data DIR] [-save-on-shutdown] [-auto-compact]
 //	      [-cache N] [-pprof] [-metrics] [-slow-query D] [-access-log]
 //	      [-peers URL,URL,...] [-replicas N] [-keep-local] [-peer]
+//	      [-placement-interval D] [-probe-interval D] [-rebalance]
 //
 // Persistence: with -data, the service restores the index from DIR's
 // snapshot (manifest + per-shard files) when one exists — restart cost
@@ -72,6 +73,18 @@
 // answers /shard/query — and -peer starts one with an empty index of its
 // own, purely to host shards for coordinators.
 //
+// Placement control plane: -placement-interval D closes the loop that a
+// one-shot -peers distribution leaves open. A background controller
+// re-ships newly sealed (and compaction-merged) shards to the peers
+// automatically, garbage-collects hosted shards the ring no longer
+// references (re-shipped rings do not leak their predecessors' keys; the
+// ownership record persists in the snapshot manifest, so even a restart
+// cannot orphan keys), and probes every peer's /healthz each
+// -probe-interval — flipping the same health bit /readyz reads — with
+// capped exponential backoff on failing peers. -rebalance additionally
+// re-ships replicas away from peers that stay unhealthy. All placement
+// transitions preserve byte-identical query answers.
+//
 // Example:
 //
 //	serve -input catalogue.txt -threshold 0.5 -data /var/lib/cps -save-on-shutdown &
@@ -119,6 +132,9 @@ func main() {
 		peers     = flag.String("peers", "", "comma-separated peer base URLs: ship every sealed shard to peers and serve as coordinator")
 		replicas  = flag.Int("replicas", 1, "peers each shard is shipped to (N-way replication; requires -peers)")
 		keepLocal = flag.Bool("keep-local", true, "retain in-process shard copies as last-resort replicas (false moves shards instead of replicating)")
+		placement = flag.Duration("placement-interval", 0, "run the background placement controller with this pass interval (0 disables; requires -peers): auto-ship sealed shards, GC superseded hosted shards, probe peer health")
+		probeIvl  = flag.Duration("probe-interval", 5*time.Second, "active peer health-probe cadence for the placement controller")
+		rebalance = flag.Bool("rebalance", false, "re-ship replicas away from persistently unhealthy peers (requires -placement-interval)")
 		peerMode  = flag.Bool("peer", false, "start with an empty index and host shards shipped by coordinators")
 		cacheSize = flag.Int("cache", 0, "hot-query result cache entries (0 disables; invalidated automatically on any mutation)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
@@ -185,14 +201,19 @@ func main() {
 			"nodes", st.Nodes, "seconds", time.Since(start).Seconds(), "addr", *addr)
 	}
 
+	if *placement > 0 && *peers == "" {
+		logger.Error("-placement-interval requires -peers")
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *peers != "" {
 		peerList := strings.Split(*peers, ",")
-		distStart := time.Now()
-		err := ix.Distribute(peerList, &shard.DistributeOptions{
+		dopts := &shard.DistributeOptions{
 			Replicas:  *replicas,
 			KeepLocal: *keepLocal,
-		})
-		if err != nil {
+		}
+		distStart := time.Now()
+		if err := ix.Distribute(peerList, dopts); err != nil {
 			fatal("distributing shards failed", "err", err)
 		}
 		st := ix.Stats()
@@ -200,6 +221,19 @@ func main() {
 			"remote_shards", st.RemoteShards, "peers", len(peerList),
 			"replicas", *replicas, "keep_local", *keepLocal,
 			"seconds", time.Since(distStart).Seconds())
+		if *placement > 0 {
+			err := ix.StartPlacement(peerList, dopts, &shard.PlacementOptions{
+				Interval:      *placement,
+				ProbeInterval: *probeIvl,
+				Rebalance:     *rebalance,
+			})
+			if err != nil {
+				fatal("starting placement controller failed", "err", err)
+			}
+			defer ix.StopPlacement()
+			logger.Info("placement controller running",
+				"interval", *placement, "probe_interval", *probeIvl, "rebalance", *rebalance)
+		}
 	}
 
 	// One validated Configure call applies the runtime tuning (the old

@@ -215,3 +215,31 @@ func mustWorkload(t *testing.T, name string) Workload {
 	}
 	return w
 }
+
+// TestRunPlacementChurn runs the placement-GC soak at tiny scale: after
+// the seal + compact + re-distribute rounds, the peers must host exactly
+// the final ring's keys and answers must match the all-local reference —
+// the same flags the CI bench gate reads from BENCH_serving.json.
+func TestRunPlacementChurn(t *testing.T) {
+	w := mustWorkload(t, "UNIFORM005")
+	var buf bytes.Buffer
+	churn := RunPlacementChurn(w, DefaultConfig(), &buf)
+	if !churn.GCClean {
+		t.Fatalf("placement churn not GC-clean: %+v\n%s", churn, buf.String())
+	}
+	if !churn.Identical {
+		t.Fatalf("placement churn answers diverged: %+v\n%s", churn, buf.String())
+	}
+	if churn.RingKeys == 0 || churn.HostedA != churn.RingKeys || churn.HostedB != churn.RingKeys {
+		t.Fatalf("placement churn hosted/ring mismatch: %+v", churn)
+	}
+	var out bytes.Buffer
+	if err := WriteServingJSON(&out, nil, nil, nil, &churn); err != nil {
+		t.Fatalf("WriteServingJSON: %v", err)
+	}
+	for _, want := range []string{`"placement_gc_clean": true`, `"identical_to_sequential": true`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("serving JSON missing %s:\n%s", want, out.String())
+		}
+	}
+}

@@ -142,6 +142,130 @@ func RunServingBench(workloads []Workload, shardCounts, workerCounts []int, cfg 
 	return rows
 }
 
+// PlacementChurn is the placement-GC soak recorded alongside the serving
+// rows: a distributed index driven through repeated seal + compact +
+// re-distribute rounds against two live peers, then audited. GCClean is
+// the control-plane contract — after the churn every peer hosts exactly
+// the keys of the current ring (no superseded key survives) and the
+// coordinator's registry tracks exactly those keys. Identical is the
+// usual byte-identity contract against the all-local twin that saw the
+// same mutations. CI gates on both flags.
+type PlacementChurn struct {
+	Dataset string  `json:"dataset"`
+	Lambda  float64 `json:"lambda"`
+	Rounds  int     `json:"rounds"`
+	// RingKeys is the final remote-backed ring size; HostedA/HostedB the
+	// key counts actually held by the two peers (each must equal RingKeys
+	// under 2-way replication); TrackedKeys the coordinator registry size.
+	RingKeys    int `json:"ring_keys"`
+	HostedA     int `json:"hosted_a"`
+	HostedB     int `json:"hosted_b"`
+	TrackedKeys int `json:"tracked_keys"`
+	// Seconds is the wall time of the whole churn (builds, shipping,
+	// compactions and the final audit queries).
+	Seconds   float64 `json:"seconds"`
+	GCClean   bool    `json:"placement_gc_clean"`
+	Identical bool    `json:"identical_to_sequential"`
+}
+
+// RunPlacementChurn drives the placement control plane through the load
+// pattern it exists for: build over two thirds of the workload,
+// distribute to two in-process peers (2-way replication, no local
+// copies), then churn the rest through seal-sized Adds with every third
+// id deleted, a Compact — which recalls remote victims over the verified
+// fetch-back path and sweeps their hosted copies — and a re-distribution
+// of the merged ring, every round. The audit at the end is the PR's
+// acceptance criterion in executable form: peers host exactly the
+// current ring's keys, and answers are byte-identical to the all-local
+// reference index that saw the same mutation sequence.
+func RunPlacementChurn(w Workload, cfg Config, progress io.Writer) PlacementChurn {
+	const lambda = 0.5
+	const rounds = 4
+	base := w.Sets[:2*len(w.Sets)/3]
+	extra := w.Sets[2*len(w.Sets)/3:]
+	slab := maxInt(len(extra)/rounds, 1)
+	merge := maxInt(slab/3, 8)
+	opts := func() *shard.Options {
+		return &shard.Options{
+			Shards:         2,
+			MergeThreshold: merge,
+			Trees:          2,
+			LeafSize:       1 << 30,
+			Seed:           cfg.Seed,
+			Workers:        0,
+		}
+	}
+
+	srvA := shard.NewServer(shard.Build(nil, lambda, &shard.Options{}))
+	srvB := shard.NewServer(shard.Build(nil, lambda, &shard.Options{}))
+	peerA := httptest.NewServer(srvA)
+	peerB := httptest.NewServer(srvB)
+	defer peerA.Close()
+	defer peerB.Close()
+	peers := []string{peerA.URL, peerB.URL}
+	dopt := &shard.DistributeOptions{Replicas: 2, KeepLocal: false}
+
+	out := PlacementChurn{Dataset: w.Name, Lambda: lambda, Rounds: rounds}
+	local := shard.Build(base, lambda, opts())
+	dist := shard.Build(base, lambda, opts())
+	var identical = true
+	elapsed := timed(1, func() {
+		if err := dist.Distribute(peers, dopt); err != nil {
+			if progress != nil {
+				fmt.Fprintf(progress, "placement churn FAILED: initial Distribute: %v\n", err)
+			}
+			return
+		}
+		for round := 0; round < rounds; round++ {
+			lo, hi := round*slab, (round+1)*slab
+			if round == rounds-1 || hi > len(extra) {
+				hi = len(extra)
+			}
+			if lo < hi {
+				localIDs := local.Add(extra[lo:hi])
+				distIDs := dist.Add(extra[lo:hi])
+				for j := 0; j < len(localIDs); j += 3 {
+					local.Delete(localIDs[j])
+					dist.Delete(distIDs[j])
+				}
+			}
+			local.Compact()
+			dist.Compact()
+			if err := dist.Distribute(peers, dopt); err != nil {
+				if progress != nil {
+					fmt.Fprintf(progress, "placement churn FAILED: round %d Distribute: %v\n", round, err)
+				}
+				return
+			}
+			want, err1 := local.QueryBatchErr(w.Sets)
+			got, err2 := dist.QueryBatchErr(w.Sets)
+			if err1 != nil || err2 != nil || !equalBatches(want, got) {
+				identical = false
+			}
+		}
+	})
+
+	st := dist.Stats()
+	keysA, keysB := srvA.HostedKeys(), srvB.HostedKeys()
+	out.RingKeys = st.RemoteShards
+	out.HostedA, out.HostedB = len(keysA), len(keysB)
+	out.TrackedKeys = st.PlacementKeys
+	out.Seconds = elapsed.Seconds()
+	sameKeys := len(keysA) == len(keysB)
+	for i := 0; sameKeys && i < len(keysA); i++ {
+		sameKeys = keysA[i] == keysB[i]
+	}
+	out.GCClean = st.RemoteShards > 0 && sameKeys &&
+		len(keysA) == st.RemoteShards &&
+		st.PlacementKeys == st.RemoteShards
+	out.Identical = identical && st.RemoteShards > 0
+	if progress != nil {
+		fmt.Fprintf(progress, "placement churn %-12s rounds=%d ring=%d hosted=%d/%d tracked=%d gc_clean=%v identical=%v\n",
+			w.Name, out.Rounds, out.RingKeys, out.HostedA, out.HostedB, out.TrackedKeys, out.GCClean, out.Identical)
+	}
+	return out
+}
+
 // equalBatches reports whether two batch results are element-wise equal.
 // Both are sorted by global id per query, so equality is positional.
 func equalBatches(a, b [][]cpindex.Match) bool {
@@ -166,8 +290,10 @@ func equalBatches(a, b [][]cpindex.Match) bool {
 // `make bench` alongside BENCH_parallel.json. Both row arrays carry
 // identical_to_sequential flags; CI fails the bench job if any is false.
 // scrape, when non-nil, records the /metrics exposition check (see
-// CheckMetricsExposition); CI requires its ok flag too.
-func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow, scrape *MetricsScrape) error {
+// CheckMetricsExposition); CI requires its ok flag too. churn, when
+// non-nil, records the placement-GC soak (see RunPlacementChurn); CI
+// requires its placement_gc_clean flag.
+func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow, scrape *MetricsScrape, churn *PlacementChurn) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
@@ -175,7 +301,8 @@ func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow
 		Rows       []ServingRow    `json:"rows"`
 		Compaction []CompactionRow `json:"compaction,omitempty"`
 		Metrics    *MetricsScrape  `json:"metrics_scrape,omitempty"`
-	}{runtime.GOMAXPROCS(0), rows, compaction, scrape})
+		Placement  *PlacementChurn `json:"placement_churn,omitempty"`
+	}{runtime.GOMAXPROCS(0), rows, compaction, scrape, churn})
 }
 
 // PrintServing writes the serving table for human consumption.

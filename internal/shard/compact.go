@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cpindex"
+	"repro/internal/snapshot"
 )
 
 // Compaction: the background maintenance pass that keeps a long-running
@@ -68,7 +69,16 @@ func (x *Index) compact() CompactResult {
 	x.compactMu.Lock()
 	defer x.compactMu.Unlock()
 
-	victims, tombs := x.selectVictims()
+	selected, tombs := x.selectVictims()
+	// Remote-backed victims are recalled first: their verified container
+	// bytes come back over the same fetch-back path Save uses (local copy
+	// when one was kept, otherwise a checksum- and decode-verified GET
+	// from a live replica), so the merge reads exactly the structure the
+	// coordinator shipped. A victim whose bytes cannot be recovered right
+	// now drops out of the pass — the next pass retries — and the
+	// remaining selection is re-checked against the policy so a lone
+	// survivor with nothing to reclaim isn't churned.
+	victims := x.materializeVictims(selected, tombs)
 	if len(victims) == 0 {
 		x.mu.RLock()
 		gen := x.generation
@@ -79,7 +89,11 @@ func (x *Index) compact() CompactResult {
 	// Gather the victims' live entries, re-sorted by global id so the
 	// merged shard's leaf order — and therefore Query's within-shard
 	// tie-break toward the lowest id — is independent of ring order.
-	ids, sets, dropped := collectLive(victims, tombs)
+	subs := make([]*subIndex, len(victims))
+	for i, v := range victims {
+		subs[i] = v.sub
+	}
+	ids, sets, dropped := collectLive(subs, tombs)
 
 	// Build the merged shard off-lock. It claims the next seed slot like
 	// a seal does, so its seed is unique for the index's lifetime and
@@ -104,15 +118,19 @@ func (x *Index) compact() CompactResult {
 	}
 
 	// Swap. Between selection and here the ring can only have grown
-	// (seals append; removal happens only under compactMu, which we
-	// hold), so every victim is still present and pointer identity
-	// selects exactly them. The tombstones of dropped entries are still
-	// in x.tombs for the same reason — only this pass may retire them.
+	// (seals append; removal and replacement happen only under compactMu,
+	// which we hold), so every victim is still present and pointer
+	// identity selects exactly them. The tombstones of dropped entries
+	// are still in x.tombs for the same reason — only this pass may
+	// retire them.
 	x.mu.Lock()
-	defer x.mu.Unlock()
 	gone := make(map[shardBackend]struct{}, len(victims))
+	remote := 0
 	for _, v := range victims {
-		gone[v] = struct{}{}
+		gone[v.backend] = struct{}{}
+		if _, ok := v.backend.(*remoteShard); ok {
+			remote++
+		}
 	}
 	ring := make([]shardBackend, 0, len(x.shards)-len(victims)+1)
 	for _, sh := range x.shards {
@@ -146,12 +164,80 @@ func (x *Index) compact() CompactResult {
 	x.version.Add(1)
 	x.compactions++
 	x.compactedShards += len(victims)
-	return CompactResult{
+	res := CompactResult{
 		Merged:     len(victims),
 		Sets:       len(ids),
 		Reclaimed:  len(dropped),
 		Generation: x.generation,
 	}
+	x.mu.Unlock()
+	if remote > 0 {
+		// Recalled shards left the ring, so their hosted copies are now
+		// unreferenced: sweep them off the peers right away (best-effort;
+		// the next pass retries any the sweep couldn't reach).
+		x.placementGC()
+	}
+	// The merged shard is local; nudge the controller (if one runs) to
+	// re-ship it under the recorded placement.
+	x.placementKick()
+	return res
+}
+
+// compactVictim pairs a ring entry selected for compaction with its
+// materialized local structure: the subIndex itself for local shards,
+// the retained local copy or the verified fetched-back decode for
+// remote-backed ones.
+type compactVictim struct {
+	backend shardBackend
+	sub     *subIndex
+}
+
+// materializeVictims recalls every remote-backed victim's structure and
+// re-checks the selection policy over the victims that materialized:
+// fetch failures drop victims, and a selection reduced below two shards
+// with nothing to reclaim is abandoned rather than churned.
+func (x *Index) materializeVictims(victims []shardBackend, tombs map[int]struct{}) []compactVictim {
+	out := make([]compactVictim, 0, len(victims))
+	for _, v := range victims {
+		switch sh := v.(type) {
+		case *subIndex:
+			out = append(out, compactVictim{backend: v, sub: sh})
+		case *remoteShard:
+			if sh.local != nil {
+				out = append(out, compactVictim{backend: v, sub: sh.local})
+				continue
+			}
+			raw, err := sh.fetchSnapshot()
+			if err != nil {
+				continue
+			}
+			sub, err := decodeShardBytes(raw, snapshot.ShardEntry{Seed: sh.seed, Sets: len(sh.ids)}, sh.total)
+			if err != nil {
+				continue
+			}
+			out = append(out, compactVictim{backend: v, sub: sub})
+		}
+	}
+	if len(out) == len(victims) {
+		return out
+	}
+	// Some victims failed to materialize; keep the pass only if what
+	// remains still merges usefully (mirrors selectVictims' final rule).
+	if len(out) >= 2 {
+		return out
+	}
+	dead := 0
+	for _, v := range out {
+		for _, id := range v.sub.ids {
+			if _, d := tombs[id]; d {
+				dead++
+			}
+		}
+	}
+	if dead == 0 {
+		return nil
+	}
+	return out
 }
 
 // selectVictims applies the compaction policy to a read snapshot of the
@@ -161,7 +247,13 @@ func (x *Index) compact() CompactResult {
 // CompactTombstoneRatio is rewritten regardless of size. A single
 // candidate with nothing to reclaim is left alone — rewriting it would
 // churn bytes without improving anything.
-func (x *Index) selectVictims() ([]*subIndex, map[int]struct{}) {
+//
+// Remote-backed shards are eligible like local ones: the policy reads
+// only the coordinator-side id map, and the merge recalls their
+// structure over the verified fetch-back path (see materializeVictims).
+// The recalled keys go unreferenced when the merged shard swaps in, and
+// the placement GC sweep retires them from the peers.
+func (x *Index) selectVictims() ([]shardBackend, map[int]struct{}) {
 	x.mu.RLock()
 	shards := x.shards
 	tombs := x.tombs
@@ -173,26 +265,15 @@ func (x *Index) selectVictims() ([]*subIndex, map[int]struct{}) {
 	minShards := x.opt.CompactMinShards
 	ratio := x.opt.CompactTombstoneRatio
 
-	var smalls, heavies []*subIndex
+	var smalls, heavies []shardBackend
 	dead := 0
 	for _, sh := range shards {
-		sub, ok := sh.(*subIndex)
-		if !ok {
-			// Remote-backed shards are never compaction victims: their
-			// sets live on peers, and rewriting them would mean fetching
-			// the shard back first. They are full-size primaries by
-			// construction (only ring shards present at Distribute time
-			// become remote), so the small-shard pressure compaction
-			// relieves comes from post-distribution seals, which stay
-			// local until the next Distribute.
-			continue
-		}
-		n := sub.ix.Len()
+		n := sh.size()
 		shardDead := 0
 		// The id scan only pays when deletes exist; the common post-seal
 		// pass of a delete-free service stays O(shards).
 		if len(tombs) > 0 {
-			for _, id := range sub.ids {
+			for _, id := range sh.globalIDs() {
 				if _, d := tombs[id]; d {
 					shardDead++
 				}
@@ -200,10 +281,10 @@ func (x *Index) selectVictims() ([]*subIndex, map[int]struct{}) {
 		}
 		switch {
 		case n > 0 && float64(shardDead)/float64(n) >= ratio:
-			heavies = append(heavies, sub)
+			heavies = append(heavies, sh)
 			dead += shardDead
 		case n <= small:
-			smalls = append(smalls, sub)
+			smalls = append(smalls, sh)
 			dead += shardDead
 		}
 	}

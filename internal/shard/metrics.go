@@ -36,6 +36,16 @@ type indexMetrics struct {
 	compactMerged    *metrics.Counter
 	compactReclaimed *metrics.Counter
 
+	// Placement control plane: reconciliation passes run by the
+	// controller, shard uploads, GC evictions (and eviction attempts that
+	// failed and will be retried), and rebalance moves.
+	placementPasses     *metrics.Counter
+	placementErrors     *metrics.Counter
+	placementShipped    *metrics.Counter
+	placementDeleted    *metrics.Counter
+	placementGCErrors   *metrics.Counter
+	placementRebalanced *metrics.Counter
+
 	// cand is the candidate-pipeline counter set every cpindex shard of
 	// this index flushes into (see cpindex.SetCounters).
 	cand cpindex.QueryCounters
@@ -55,7 +65,12 @@ type peerMetrics struct {
 	lat       *metrics.Histogram
 	rpcErrors *metrics.Counter
 	failovers *metrics.Counter
-	healthy   atomic.Bool
+	// probes / probeFailures count the placement controller's active
+	// health checks; the controller flips healthy from them too (false
+	// only after its consecutive-failure threshold).
+	probes        *metrics.Counter
+	probeFailures *metrics.Counter
+	healthy       atomic.Bool
 }
 
 // observe records one RPC's latency and updates the passive health bit.
@@ -107,6 +122,13 @@ func newIndexMetrics(x *Index) *indexMetrics {
 		compactLat:       reg.Histogram("cps_compaction_seconds", "duration of completed compaction passes"),
 		compactMerged:    reg.Counter("cps_compaction_merged_shards_total", "ring shards removed or rewritten by compaction"),
 		compactReclaimed: reg.Counter("cps_compaction_reclaimed_ids_total", "tombstoned entries physically dropped by compaction"),
+
+		placementPasses:     reg.Counter("cps_placement_passes_total", "reconciliation passes run by the placement controller"),
+		placementErrors:     reg.Counter("cps_placement_errors_total", "placement passes that ended in an error"),
+		placementShipped:    reg.Counter("cps_placement_shipped_total", "shard uploads to peers (initial placement, re-ship and rebalance)"),
+		placementDeleted:    reg.Counter("cps_placement_gc_deleted_total", "superseded hosted shards evicted from peers"),
+		placementGCErrors:   reg.Counter("cps_placement_gc_errors_total", "hosted-shard evictions that failed and will be retried"),
+		placementRebalanced: reg.Counter("cps_placement_rebalanced_total", "shards whose replicas moved away from unhealthy peers"),
 	}
 
 	// Candidate pipeline: generated by tree traversal, exact-verified, and
@@ -160,6 +182,14 @@ func newIndexMetrics(x *Index) *indexMetrics {
 	reg.GaugeFunc("cps_index_version", "result version (bumped by every result-affecting mutation)", func() float64 {
 		return float64(x.version.Load())
 	})
+	reg.GaugeFunc("cps_placement_epoch", "placement passes recorded (manual and controller-driven)", func() float64 {
+		e, _ := x.placement.stats()
+		return float64(e)
+	})
+	reg.GaugeFunc("cps_placement_tracked_keys", "distinct shard keys the coordinator believes peers host for it", func() float64 {
+		_, k := x.placement.stats()
+		return float64(k)
+	})
 
 	// Result cache, read from whatever cache is installed at scrape time.
 	reg.GaugeFunc("cps_cache_entries", "result cache entries (0 when disabled)", func() float64 {
@@ -209,9 +239,11 @@ func (m *indexMetrics) peer(base string) *peerMetrics {
 	pm, ok := m.peers[base]
 	if !ok {
 		pm = &peerMetrics{
-			lat:       m.reg.Histogram("cps_peer_rpc_seconds", "per-peer shard RPC latency", "peer", base),
-			rpcErrors: m.reg.Counter("cps_peer_rpc_errors_total", "failed shard RPCs by peer", "peer", base),
-			failovers: m.reg.Counter("cps_peer_failovers_total", "replica skips by peer (another replica or the local copy took over)", "peer", base),
+			lat:           m.reg.Histogram("cps_peer_rpc_seconds", "per-peer shard RPC latency", "peer", base),
+			rpcErrors:     m.reg.Counter("cps_peer_rpc_errors_total", "failed shard RPCs by peer", "peer", base),
+			failovers:     m.reg.Counter("cps_peer_failovers_total", "replica skips by peer (another replica or the local copy took over)", "peer", base),
+			probes:        m.reg.Counter("cps_peer_probes_total", "active health probes sent to the peer", "peer", base),
+			probeFailures: m.reg.Counter("cps_peer_probe_failures_total", "active health probes the peer failed", "peer", base),
 		}
 		pm.healthy.Store(true)
 		m.reg.GaugeFunc("cps_peer_healthy", "1 when the peer's last shard RPC succeeded", func() float64 {

@@ -118,6 +118,9 @@ func (x *Index) Save(dir string) error {
 		}
 	}
 	x.mu.RUnlock()
+	// The placement record rides along so the coordinator's ownership of
+	// hosted keys survives a restart (its own mutex; not under mu).
+	m.Placement = x.placement.snapshotState()
 	copts := x.containOptions()
 
 	// Snapshots are topology-free: a remote-backed shard saves the same
@@ -414,6 +417,11 @@ func Load(dir string, workers int) (*Index, error) {
 	for _, sh := range x.shards {
 		x.live += sh.size()
 	}
+	// Restore the placement record: the ring reloads all-local (snapshots
+	// are topology-free), but the keys the previous life shipped are
+	// still hosted on peers, and the next Distribute pass garbage-collects
+	// whichever of them the new ring doesn't re-reference.
+	x.placement.restore(m.Placement)
 	// Re-apply the runtime configuration the index was saved with, so a
 	// restart restores tuning (layout, cache, auto-compaction) and not just
 	// data. Absent on pre-runtime manifests — defaults then.

@@ -262,9 +262,14 @@ func postJSON(client *http.Client, u string, body, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// readErrBody returns a bounded snippet of an error response body.
+// readErrBody returns a bounded snippet of an error response body. It
+// drains (a bounded amount of) the remainder so the underlying keep-alive
+// connection returns to the client's pool instead of being torn down —
+// failover paths hit this on every retry, and re-dialing the next peer
+// because the previous error body was left unread is pure waste.
 func readErrBody(r io.Reader) string {
 	b, _ := io.ReadAll(io.LimitReader(r, 512))
+	io.Copy(io.Discard, io.LimitReader(r, 64<<10))
 	return strings.TrimSpace(string(b))
 }
 
@@ -340,7 +345,10 @@ func shipShard(client *http.Client, peer, key string, seed uint64, sets, total i
 	return nil
 }
 
-// getShardSnapshot downloads a hosted shard's raw container bytes.
+// getShardSnapshot downloads a hosted shard's raw container bytes,
+// bounded at maxShardSnapshotBytes like the upload path — a misbehaving
+// peer must not be able to balloon the coordinator's memory during a
+// fetch-back.
 func getShardSnapshot(client *http.Client, peer, key string) ([]byte, error) {
 	u := fmt.Sprintf("%s/shard/snapshot?shard=%s", peer, url.QueryEscape(key))
 	resp, err := client.Get(u)
@@ -351,7 +359,35 @@ func getShardSnapshot(client *http.Client, peer, key string) ([]byte, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%s: %s: %s", u, resp.Status, readErrBody(resp.Body))
 	}
-	return io.ReadAll(resp.Body)
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardSnapshotBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) > maxShardSnapshotBytes {
+		return nil, fmt.Errorf("%s: snapshot exceeds the %d-byte shard bound", u, maxShardSnapshotBytes)
+	}
+	return raw, nil
+}
+
+// deleteShardSnapshot evicts one hosted shard from a peer. Peers answer
+// DELETE idempotently (an unknown key reports removed=false with 200),
+// so retrying a delete is always safe.
+func deleteShardSnapshot(client *http.Client, peer, key string) error {
+	u := fmt.Sprintf("%s/shard/snapshot?shard=%s", peer, url.QueryEscape(key))
+	req, err := http.NewRequest(http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", u, resp.Status, readErrBody(resp.Body))
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	return nil
 }
 
 // DistributeOptions configure Index.Distribute.
@@ -370,6 +406,22 @@ type DistributeOptions struct {
 	Client *http.Client
 }
 
+// normalizePeers validates and canonicalizes peer base URLs (trailing
+// slashes stripped) — shared by Distribute and StartPlacement.
+func normalizePeers(peers []string) ([]string, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("shard: need at least one peer")
+	}
+	bases := make([]string, len(peers))
+	for i, p := range peers {
+		bases[i] = strings.TrimRight(p, "/")
+		if bases[i] == "" {
+			return nil, fmt.Errorf("shard: empty peer URL at index %d", i)
+		}
+	}
+	return bases, nil
+}
+
 // Distribute places the ring's local shards on peers: shard i ships its
 // cpshard snapshot (the same verified container Save writes) to Replicas
 // peers chosen round-robin starting at peers[i mod len(peers)] — a static
@@ -380,19 +432,22 @@ type DistributeOptions struct {
 // tombstone filtering stay coordinator-side.
 //
 // Shards sealed after Distribute stay local until a later Distribute
-// ships them; already-remote shards are left untouched. Shipping runs
-// against a read snapshot of the ring and the swap is atomic under a
-// generation bump, so queries are served throughout.
+// ships them (or the placement controller does — see StartPlacement);
+// already-remote shards are left untouched. Shipping runs against a read
+// snapshot of the ring and the swap is atomic under a generation bump, so
+// queries are served throughout.
+//
+// Every call records its peers and options as the index's placement
+// state and ends with a garbage-collection sweep: hosted (key, peer)
+// pairs this coordinator shipped that the post-swap ring no longer
+// references are DELETEd from their peers. The sweep runs on the error
+// path too — a failed pass leaves the ring unchanged, so everything it
+// shipped before failing is unreferenced and is unwound the same way a
+// superseded key from an earlier pass is.
 func (x *Index) Distribute(peers []string, o *DistributeOptions) error {
-	if len(peers) == 0 {
-		return fmt.Errorf("shard: Distribute needs at least one peer")
-	}
-	bases := make([]string, len(peers))
-	for i, p := range peers {
-		bases[i] = strings.TrimRight(p, "/")
-		if bases[i] == "" {
-			return fmt.Errorf("shard: empty peer URL at index %d", i)
-		}
+	bases, err := normalizePeers(peers)
+	if err != nil {
+		return err
 	}
 	opt := DistributeOptions{Replicas: 1, KeepLocal: true}
 	if o != nil {
@@ -414,6 +469,8 @@ func (x *Index) Distribute(peers []string, o *DistributeOptions) error {
 	// swap time (seals only append).
 	x.compactMu.Lock()
 	defer x.compactMu.Unlock()
+	x.placement.beginPass(bases, opt)
+	defer x.placementGC()
 	x.mu.RLock()
 	shards := append([]shardBackend(nil), x.shards...)
 	total := x.total
@@ -443,9 +500,17 @@ func (x *Index) Distribute(peers []string, o *DistributeOptions) error {
 			assigned = append(assigned, bases[(i+r)%len(bases)])
 		}
 		for _, peer := range assigned {
+			// Record the pair before the upload, not after: an upload whose
+			// acknowledgement was lost may still have registered the shard
+			// on the peer, and a pessimistically recorded pair costs only
+			// one idempotent DELETE at the next GC sweep.
+			x.placement.record(key, peer)
 			if err := shipShard(client, peer, key, seed, sub.ix.Len(), total, raw); err != nil {
 				errs[i] = fmt.Errorf("shard: shipping shard %d to %s: %w", i, peer, err)
 				return
+			}
+			if m := x.metrics; m != nil {
+				m.placementShipped.Inc()
 			}
 		}
 		remote := &remoteShard{

@@ -147,12 +147,30 @@ func TestDistributeEquivalence(t *testing.T) {
 			dist.Add(more)
 			assertIdentical(t, local, dist, probes)
 
-			// Compaction must leave remote-backed shards alone and stay
-			// answer-preserving on the rest.
+			// A pass with nothing eligible is a no-op on both indexes.
 			local.Compact()
 			dist.Compact()
-			if got := dist.Stats().RemoteShards; got != st.RemoteShards {
-				t.Fatalf("compaction touched remote shards: %d -> %d", st.RemoteShards, got)
+			assertIdentical(t, local, dist, probes)
+
+			// Remote-backed shards are compaction-eligible like local ones:
+			// tombstone half of everything so every shard crosses the ratio,
+			// and the pass recalls the remote victims (local copy or verified
+			// fetch-back), merges them locally, and garbage-collects the
+			// recalled copies off the peers. Answers stay byte-identical.
+			for id := 0; id < 300+90+len(more); id += 2 {
+				local.Delete(id)
+				dist.Delete(id)
+			}
+			local.Compact()
+			dist.Compact()
+			after := dist.Stats()
+			if after.RemoteShards >= st.RemoteShards {
+				t.Fatalf("ratio-triggered compaction left remote shards in place: %d -> %d",
+					st.RemoteShards, after.RemoteShards)
+			}
+			if hosted := s2.HostedShards(); hosted != after.RemoteShards {
+				t.Fatalf("peer hosts %d shards after compaction GC, ring references %d",
+					hosted, after.RemoteShards)
 			}
 			assertIdentical(t, local, dist, probes)
 		})

@@ -564,6 +564,20 @@ func (s *Server) HostedShards() int {
 	return len(s.hosted)
 }
 
+// HostedKeys returns the keys of every hosted shard, sorted — what the
+// placement tests and the serving bench compare against the
+// coordinator's ring to prove the GC sweep leaves no superseded keys.
+func (s *Server) HostedKeys() []string {
+	s.hostedMu.RLock()
+	keys := make([]string, 0, len(s.hosted))
+	for k := range s.hosted {
+		keys = append(keys, k)
+	}
+	s.hostedMu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !decode(w, r, &req) {

@@ -394,6 +394,12 @@ type Index struct {
 	// Build and Load before the index is published, then immutable, so it
 	// is read without the lock.
 	metrics *indexMetrics
+
+	// placement is the durable record of shards shipped to peers plus the
+	// last Distribute parameters (own mutex; see placement.go), and
+	// controller holds the background placement loop when one is running.
+	placement  placementState
+	controller atomic.Pointer[placementController]
 }
 
 type sideBuffer struct {
@@ -1295,6 +1301,7 @@ func (x *Index) Add(sets [][]uint32) []int {
 		if auto {
 			x.compactAsync()
 		}
+		x.placementKick()
 	}
 	if m := x.metrics; m != nil {
 		m.addLat.Observe(time.Since(start))
@@ -1466,6 +1473,7 @@ func (x *Index) Flush() {
 		if auto {
 			x.compactAsync()
 		}
+		x.placementKick()
 	}
 }
 
@@ -1508,11 +1516,17 @@ type Stats struct {
 	// RemoteShards counts ring shards currently backed by peers (placed or
 	// replicated via Distribute). Nodes and Leaves cover local structures
 	// only — a remote shard's tree lives on its peer.
-	RemoteShards int    `json:"remote_shards"`
-	Nodes        int    `json:"nodes"`
-	Leaves       int    `json:"leaves"`
-	Partition    string `json:"partition"`
-	Workers      int    `json:"workers"`
+	RemoteShards int `json:"remote_shards"`
+	// PlacementEpoch counts placement passes (Distribute calls, manual or
+	// controller-driven); PlacementKeys is the number of distinct shard
+	// keys this coordinator currently believes peers host for it — after a
+	// clean GC sweep it equals the ring's remote key count.
+	PlacementEpoch int    `json:"placement_epoch"`
+	PlacementKeys  int    `json:"placement_keys"`
+	Nodes          int    `json:"nodes"`
+	Leaves         int    `json:"leaves"`
+	Partition      string `json:"partition"`
+	Workers        int    `json:"workers"`
 	// CacheEnabled reports whether the hot-query result cache is on;
 	// when it is, CacheEntries is its current size and CacheHits /
 	// CacheMisses its lifetime counters (misses include entries orphaned
@@ -1547,6 +1561,7 @@ func (x *Index) Stats() Stats {
 		Partition:       x.opt.Partition.String(),
 		Workers:         x.opt.Workers,
 	}
+	st.PlacementEpoch, st.PlacementKeys = x.placement.stats()
 	if c := x.cache.Load(); c != nil {
 		st.CacheEnabled = true
 		st.CacheEntries, st.CacheHits, st.CacheMisses = c.stats()

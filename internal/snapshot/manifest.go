@@ -82,6 +82,32 @@ type Manifest struct {
 	// Configure, so a Load re-applies them instead of callers having to
 	// remember to. Absent in format-version-1 manifests (defaults apply).
 	Runtime *RuntimeState `json:"runtime,omitempty"`
+	// Placement is the coordinator's shipped-shard record: the peers and
+	// options of the last placement pass plus every (key, peers) pair it
+	// has shipped and not yet confirmed evicted. Persisted so a restarted
+	// coordinator garbage-collects the keys its previous life placed.
+	// Absent when the index never distributed.
+	Placement *PlacementState `json:"placement,omitempty"`
+}
+
+// PlacementState is the persisted placement record (see Manifest).
+type PlacementState struct {
+	// Epoch counts placement passes over the index's lifetime.
+	Epoch int `json:"epoch"`
+	// Peers and Replicas/KeepLocal are the parameters of the last pass,
+	// restored so the controller resumes under the same policy.
+	Peers     []string `json:"peers,omitempty"`
+	Replicas  int      `json:"replicas,omitempty"`
+	KeepLocal bool     `json:"keep_local,omitempty"`
+	// Shipped lists, per shard key, the peers the coordinator shipped it
+	// to and has not yet confirmed evicted.
+	Shipped []ShippedShard `json:"shipped,omitempty"`
+}
+
+// ShippedShard records one shipped shard key and its hosting peers.
+type ShippedShard struct {
+	Key   string   `json:"key"`
+	Peers []string `json:"peers"`
 }
 
 // RuntimeState is the persisted form of the index's runtime options
@@ -183,6 +209,22 @@ func decodeManifest(path string, data []byte) (*Manifest, error) {
 	for _, id := range m.Side.IDs {
 		if id < 0 || id >= m.Total {
 			return nil, fmt.Errorf("%s: %w: side shard id %d out of [0,%d)", path, ErrCorrupt, id, m.Total)
+		}
+	}
+	if p := m.Placement; p != nil {
+		if p.Epoch < 0 || p.Replicas < 0 {
+			return nil, fmt.Errorf("%s: %w: negative placement counters (epoch=%d replicas=%d)",
+				path, ErrCorrupt, p.Epoch, p.Replicas)
+		}
+		for _, s := range p.Shipped {
+			if s.Key == "" {
+				return nil, fmt.Errorf("%s: %w: shipped shard with empty key", path, ErrCorrupt)
+			}
+			for _, peer := range s.Peers {
+				if peer == "" {
+					return nil, fmt.Errorf("%s: %w: shipped shard %q names an empty peer", path, ErrCorrupt, s.Key)
+				}
+			}
 		}
 	}
 	return &m, nil

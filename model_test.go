@@ -282,8 +282,10 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 
 			distribute := func(ix *ShardedIndex) {}
 			if cfg.remote {
-				peer1 := httptest.NewServer(shard.NewServer(shard.Build(nil, lambda, &shard.Options{})))
-				peer2 := httptest.NewServer(shard.NewServer(shard.Build(nil, lambda, &shard.Options{})))
+				srv1 := shard.NewServer(shard.Build(nil, lambda, &shard.Options{}))
+				srv2 := shard.NewServer(shard.Build(nil, lambda, &shard.Options{}))
+				peer1 := httptest.NewServer(srv1)
+				peer2 := httptest.NewServer(srv2)
 				t.Cleanup(peer1.Close)
 				t.Cleanup(peer2.Close)
 				peers := []string{peer1.URL, peer2.URL}
@@ -293,6 +295,27 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 					err := ix.Distribute(peers, &DistributeOptions{Replicas: 2, KeepLocal: false})
 					if err != nil {
 						t.Fatalf("Distribute: %v", err)
+					}
+					// Placement-GC invariant, re-checked on every pass (the
+					// round trips repeatedly re-ship evolved rings): with
+					// 2-way replication over two peers, each peer hosts
+					// exactly one copy of every remote ring shard — no
+					// superseded key from an earlier pass or a previous
+					// (pre-Load) life survives.
+					st := ix.Stats()
+					k1, k2 := srv1.HostedKeys(), srv2.HostedKeys()
+					if len(k1) != st.RemoteShards || len(k2) != st.RemoteShards {
+						t.Fatalf("peers host %d/%d shards, ring references %d",
+							len(k1), len(k2), st.RemoteShards)
+					}
+					for i := range k1 {
+						if k1[i] != k2[i] {
+							t.Fatalf("replica sets diverge: %v vs %v", k1, k2)
+						}
+					}
+					if st.PlacementKeys != st.RemoteShards {
+						t.Fatalf("placement registry tracks %d keys, ring references %d",
+							st.PlacementKeys, st.RemoteShards)
 					}
 				}
 			}

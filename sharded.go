@@ -177,6 +177,28 @@ func (s *ShardedIndex) Distribute(peers []string, opts *DistributeOptions) error
 	return s.ix.Distribute(peers, opts)
 }
 
+// PlacementOptions configure the background placement controller: pass
+// and probe cadence, the consecutive-failure threshold for active health
+// flips, and whether to rebalance replicas away from unhealthy peers.
+type PlacementOptions = shard.PlacementOptions
+
+// StartPlacement starts the autonomous placement control plane against
+// the given peers: newly sealed shards are shipped automatically under
+// opts, compaction-merged shards are re-shipped, superseded hosted
+// shards are garbage-collected off peers, and peer health is probed
+// actively. Every transition keeps query answers byte-identical to the
+// all-local index — placement moves where a shard answers from, never
+// what it answers. One controller per index; StopPlacement stops it.
+func (s *ShardedIndex) StartPlacement(peers []string, opts *DistributeOptions, po *PlacementOptions) error {
+	return s.ix.StartPlacement(peers, opts, po)
+}
+
+// StopPlacement stops the placement controller and waits for it to
+// exit; a no-op when none is running.
+func (s *ShardedIndex) StopPlacement() {
+	s.ix.StopPlacement()
+}
+
 // Add appends sets (normalized, like the build input) to the index and
 // returns their global ids. Appended sets are findable immediately with
 // recall 1.0; once MergeThreshold of them accumulate they are sealed into
