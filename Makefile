@@ -76,13 +76,15 @@ bench-go:
 # directory manifest, and the cpindex codec — plus the flat/pointer
 # layout equivalence on whatever the codec accepts (FuzzDecodeLayouts).
 # The corpus seeds are valid snapshots; the contract is error-not-panic
-# on any mutation. CI runs this on every PR; crashers land in
-# testdata/fuzz/ for replay.
+# on any mutation. FuzzMappedDecode covers the lazy mmap-backed decoder
+# with the eager decoder as a differential oracle. CI runs this on every
+# PR; crashers land in testdata/fuzz/ for replay.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzContainer$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/cpindex
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeLayouts$$' -fuzztime $(FUZZTIME) ./internal/cpindex
+	$(GO) test -run '^$$' -fuzz '^FuzzMappedDecode$$' -fuzztime $(FUZZTIME) ./internal/cpindex
 
 clean:
 	rm -f BENCH_parallel.json BENCH_serving.json BENCH_query.json BENCH_accuracy.json

@@ -220,12 +220,18 @@ func main() {
 			// churn against live peers, gated on peers hosting exactly the
 			// final ring.
 			churn := bench.RunPlacementChurn(ws[0], cfg, progress)
+			// And the storage-tier comparison: the same saved index
+			// restored hot and cold, gated on cold answers staying
+			// byte-identical and the lazy open being ≥5× faster.
+			tiering := bench.RunTieringBench(ws[0], cfg, progress)
 			if jsonOut {
-				check(bench.WriteServingJSON(out, rows, comp, &scrape, &churn))
+				check(bench.WriteServingJSON(out, rows, comp, &scrape, &churn, &tiering))
 			} else {
 				bench.PrintServing(out, rows)
 				banner("== Compaction: churn, one pass, post-compaction queries (λ=0.5) ==")
 				bench.PrintCompaction(out, comp)
+				banner("== Tiering: hot vs cold restore of the same saved index ==")
+				bench.PrintTiering(out, tiering)
 				fmt.Fprintf(out, "\nmetrics scrape: ok=%v series=%d %s\n", scrape.OK, scrape.Series, scrape.Error)
 				fmt.Fprintf(out, "placement churn: gc_clean=%v identical=%v ring=%d\n", churn.GCClean, churn.Identical, churn.RingKeys)
 			}
@@ -233,7 +239,7 @@ func main() {
 			banner("== Compaction: churn, one pass, post-compaction queries (λ=0.5) ==")
 			comp := bench.RunCompactionBench(bench.SyntheticWorkloads(scale)[:1], []int{2, 4}, bench.DefaultWorkerCounts(), cfg, progress)
 			if jsonOut {
-				check(bench.WriteServingJSON(out, nil, comp, nil, nil))
+				check(bench.WriteServingJSON(out, nil, comp, nil, nil, nil))
 			} else {
 				bench.PrintCompaction(out, comp)
 			}

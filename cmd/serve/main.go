@@ -7,7 +7,7 @@
 //
 //	serve -input catalogue.txt -threshold 0.6 [-addr :8321] [-shards 4]
 //	      [-hash] [-merge 1024] [-trees 10] [-seed 42] [-workers N]
-//	      [-data DIR] [-save-on-shutdown] [-auto-compact]
+//	      [-data DIR] [-save-on-shutdown] [-auto-compact] [-tier T]
 //	      [-cache N] [-pprof] [-metrics] [-slow-query D] [-access-log]
 //	      [-peers URL,URL,...] [-replicas N] [-keep-local] [-peer]
 //	      [-placement-interval D] [-probe-interval D] [-rebalance]
@@ -17,6 +17,14 @@
 // becomes I/O instead of a rebuild — and otherwise builds from -input.
 // With -save-on-shutdown it snapshots the live index (including buffered
 // appends and tombstones) into DIR on graceful shutdown.
+//
+// Storage tiers: -tier cold restores shards memory-mapped with lazy
+// decode — restore time and resident memory drop to the container
+// headers, while queries fault in only the pages they touch and answer
+// byte-identically to the hot tier. -tier auto maps large shards, keeps
+// small ones decoded, and retiers on query frequency via the placement
+// controller's cadence. -tier hot forces full decode; empty keeps
+// whatever tier the snapshot was saved under.
 //
 // Endpoints (each also reachable at its bare pre-/v1 path, kept as an
 // alias; errors are structured JSON {"error":..., "code":...}):
@@ -139,6 +147,7 @@ func main() {
 		cacheSize = flag.Int("cache", 0, "hot-query result cache entries (0 disables; invalidated automatically on any mutation)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 		metricsOn = flag.Bool("metrics", true, "expose Prometheus metrics on /metrics")
+		tierName  = flag.String("tier", "", "shard storage tier: hot (fully decoded), cold (mmap-backed, lazy decode) or auto (by shard size and query frequency); empty keeps the snapshot's saved tier")
 		slowQuery = flag.Duration("slow-query", 0, "log a structured line for /query requests over this duration (0 disables)")
 		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
 	)
@@ -146,6 +155,12 @@ func main() {
 
 	if *saveOnEnd && *dataDir == "" {
 		logger.Error("-save-on-shutdown requires -data")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tier, err := shard.ParseTier(*tierName)
+	if err != nil {
+		logger.Error("bad -tier", "err", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -162,13 +177,20 @@ func main() {
 		logger.Info("peer mode: empty index", "addr", *addr)
 	} else if *dataDir != "" && manifestExists(*dataDir) {
 		var err error
-		ix, err = shard.Load(*dataDir, *workers)
+		// The tier flag's raw value goes through: empty defers to the tier
+		// the snapshot was saved under.
+		ix, err = shard.LoadWithOptions(*dataDir, shard.LoadOptions{
+			Workers: *workers,
+			Tiering: shard.Tier(*tierName),
+		})
 		if err != nil {
 			fatal("restore failed", "dir", *dataDir, "err", err)
 		}
 		st := ix.Stats()
 		logger.Info("restored snapshot",
-			"sets", st.Sets, "shards", st.Shards, "partition", st.Partition,
+			"sets", st.Sets, "shards", st.Shards,
+			"hot_shards", st.HotShards, "cold_shards", st.ColdShards,
+			"partition", st.Partition,
 			"dir", *dataDir, "seconds", time.Since(start).Seconds(), "addr", *addr)
 	} else {
 		if *input == "" {
@@ -245,11 +267,19 @@ func main() {
 	if *cacheSize > 0 {
 		rt.CacheSize = *cacheSize
 	}
+	if *tierName != "" {
+		rt.Tiering = tier
+	}
 	if err := ix.Configure(rt); err != nil {
 		fatal("runtime configuration rejected", "err", err)
 	}
 	if rt.CacheSize > 0 {
 		logger.Info("result cache enabled", "entries", rt.CacheSize)
+	}
+	if rt.Tiering != "" && rt.Tiering != shard.TierHot {
+		st := ix.Stats()
+		logger.Info("storage tiering active",
+			"tier", string(rt.Tiering), "hot_shards", st.HotShards, "cold_shards", st.ColdShards)
 	}
 
 	var handler http.Handler = shard.NewServerOpts(ix, &shard.ServerOptions{

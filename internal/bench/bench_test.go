@@ -234,12 +234,39 @@ func TestRunPlacementChurn(t *testing.T) {
 		t.Fatalf("placement churn hosted/ring mismatch: %+v", churn)
 	}
 	var out bytes.Buffer
-	if err := WriteServingJSON(&out, nil, nil, nil, &churn); err != nil {
+	if err := WriteServingJSON(&out, nil, nil, nil, &churn, nil); err != nil {
 		t.Fatalf("WriteServingJSON: %v", err)
 	}
 	for _, want := range []string{`"placement_gc_clean": true`, `"identical_to_sequential": true`} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("serving JSON missing %s:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunTieringBench runs the storage-tier comparison at tiny scale:
+// the cold restore must answer byte-identically to hot and open faster
+// than the full decode. The ≥5× speedup floor itself is gated in CI on
+// the bench-smoke artifact, where the dataset is large enough for the
+// ratio to be stable.
+func TestRunTieringBench(t *testing.T) {
+	w := mustWorkload(t, "UNIFORM005")
+	var buf bytes.Buffer
+	r := RunTieringBench(w, DefaultConfig(), &buf)
+	if !r.Identical {
+		t.Fatalf("tiering answers diverged: %+v\n%s", r, buf.String())
+	}
+	if r.RestoreSpeedup <= 1 {
+		t.Fatalf("cold restore not faster than hot: %+v\n%s", r, buf.String())
+	}
+	if r.ColdResidentBytes >= r.HotResidentBytes {
+		t.Logf("warning: cold resident %d >= hot %d at tiny scale", r.ColdResidentBytes, r.HotResidentBytes)
+	}
+	var out bytes.Buffer
+	if err := WriteServingJSON(&out, nil, nil, nil, nil, &r); err != nil {
+		t.Fatalf("WriteServingJSON: %v", err)
+	}
+	if !strings.Contains(out.String(), `"tiering_identical": true`) {
+		t.Fatalf("serving JSON missing tiering flag:\n%s", out.String())
 	}
 }

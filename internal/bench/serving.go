@@ -292,8 +292,11 @@ func equalBatches(a, b [][]cpindex.Match) bool {
 // scrape, when non-nil, records the /metrics exposition check (see
 // CheckMetricsExposition); CI requires its ok flag too. churn, when
 // non-nil, records the placement-GC soak (see RunPlacementChurn); CI
-// requires its placement_gc_clean flag.
-func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow, scrape *MetricsScrape, churn *PlacementChurn) error {
+// requires its placement_gc_clean flag. tiering, when non-nil, records
+// the hot/cold restore comparison (see RunTieringBench); CI requires its
+// tiering_identical flag and a restore_speedup at or above the gate's
+// floor.
+func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow, scrape *MetricsScrape, churn *PlacementChurn, tiering *TieringReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
@@ -302,7 +305,8 @@ func WriteServingJSON(w io.Writer, rows []ServingRow, compaction []CompactionRow
 		Compaction []CompactionRow `json:"compaction,omitempty"`
 		Metrics    *MetricsScrape  `json:"metrics_scrape,omitempty"`
 		Placement  *PlacementChurn `json:"placement_churn,omitempty"`
-	}{runtime.GOMAXPROCS(0), rows, compaction, scrape, churn})
+		Tiering    *TieringReport  `json:"tiering,omitempty"`
+	}{runtime.GOMAXPROCS(0), rows, compaction, scrape, churn, tiering})
 }
 
 // PrintServing writes the serving table for human consumption.

@@ -188,6 +188,7 @@ type queryScratch struct {
 	epoch   uint32
 	stack   []int32  // flat traversal stack
 	cands   []uint32 // new candidate ids, in visit order
+	setBuf  []uint32 // mapped-mode candidate set decode buffer
 	stats   QueryStats
 }
 

@@ -1,0 +1,406 @@
+package cpindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/intset"
+	"repro/internal/minhash"
+	"repro/internal/snapshot"
+)
+
+// Mapped is the cold-tier view of a persisted index: the same sections
+// DecodeSections reads, but left in place over the container bytes
+// (typically an mmap'd file) and decoded lazily. Opening one costs only
+// the meta section — a few dozen bytes — regardless of index size:
+//
+//   - the trees are decoded and flattened on the first query (one-time,
+//     structure-only; the flat walk is then byte-identical to a decoded
+//     index's because it IS the same flatTrees code);
+//   - the sets payload stays untouched until a candidate reaches exact
+//     verification, at which point the whole section is CRC-verified once
+//     and candidates are decoded into pooled scratch and verified by the
+//     same intset kernels the hot path calls.
+//
+// Answers are therefore byte-identical to the hot path by construction —
+// same traversal arrays, same verification kernel, same tie-breaks — and
+// a flipped bit in any section surfaces as ErrCorrupt at open or first
+// touch, never as a wrong answer (the model harness and the corruption
+// tests in the shard package pin both properties).
+//
+// All query methods are safe for concurrent use, like Index's.
+type Mapped struct {
+	snap *snapshot.Mapped
+	// retain pins the mapping's owner (an mmap.File) for the GC: the
+	// snapshot bytes alias memory the collector cannot see, so every
+	// method that touches them ends with a KeepAlive of this reference.
+	retain any
+
+	lambda float64
+	opt    Options
+	nsets  int
+	nodes  int
+	leaves int
+
+	signer *minhash.Signer
+
+	// structOnce decodes the trees (CRC-verified) and indexes the sets
+	// payload's size prefix on first query.
+	structOnce sync.Once
+	structErr  error
+	flat       *flatTrees
+	tokenStart []int64 // per-set first token index, len nsets+1
+	tokens     []byte  // token region of the sets payload (aliases snap)
+
+	// setsOnce runs the deferred sets-section CRC the first time any
+	// candidate reaches verification — the "first touch" of the payload.
+	setsOnce sync.Once
+	setsErr  error
+
+	scratch  sync.Pool
+	counters *QueryCounters
+}
+
+// OpenMapped builds the cold view over an already-validated container.
+// Only the meta section is read (and CRC-verified) here; retain is held
+// for the lifetime of the Mapped to keep the backing mapping alive.
+func OpenMapped(snap *snapshot.Mapped, retain any) (*Mapped, error) {
+	metaRaw, err := snap.Section("meta")
+	if err != nil {
+		return nil, err
+	}
+	meta := snapshot.NewCursor("meta", metaRaw)
+	lambda := meta.F64()
+	opt := Options{
+		T:        int(meta.U32()),
+		LeafSize: int(meta.U32()),
+		MaxDepth: int(meta.U32()),
+		Trees:    int(meta.U32()),
+		Seed:     meta.U64(),
+	}
+	nodes := meta.U64()
+	leaves := meta.U64()
+	nsets := meta.U64()
+	if err := meta.Done(); err != nil {
+		return nil, err
+	}
+	if lambda <= 0 || lambda >= 1 {
+		return nil, fmt.Errorf("%w: lambda %v out of (0,1)", snapshot.ErrCorrupt, lambda)
+	}
+	if opt.T <= 0 || opt.T > 1<<20 || opt.LeafSize <= 0 ||
+		opt.MaxDepth <= 0 || opt.MaxDepth > 1<<16 ||
+		opt.Trees <= 0 || opt.Trees > 1<<16 || nsets > maxSets {
+		return nil, fmt.Errorf("%w: implausible index meta (T=%d leaf=%d depth=%d trees=%d sets=%d)",
+			snapshot.ErrCorrupt, opt.T, opt.LeafSize, opt.MaxDepth, opt.Trees, nsets)
+	}
+	if snap.Lookup("sets") == nil || snap.Lookup("trees") == nil {
+		return nil, fmt.Errorf("%w: container missing sets/trees sections", snapshot.ErrCorrupt)
+	}
+	return &Mapped{
+		snap:   snap,
+		retain: retain,
+		lambda: lambda,
+		opt:    opt,
+		nsets:  int(nsets),
+		nodes:  int(nodes),
+		leaves: int(leaves),
+		signer: minhash.NewSigner(opt.T, opt.Seed),
+	}, nil
+}
+
+// Len returns the number of indexed sets.
+func (m *Mapped) Len() int { return m.nsets }
+
+// Options returns the options the index was built with.
+func (m *Mapped) Options() Options { return m.opt }
+
+// Lambda returns the similarity threshold the index was built for.
+func (m *Mapped) Lambda() float64 { return m.lambda }
+
+// Structure returns the persisted node/leaf counts.
+func (m *Mapped) Structure() (nodes, leaves int) { return m.nodes, m.leaves }
+
+// SetCounters attaches (or detaches) the cross-query stats sink, exactly
+// like Index.SetCounters.
+func (m *Mapped) SetCounters(c *QueryCounters) { m.counters = c }
+
+func (m *Mapped) flushStats(sc *queryScratch) {
+	if c := m.counters; c != nil {
+		c.Candidates.Add(sc.stats.Candidates)
+		c.Verified.Add(sc.stats.Verified)
+		c.Rejected.Add(sc.stats.Rejected)
+	}
+}
+
+// ensureStruct decodes the trees (checksummed) and the sets size prefix.
+// The prefix is parsed unverified — its guards reject anything the query
+// path could trip over, and the deferred whole-section CRC (ensureSets)
+// still runs before any answer derived from payload bytes is returned.
+func (m *Mapped) ensureStruct() error {
+	m.structOnce.Do(func() {
+		treesRaw, err := m.snap.Section("trees")
+		if err != nil {
+			m.structErr = err
+			return
+		}
+		tc := snapshot.NewCursor("trees", treesRaw)
+		dec := &nodeDecoder{c: tc, nsets: uint64(m.nsets), t: m.opt.T, maxDepth: m.opt.MaxDepth}
+		trees := make([]*node, m.opt.Trees)
+		for i := range trees {
+			trees[i] = dec.node(0)
+			if tc.Err() != nil {
+				m.structErr = tc.Err()
+				return
+			}
+		}
+		if err := tc.Done(); err != nil {
+			m.structErr = err
+			return
+		}
+		// The pointer trees are flattened and dropped: queries only ever
+		// walk the flat layout, like a decoded index.
+		m.flat = flatten(trees)
+
+		setsRaw, err := m.snap.Raw("sets")
+		if err != nil {
+			m.structErr = err
+			return
+		}
+		c := snapshot.NewCursor("sets", setsRaw)
+		starts := make([]int64, m.nsets+1)
+		var total int64
+		for i := 0; i < m.nsets; i++ {
+			starts[i] = total
+			size := c.Uvarint()
+			if size > maxMappedSetSize {
+				m.structErr = fmt.Errorf("%w: section %q: implausible set size %d", snapshot.ErrCorrupt, "sets", size)
+				return
+			}
+			total += int64(size)
+		}
+		starts[m.nsets] = total
+		if c.Err() != nil {
+			m.structErr = c.Err()
+			return
+		}
+		if int64(c.Remaining()) != total*4 {
+			m.structErr = fmt.Errorf("%w: section %q: %d tokens for %d remaining bytes",
+				snapshot.ErrCorrupt, "sets", total, c.Remaining())
+			return
+		}
+		m.tokenStart = starts
+		m.tokens = setsRaw[len(setsRaw)-c.Remaining():]
+	})
+	runtime.KeepAlive(m.retain)
+	return m.structErr
+}
+
+// maxMappedSetSize mirrors snapshot.DecodeSets's per-set size cap.
+const maxMappedSetSize = 1 << 28
+
+// ensureSets runs the deferred sets-section checksum — the first (and
+// only) whole-payload read of the cold path, paid when a candidate first
+// reaches verification.
+func (m *Mapped) ensureSets() error {
+	m.setsOnce.Do(func() { m.setsErr = m.snap.Verify("sets") })
+	return m.setsErr
+}
+
+// decodeSet decodes set id's tokens into buf (grown as needed),
+// revalidating the strictly-increasing invariant verification assumes.
+func (m *Mapped) decodeSet(buf []uint32, id uint32) ([]uint32, error) {
+	lo, hi := m.tokenStart[id], m.tokenStart[id+1]
+	n := int(hi - lo)
+	if cap(buf) < n {
+		buf = make([]uint32, n)
+	}
+	buf = buf[:n]
+	raw := m.tokens[lo*4 : hi*4]
+	for i := range buf {
+		buf[i] = binary.LittleEndian.Uint32(raw[i*4:])
+		if i > 0 && buf[i] <= buf[i-1] {
+			return nil, fmt.Errorf("%w: section %q: set %d not strictly increasing", snapshot.ErrCorrupt, "sets", id)
+		}
+	}
+	return buf, nil
+}
+
+// candidateSet returns candidate id's decoded tokens in the scratch
+// buffer, running the deferred sets checksum first.
+func (m *Mapped) candidateSet(sc *queryScratch, id uint32) ([]uint32, error) {
+	if err := m.ensureSets(); err != nil {
+		return nil, err
+	}
+	buf, err := m.decodeSet(sc.setBuf, id)
+	if err != nil {
+		return nil, err
+	}
+	sc.setBuf = buf[:cap(buf)]
+	return buf, nil
+}
+
+// getScratch mirrors Index.getScratch over the mapped index's shape.
+func (m *Mapped) getScratch() *queryScratch {
+	sc, _ := m.scratch.Get().(*queryScratch)
+	if sc == nil {
+		sc = new(queryScratch)
+	}
+	if len(sc.qsig) != m.opt.T {
+		sc.qsig = make([]uint32, m.opt.T)
+	}
+	if len(sc.visited) < m.nsets {
+		sc.visited = make([]uint32, m.nsets)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+	sc.cands = sc.cands[:0]
+	sc.stats = QueryStats{}
+	return sc
+}
+
+func (m *Mapped) putScratch(sc *queryScratch) { m.scratch.Put(sc) }
+
+// Query is Index.Query over the mapped structure, with corruption
+// surfaced as an error instead of a panic or a wrong answer.
+func (m *Mapped) Query(q []uint32) (int, float64, bool, error) {
+	id, sim, ok, _, err := m.QueryWithStats(q)
+	return id, sim, ok, err
+}
+
+// QueryWithStats mirrors Index.QueryWithStats's flat path statement for
+// statement — same traversal, same verification kernel, same
+// first-hit-wins tree cutoff — so a cold shard's answers are
+// byte-identical to the hot path's.
+func (m *Mapped) QueryWithStats(q []uint32) (int, float64, bool, QueryStats, error) {
+	best := -1
+	bestSim := 0.0
+	if len(q) == 0 {
+		return best, bestSim, false, QueryStats{}, nil
+	}
+	if err := m.ensureStruct(); err != nil {
+		return best, bestSim, false, QueryStats{}, err
+	}
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	m.signer.SignInto(q, sc.qsig)
+	for _, root := range m.flat.roots {
+		sc.cands = sc.cands[:0]
+		m.flat.collect(root, sc.qsig, sc)
+		for _, id := range sc.cands {
+			sc.stats.Verified++
+			set, err := m.candidateSet(sc, id)
+			if err != nil {
+				return -1, 0, false, QueryStats{}, err
+			}
+			if sim, ok := intset.JaccardAtLeast(q, set, m.lambda); ok {
+				if sim > bestSim {
+					best = int(id)
+					bestSim = sim
+				}
+			} else {
+				sc.stats.Rejected++
+			}
+		}
+		if best >= 0 {
+			// Same first-hit-wins contract as the hot path: finish the
+			// tree that produced a hit, skip the rest.
+			break
+		}
+	}
+	m.flushStats(sc)
+	runtime.KeepAlive(m.retain)
+	return best, bestSim, best >= 0, sc.stats, nil
+}
+
+// AppendAll mirrors Index.AppendAll (flat path): every distinct match in
+// tree-traversal order, appended to dst.
+func (m *Mapped) AppendAll(dst []Match, q []uint32) ([]Match, error) {
+	dst, _, err := m.AppendAllWithStats(dst, q)
+	return dst, err
+}
+
+// AppendAllWithStats mirrors Index.AppendAllWithStats's flat path.
+func (m *Mapped) AppendAllWithStats(dst []Match, q []uint32) ([]Match, QueryStats, error) {
+	if len(q) == 0 {
+		return dst, QueryStats{}, nil
+	}
+	if err := m.ensureStruct(); err != nil {
+		return dst, QueryStats{}, err
+	}
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	m.signer.SignInto(q, sc.qsig)
+	for _, root := range m.flat.roots {
+		sc.cands = sc.cands[:0]
+		m.flat.collect(root, sc.qsig, sc)
+		for _, id := range sc.cands {
+			sc.stats.Verified++
+			set, err := m.candidateSet(sc, id)
+			if err != nil {
+				return dst, QueryStats{}, err
+			}
+			if sim, ok := intset.JaccardAtLeast(q, set, m.lambda); ok {
+				dst = append(dst, Match{ID: int(id), Sim: sim})
+			} else {
+				sc.stats.Rejected++
+			}
+		}
+	}
+	m.flushStats(sc)
+	runtime.KeepAlive(m.retain)
+	return dst, sc.stats, nil
+}
+
+// Set decodes one indexed set into a fresh heap slice, running the
+// deferred sets checksum first — the cold containment path's exact
+// verification reads sets through this.
+func (m *Mapped) Set(id int) ([]uint32, error) {
+	if err := m.ensureStruct(); err != nil {
+		return nil, err
+	}
+	if err := m.ensureSets(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= m.nsets {
+		return nil, fmt.Errorf("%w: set id %d out of [0,%d)", snapshot.ErrCorrupt, id, m.nsets)
+	}
+	set, err := m.decodeSet(nil, uint32(id))
+	runtime.KeepAlive(m.retain)
+	return set, err
+}
+
+// Sets materializes the whole collection onto the heap (one shared token
+// array, like a decoded index). It is the escape hatch for consumers
+// that need every set — containment-index construction, compaction
+// merges — and deliberately NOT cached: callers own the copy's lifetime.
+func (m *Mapped) Sets() ([][]uint32, error) {
+	if err := m.ensureStruct(); err != nil {
+		return nil, err
+	}
+	if err := m.ensureSets(); err != nil {
+		return nil, err
+	}
+	total := m.tokenStart[m.nsets]
+	tokens := make([]uint32, total)
+	sets := make([][]uint32, m.nsets)
+	for i := 0; i < m.nsets; i++ {
+		lo, hi := m.tokenStart[i], m.tokenStart[i+1]
+		set := tokens[lo:hi:hi]
+		raw := m.tokens[lo*4 : hi*4]
+		for j := range set {
+			set[j] = binary.LittleEndian.Uint32(raw[j*4:])
+			if j > 0 && set[j] <= set[j-1] {
+				return nil, fmt.Errorf("%w: section %q: set %d not strictly increasing", snapshot.ErrCorrupt, "sets", i)
+			}
+		}
+		sets[i] = set
+	}
+	runtime.KeepAlive(m.retain)
+	return sets, nil
+}

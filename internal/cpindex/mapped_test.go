@@ -1,0 +1,257 @@
+package cpindex
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// buildContainer encodes a small but non-trivial index (several trees,
+// real internal nodes) as a standalone container.
+func buildContainer(tb testing.TB, seed uint64) (*Index, []byte) {
+	tb.Helper()
+	sets := [][]uint32{
+		{1, 2, 3}, {2, 3, 4}, {5, 6}, {1, 9, 12, 40},
+		{3, 4, 5, 6, 7}, {2, 4, 9}, {7, 8, 9, 10}, {1, 3, 40},
+	}
+	ix := Build(sets, 0.4, &Options{Trees: 3, LeafSize: 2, Seed: seed})
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return ix, buf.Bytes()
+}
+
+func openMappedBytes(tb testing.TB, data []byte) (*Mapped, error) {
+	tb.Helper()
+	snap, err := snapshot.OpenMapped(data, SnapshotKind)
+	if err != nil {
+		return nil, err
+	}
+	return OpenMapped(snap, nil)
+}
+
+var mappedProbes = [][]uint32{
+	{1, 2, 3}, {2, 3, 4}, {5, 6}, {1, 9, 12, 40},
+	{3, 4, 5, 6, 7}, {8, 11}, {2, 4}, {40}, nil,
+}
+
+// TestMappedMatchesIndex pins the tentpole equivalence at the cpindex
+// layer: the lazily decoded mapped view answers Query and AppendAll
+// byte-identically to the fully decoded index, including the candidate
+// pipeline stats (same traversal, same verification kernel).
+func TestMappedMatchesIndex(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 99} {
+		ix, data := buildContainer(t, seed)
+		m, err := openMappedBytes(t, data)
+		if err != nil {
+			t.Fatalf("seed %d: open mapped: %v", seed, err)
+		}
+		if m.Len() != ix.Len() || m.Lambda() != ix.Lambda() || m.Options() != ix.Options() {
+			t.Fatalf("seed %d: mapped meta diverges: %d/%v/%+v vs %d/%v/%+v",
+				seed, m.Len(), m.Lambda(), m.Options(), ix.Len(), ix.Lambda(), ix.Options())
+		}
+		nodes, leaves := m.Structure()
+		if nodes != ix.Nodes || leaves != ix.Leaves {
+			t.Fatalf("seed %d: mapped structure %d/%d, index %d/%d", seed, nodes, leaves, ix.Nodes, ix.Leaves)
+		}
+		for _, q := range mappedProbes {
+			hid, hsim, hok, hst := ix.QueryWithStats(q)
+			cid, csim, cok, cst, err := m.QueryWithStats(q)
+			if err != nil {
+				t.Fatalf("seed %d: mapped Query(%v): %v", seed, q, err)
+			}
+			if cid != hid || csim != hsim || cok != hok || cst != hst {
+				t.Fatalf("seed %d: Query(%v): mapped (%d,%v,%v,%+v) != hot (%d,%v,%v,%+v)",
+					seed, q, cid, csim, cok, cst, hid, hsim, hok, hst)
+			}
+			hall, hallSt := ix.AppendAllWithStats(nil, q)
+			call, callSt, err := m.AppendAllWithStats(nil, q)
+			if err != nil {
+				t.Fatalf("seed %d: mapped AppendAll(%v): %v", seed, q, err)
+			}
+			if len(hall) != len(call) || hallSt != callSt {
+				t.Fatalf("seed %d: AppendAll(%v): mapped %v/%+v != hot %v/%+v",
+					seed, q, call, callSt, hall, hallSt)
+			}
+			for i := range hall {
+				if hall[i] != call[i] {
+					t.Fatalf("seed %d: AppendAll(%v)[%d]: mapped %+v != hot %+v", seed, q, i, call[i], hall[i])
+				}
+			}
+		}
+		// Set / Sets materialization must round-trip the exact collection.
+		sets, err := m.Sets()
+		if err != nil {
+			t.Fatalf("seed %d: Sets: %v", seed, err)
+		}
+		for i, want := range ix.Sets() {
+			got, err := m.Set(i)
+			if err != nil {
+				t.Fatalf("seed %d: Set(%d): %v", seed, i, err)
+			}
+			if len(got) != len(want) || len(sets[i]) != len(want) {
+				t.Fatalf("seed %d: set %d lengths diverge", seed, i)
+			}
+			for j := range want {
+				if got[j] != want[j] || sets[i][j] != want[j] {
+					t.Fatalf("seed %d: set %d token %d diverges", seed, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestMappedTruncated: every proper prefix of a valid container must fail
+// with a descriptive error — at open, never a panic and never a decode.
+func TestMappedTruncated(t *testing.T) {
+	_, data := buildContainer(t, 7)
+	for n := 0; n < len(data); n++ {
+		m, err := openMappedBytes(t, data[:n])
+		if err == nil {
+			// The mapped open is lazy, so a truncation that leaves every
+			// section header intact can only surface at first query.
+			if _, _, _, qerr := m.Query([]uint32{1, 2, 3}); qerr == nil {
+				t.Fatalf("truncation to %d/%d bytes opened and queried cleanly", n, len(data))
+			}
+			continue
+		}
+		if !errors.Is(err, snapshot.ErrCorrupt) && !errors.Is(err, snapshot.ErrVersion) {
+			t.Fatalf("truncation to %d bytes: error %v wraps neither ErrCorrupt nor ErrVersion", n, err)
+		}
+	}
+}
+
+// TestMappedBitFlip: a flipped bit in any section payload must surface as
+// ErrCorrupt at open or first touch — never a wrong answer. The sets
+// payload is the interesting case: its pages are untouched at open and
+// only checksummed when a candidate first reaches exact verification.
+func TestMappedBitFlip(t *testing.T) {
+	ix, data := buildContainer(t, 13)
+	snap, err := snapshot.OpenMapped(data, SnapshotKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"meta", "trees", "sets"} {
+		s := snap.Lookup(name)
+		if s == nil || s.Len == 0 {
+			t.Fatalf("valid container has no %q payload", name)
+		}
+		// Flip the last payload byte: in "sets" that is token data, past the
+		// size prefix the lazy open parses unverified.
+		corrupt := append([]byte(nil), data...)
+		corrupt[s.Off+s.Len-1] ^= 0x40
+
+		m, err := openMappedBytes(t, corrupt)
+		if err != nil {
+			if !errors.Is(err, snapshot.ErrCorrupt) {
+				t.Fatalf("%s flip: open error %v does not wrap ErrCorrupt", name, err)
+			}
+			continue // caught at open (meta is read eagerly)
+		}
+		for _, q := range mappedProbes {
+			wantID, wantSim, wantOK := ix.Query(q)
+			id, sim, ok, err := m.Query(q)
+			if err != nil {
+				if !errors.Is(err, snapshot.ErrCorrupt) {
+					t.Fatalf("%s flip: query error %v does not wrap ErrCorrupt", name, err)
+				}
+				continue
+			}
+			// A query that never touched the corrupt bytes may legitimately
+			// succeed — but then it must agree with the pristine index.
+			if id != wantID || sim != wantSim || ok != wantOK {
+				t.Fatalf("%s flip: Query(%v) silently answered (%d,%v,%v), pristine index says (%d,%v,%v)",
+					name, q, id, sim, ok, wantID, wantSim, wantOK)
+			}
+		}
+		if name == "sets" {
+			// The self-query of every indexed set reaches verification, so
+			// at least the deferred sets checksum must have fired.
+			if _, err := m.Sets(); err == nil {
+				t.Fatalf("sets flip: whole-collection materialization passed the checksum")
+			} else if !errors.Is(err, snapshot.ErrCorrupt) {
+				t.Fatalf("sets flip: Sets error %v does not wrap ErrCorrupt", err)
+			}
+		}
+	}
+}
+
+// TestMappedNonzeroPadding: version-3 alignment padding must be zero; a
+// dirty pad byte (a misaligned or hand-edited file) fails at open.
+func TestMappedNonzeroPadding(t *testing.T) {
+	_, data := buildContainer(t, 21)
+	snap, err := snapshot.OpenMapped(data, SnapshotKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chl = 8 + 4 + 8
+	prevEnd := int64(chl)
+	patched := false
+	for _, s := range snap.Sections() {
+		hdrOff := s.Off - 20
+		if hdrOff > prevEnd {
+			corrupt := append([]byte(nil), data...)
+			corrupt[prevEnd] = 0xFF
+			if _, err := openMappedBytes(t, corrupt); !errors.Is(err, snapshot.ErrCorrupt) {
+				t.Fatalf("dirty pad byte at %d: error %v does not wrap ErrCorrupt", prevEnd, err)
+			}
+			patched = true
+		}
+		prevEnd = s.Off + s.Len
+	}
+	if !patched {
+		t.Fatal("container has no alignment padding to corrupt — section sizes all 8-aligned?")
+	}
+}
+
+// FuzzMappedDecode drives the lazy mapped decoder with attacker-controlled
+// bytes, with the eager decoder as a differential oracle: whatever bytes
+// both accept must answer queries identically, anything else must fail
+// with an error — never a panic, an unbounded allocation or an invalid
+// match.
+func FuzzMappedDecode(f *testing.F) {
+	for _, seed := range []uint64{1, 99} {
+		_, data := buildContainer(f, seed)
+		f.Add(data)
+		f.Add(data[:len(data)*2/3]) // truncation
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)-1] ^= 0x01 // sets payload flip
+		f.Add(flipped)
+	}
+	probes := [][]uint32{{1, 2, 3}, {5, 6}, {3, 4, 5, 6, 7}, {7}, nil}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := openMappedBytes(t, data)
+		if err != nil {
+			return
+		}
+		hot, hotErr := Decode(bytes.NewReader(data))
+		for _, q := range probes {
+			id, sim, ok, err := m.Query(q)
+			if err != nil {
+				continue // corruption surfaced at first touch — the contract
+			}
+			if ok && (id < 0 || id >= m.Len() || sim < m.Lambda()) {
+				t.Fatalf("mapped index returned invalid match (%d, %v)", id, sim)
+			}
+			if hotErr == nil {
+				hid, hsim, hok := hot.Query(q)
+				if id != hid || sim != hsim || ok != hok {
+					t.Fatalf("Query(%v): mapped (%d,%v,%v) != decoded (%d,%v,%v)",
+						q, id, sim, ok, hid, hsim, hok)
+				}
+			}
+			ms, err := m.AppendAll(nil, q)
+			if err != nil {
+				continue
+			}
+			for _, match := range ms {
+				if match.ID < 0 || match.ID >= m.Len() || match.Sim < m.Lambda() {
+					t.Fatalf("mapped index returned invalid match %+v", match)
+				}
+			}
+		}
+	})
+}

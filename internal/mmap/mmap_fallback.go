@@ -1,0 +1,30 @@
+//go:build !unix || nommap
+
+package mmap
+
+import "os"
+
+// Supported reports whether this build actually memory-maps files; this
+// fallback build reads files onto the heap instead.
+const Supported = false
+
+// File is one opened file's contents, heap-backed on this build.
+type File struct {
+	Data []byte
+}
+
+// Open reads path fully onto the heap. The cold tier still functions —
+// lazy decode still skips structure builds — but paging benefits vanish.
+func Open(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Data: data}, nil
+}
+
+// Close releases the buffer reference. Idempotent.
+func (f *File) Close() error {
+	f.Data = nil
+	return nil
+}

@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"fmt"
+	"hash/crc32"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/contain"
+	"repro/internal/cpindex"
+	"repro/internal/intset"
+	"repro/internal/mmap"
+	"repro/internal/snapshot"
+)
+
+// coldShard is the memory-tiered ring shard: the same cpshard container a
+// hot shard saves, but memory-mapped and decoded lazily instead of fully
+// materialized. Opening one costs the container headers, the meta section
+// and the id map — a few KB regardless of shard size — and the bulk sets
+// payload stays on untouched pages until a candidate reaches exact
+// verification (see cpindex.Mapped). Queries route through the same flat
+// traversal and the same verification kernels as the hot path, so a cold
+// shard's answers are byte-identical to the subIndex it was demoted from;
+// only latency differs (first-touch page faults, per-candidate decode).
+//
+// A cold shard retains its raw container bytes (aliasing the mapping), so
+// Save is a file copy, compaction decodes them like a fetched-back remote
+// shard, and promotion to hot is exactly a snapshot load. Corruption in
+// any lazily read region surfaces as an error wrapping snapshot.ErrCorrupt
+// at first touch — never a panic or a silently wrong answer.
+type coldShard struct {
+	// raw is the complete container (aliases file.Data); file pins the
+	// mapping for the GC — mapped memory is invisible to the collector, so
+	// holders of raw sub-slices must keep the coldShard reachable.
+	raw    []byte
+	file   *mmap.File
+	snap   *snapshot.Mapped
+	mapped *cpindex.Mapped
+	ids    []int // local id -> global id
+	total  int   // id high-water mark at open; bounds promotion re-validation
+	seed   uint64
+
+	// hits counts queries served since the last retier pass — the
+	// query-frequency gauge the auto-tier policy reads (and resets).
+	hits atomic.Uint64
+
+	// crcOnce defers the whole-container checksum (it would fault every
+	// page in) until something actually needs the shard's content identity.
+	crcOnce sync.Once
+	crcVal  uint32
+
+	// containMu guards the one-time containment materialization: the
+	// candidate structure plus the heap copy of the sets its verification
+	// reads. Cold containment therefore warms the shard up — documented
+	// cost of querying containment against the cold tier.
+	containMu   sync.Mutex
+	contain     *contain.Index
+	containSets [][]uint32
+}
+
+func (c *coldShard) size() int        { return len(c.ids) }
+func (c *coldShard) globalIDs() []int { return c.ids }
+
+// rawCRC checksums the container bytes (once), faulting the file in — the
+// identity a ship or save-time verification would need.
+func (c *coldShard) rawCRC() uint32 {
+	c.crcOnce.Do(func() { c.crcVal = crc32.Checksum(c.raw, castagnoli) })
+	runtime.KeepAlive(c.file)
+	return c.crcVal
+}
+
+func (c *coldShard) queryBest(q []uint32) (int, float64, bool, error) {
+	c.hits.Add(1)
+	local, sim, ok, err := c.mapped.Query(q)
+	if err != nil || !ok {
+		return -1, 0, false, err
+	}
+	return c.ids[local], sim, true, nil
+}
+
+func (c *coldShard) queryAll(q []uint32) ([]cpindex.Match, error) {
+	ms, _, err := c.queryAllStats(q)
+	return ms, err
+}
+
+// queryAllStats is queryAll with the candidate-pipeline counts exposed,
+// for the traced fan-out path.
+func (c *coldShard) queryAllStats(q []uint32) ([]cpindex.Match, cpindex.QueryStats, error) {
+	c.hits.Add(1)
+	ms, st, err := c.mapped.AppendAllWithStats(nil, q)
+	if err != nil {
+		return nil, st, err
+	}
+	for i := range ms {
+		ms[i].ID = c.ids[ms[i].ID]
+	}
+	return ms, st, nil
+}
+
+func (c *coldShard) queryBatch(qs [][]uint32) ([][]cpindex.Match, error) {
+	out := make([][]cpindex.Match, len(qs))
+	for i, q := range qs {
+		ms, err := c.queryAll(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ms
+	}
+	return out, nil
+}
+
+// containSide materializes the shard's containment structure on first
+// containment query: the sets are decoded onto the heap (verification
+// needs them all) and the persisted signature section — present in every
+// v2+ container — rebuilds the candidate structure without re-signing;
+// v1 containers fall back to a full build under opts.
+func (c *coldShard) containSide(opts contain.Options) (*contain.Index, [][]uint32, error) {
+	c.containMu.Lock()
+	defer c.containMu.Unlock()
+	if c.contain != nil {
+		return c.contain, c.containSets, nil
+	}
+	sets, err := c.mapped.Sets()
+	if err != nil {
+		return nil, nil, err
+	}
+	var ci *contain.Index
+	if c.snap.Lookup("contain") != nil {
+		raw, err := c.snap.Section("contain")
+		if err != nil {
+			return nil, nil, err
+		}
+		ci, err = decodeContainPayload(raw, sets)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		ci = contain.Build(sets, opts)
+	}
+	c.contain, c.containSets = ci, sets
+	runtime.KeepAlive(c.file)
+	return ci, sets, nil
+}
+
+func (c *coldShard) queryContain(q []uint32, t float64, opts contain.Options) ([]cpindex.Match, error) {
+	c.hits.Add(1)
+	ci, sets, err := c.containSide(opts)
+	if err != nil {
+		return nil, err
+	}
+	var ms []cpindex.Match
+	for _, lid := range ci.Query(q, t) {
+		if sim, ok := intset.ContainmentAtLeast(q, sets[lid], t); ok {
+			ms = append(ms, cpindex.Match{ID: c.ids[lid], Sim: sim})
+		}
+	}
+	return ms, nil
+}
+
+// openColdShard maps one cpshard container file and cross-checks it
+// against its manifest entry with exactly decodeSubIndex's guards — id
+// bounds, id/set count agreement, the build seed — while leaving the bulk
+// sets payload unread. The file may be unlinked after this returns (the
+// demotion spool does): the mapping keeps the bytes reachable.
+func openColdShard(path string, entry snapshot.ShardEntry, total int) (*coldShard, error) {
+	f, err := mmap.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	cold, err := openColdFromMapping(f, entry, total)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cold, nil
+}
+
+func openColdFromMapping(f *mmap.File, entry snapshot.ShardEntry, total int) (*coldShard, error) {
+	snap, err := snapshot.OpenMapped(f.Data, shardKind)
+	if err != nil {
+		return nil, err
+	}
+	m, err := cpindex.OpenMapped(snap, f)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := snap.Section("ids")
+	if err != nil {
+		return nil, err
+	}
+	c := snapshot.NewCursor("ids", raw)
+	n := c.Count(total)
+	ids := make([]int, n)
+	for i := range ids {
+		id := c.Uvarint()
+		if id >= uint64(total) {
+			c.Fail("global id %d out of [0,%d)", id, total)
+			break
+		}
+		ids[i] = int(id)
+	}
+	if err := c.Done(); err != nil {
+		return nil, err
+	}
+	if len(ids) != m.Len() {
+		return nil, fmt.Errorf("%w: shard has %d ids for %d sets",
+			snapshot.ErrCorrupt, len(ids), m.Len())
+	}
+	if m.Len() != entry.Sets {
+		return nil, fmt.Errorf("%w: shard holds %d sets, manifest says %d",
+			snapshot.ErrCorrupt, m.Len(), entry.Sets)
+	}
+	if got := m.Options().Seed; got != entry.Seed {
+		return nil, fmt.Errorf("%w: shard built with seed %d, manifest says %d (files shuffled?)",
+			snapshot.ErrCorrupt, got, entry.Seed)
+	}
+	return &coldShard{
+		raw:    snap.Bytes(),
+		file:   f,
+		snap:   snap,
+		mapped: m,
+		ids:    ids,
+		total:  total,
+		seed:   entry.Seed,
+	}, nil
+}

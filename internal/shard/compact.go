@@ -202,6 +202,16 @@ func (x *Index) materializeVictims(victims []shardBackend, tombs map[int]struct{
 		switch sh := v.(type) {
 		case *subIndex:
 			out = append(out, compactVictim{backend: v, sub: sh})
+		case *coldShard:
+			// A cold victim decodes from its retained container bytes —
+			// the same path a fetched-back remote shard takes. A decode
+			// failure (corrupt mapping) drops the victim, like a fetch
+			// failure; queries against it will surface the corruption.
+			sub, err := decodeShardBytes(sh.raw, snapshot.ShardEntry{Seed: sh.seed, Sets: len(sh.ids)}, sh.total)
+			if err != nil {
+				continue
+			}
+			out = append(out, compactVictim{backend: v, sub: sub})
 		case *remoteShard:
 			if sh.local != nil {
 				out = append(out, compactVictim{backend: v, sub: sh.local})

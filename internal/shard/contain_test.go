@@ -3,6 +3,7 @@ package shard
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -267,9 +268,10 @@ func TestQueryContainSaveLoadRoundTrip(t *testing.T) {
 
 // stripContainSection rewrites one cpshard container file as a version-1
 // legacy container: walk the section frames (8-byte name, u64 length,
-// u32 crc), truncate at the "contain" section, and patch the header's
-// version word down to 1 — byte surgery standing in for a file written
-// by a pre-containment build.
+// u32 crc — preceded by alignment padding in version-3 files), drop the
+// "contain" section, and re-emit the remaining frames unpadded under a
+// version-1 header — byte surgery standing in for a file written by a
+// pre-containment build.
 func stripContainSection(t *testing.T, path string) {
 	t.Helper()
 	raw, err := os.ReadFile(path)
@@ -277,24 +279,38 @@ func stripContainSection(t *testing.T, path string) {
 		t.Fatal(err)
 	}
 	const headerLen = 8 + 4 + 8 // magic + version + kind
+	version := binary.LittleEndian.Uint32(raw[8:12])
+	out := append([]byte(nil), raw[:headerLen]...)
+	binary.LittleEndian.PutUint32(out[8:12], 1)
 	off := headerLen
+	stripped := false
 	for off < len(raw) {
+		if version >= 3 {
+			// Version-3 containers zero-pad before each section header so
+			// payloads are 8-aligned; legacy frames are back-to-back.
+			off += (8 - (off+20)%8) % 8
+		}
 		if off+20 > len(raw) {
 			t.Fatalf("%s: truncated section header at %d", path, off)
 		}
 		name := raw[off : off+8]
 		length := binary.LittleEndian.Uint64(raw[off+8 : off+16])
+		if off+20+int(length) > len(raw) {
+			t.Fatalf("%s: truncated section payload at %d", path, off)
+		}
 		if strings.TrimRight(string(name), "\x00") == "contain" {
-			raw = raw[:off]
-			binary.LittleEndian.PutUint32(raw[8:12], 1)
-			if err := os.WriteFile(path, raw, 0o644); err != nil {
-				t.Fatal(err)
-			}
-			return
+			stripped = true
+		} else {
+			out = append(out, raw[off:off+20+int(length)]...)
 		}
 		off += 20 + int(length)
 	}
-	t.Fatalf("%s: no contain section found", path)
+	if !stripped {
+		t.Fatalf("%s: no contain section found", path)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestLoadLegacyV1RebuildsContainment: a version-1 snapshot (no contain
@@ -332,9 +348,10 @@ func TestLoadLegacyV1RebuildsContainment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	patched := strings.Replace(string(mraw), `"format_version": 2`, `"format_version": 1`, 1)
+	patched := strings.Replace(string(mraw),
+		fmt.Sprintf(`"format_version": %d`, snapshot.Version), `"format_version": 1`, 1)
 	if patched == string(mraw) {
-		t.Fatalf("manifest carries no format_version 2 marker:\n%s", mraw)
+		t.Fatalf("manifest carries no format_version %d marker:\n%s", snapshot.Version, mraw)
 	}
 	if err := os.WriteFile(mpath, []byte(patched), 0o644); err != nil {
 		t.Fatal(err)

@@ -46,6 +46,11 @@ type indexMetrics struct {
 	placementGCErrors   *metrics.Counter
 	placementRebalanced *metrics.Counter
 
+	// Storage tiering: shard moves between the hot (decoded) and cold
+	// (mapped) tiers, by Configure, Promote/DemoteAll or auto-retier passes.
+	tierPromotions *metrics.Counter
+	tierDemotions  *metrics.Counter
+
 	// cand is the candidate-pipeline counter set every cpindex shard of
 	// this index flushes into (see cpindex.SetCounters).
 	cand cpindex.QueryCounters
@@ -129,6 +134,9 @@ func newIndexMetrics(x *Index) *indexMetrics {
 		placementDeleted:    reg.Counter("cps_placement_gc_deleted_total", "superseded hosted shards evicted from peers"),
 		placementGCErrors:   reg.Counter("cps_placement_gc_errors_total", "hosted-shard evictions that failed and will be retried"),
 		placementRebalanced: reg.Counter("cps_placement_rebalanced_total", "shards whose replicas moved away from unhealthy peers"),
+
+		tierPromotions: reg.Counter("cps_tier_promotions_total", "cold shards decoded to the hot tier"),
+		tierDemotions:  reg.Counter("cps_tier_demotions_total", "hot shards demoted to the mapped cold tier"),
 	}
 
 	// Candidate pipeline: generated by tree traversal, exact-verified, and
@@ -155,6 +163,28 @@ func newIndexMetrics(x *Index) *indexMetrics {
 		n := 0
 		for _, sh := range x.shards {
 			if _, ok := sh.(*remoteShard); ok {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("cps_tier_hot_shards", "local ring shards fully decoded (hot tier)", func() float64 {
+		x.mu.RLock()
+		defer x.mu.RUnlock()
+		n := 0
+		for _, sh := range x.shards {
+			if _, ok := sh.(*subIndex); ok {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("cps_tier_cold_shards", "local ring shards memory-mapped (cold tier)", func() float64 {
+		x.mu.RLock()
+		defer x.mu.RUnlock()
+		n := 0
+		for _, sh := range x.shards {
+			if _, ok := sh.(*coldShard); ok {
 				n++
 			}
 		}

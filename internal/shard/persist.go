@@ -115,6 +115,7 @@ func (x *Index) Save(dir string) error {
 			AutoCompact:   rt.AutoCompact,
 			PointerLayout: rt.PointerLayout,
 			CacheSize:     rt.CacheSize,
+			Tiering:       string(rt.Tiering),
 		}
 	}
 	x.mu.RUnlock()
@@ -137,6 +138,11 @@ func (x *Index) Save(dir string) error {
 		case *subIndex:
 			m.Shards[i] = snapshot.ShardEntry{File: file, Seed: sh.ix.Options().Seed, Sets: sh.ix.Len()}
 			errs[i] = saveShard(path, sh, copts)
+		case *coldShard:
+			// A cold shard already holds its canonical container bytes —
+			// saving it is a verified file copy, no re-encode.
+			m.Shards[i] = snapshot.ShardEntry{File: file, Seed: sh.seed, Sets: len(sh.ids)}
+			errs[i] = snapshot.WriteRawFile(path, sh.raw)
 		case *remoteShard:
 			m.Shards[i] = snapshot.ShardEntry{File: file, Seed: sh.seed, Sets: len(sh.ids)}
 			if sh.local != nil {
@@ -222,6 +228,13 @@ func decodeContainSection(r *snapshot.Reader, ix *cpindex.Index) (*contain.Index
 	if err != nil {
 		return nil, err
 	}
+	return decodeContainPayload(raw, ix.Sets())
+}
+
+// decodeContainPayload decodes one containment section body over the given
+// sets. Split from decodeContainSection so cold shards — which read the
+// section from the mapping, not a sequential Reader — share every guard.
+func decodeContainPayload(raw []byte, sets [][]uint32) (*contain.Index, error) {
 	c := snapshot.NewCursor("contain", raw)
 	t := c.U32()
 	seed := c.U64()
@@ -229,8 +242,8 @@ func decodeContainSection(r *snapshot.Reader, ix *cpindex.Index) (*contain.Index
 		c.Fail("implausible signature length %d", t)
 	}
 	n := c.Uvarint()
-	if uint64(ix.Len()) != n {
-		c.Fail("containment side covers %d sets, shard holds %d", n, ix.Len())
+	if uint64(len(sets)) != n {
+		c.Fail("containment side covers %d sets, shard holds %d", n, len(sets))
 	}
 	if err := c.Err(); err != nil {
 		return nil, err
@@ -247,7 +260,7 @@ func decodeContainSection(r *snapshot.Reader, ix *cpindex.Index) (*contain.Index
 	if err := c.Done(); err != nil {
 		return nil, err
 	}
-	ci, err := contain.FromSignatures(ix.Sets(), sigs, contain.Options{T: int(t), Seed: seed})
+	ci, err := contain.FromSignatures(sets, sigs, contain.Options{T: int(t), Seed: seed})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
 	}
@@ -280,17 +293,53 @@ func pruneUnreferenced(dir string, m *snapshot.Manifest) error {
 	return nil
 }
 
-// Load reopens an index saved by Save. Shard files load as parallel
-// tasks on the execution layer with the given worker count (0 =
-// sequential, negative = GOMAXPROCS), which also becomes the loaded
-// index's Workers option for future seals and batch queries; everything
-// else — options, counters, side shard, tombstones — comes from the
-// manifest. A corrupt or truncated snapshot returns a descriptive error
-// wrapping snapshot.ErrCorrupt (or ErrVersion), never a panic.
+// LoadOptions controls how a snapshot directory reopens.
+type LoadOptions struct {
+	// Workers is the shard-load parallelism (0 = sequential, negative =
+	// GOMAXPROCS); it also becomes the loaded index's Workers option.
+	Workers int
+	// Tiering picks the storage tier shards load into. Empty defers to the
+	// tier the manifest's runtime state recorded (hot when absent): hot
+	// fully decodes, cold memory-maps with lazy decode, auto maps shard
+	// files of at least AutoColdBytes and decodes smaller ones.
+	Tiering Tier
+	// AutoColdBytes is TierAuto's size threshold; 0 means
+	// DefaultAutoColdBytes.
+	AutoColdBytes int64
+}
+
+// Load reopens an index saved by Save with the default (hot, or
+// manifest-recorded) storage tier. Shard files load as parallel tasks on
+// the execution layer with the given worker count (0 = sequential,
+// negative = GOMAXPROCS), which also becomes the loaded index's Workers
+// option for future seals and batch queries; everything else — options,
+// counters, side shard, tombstones — comes from the manifest. A corrupt
+// or truncated snapshot returns a descriptive error wrapping
+// snapshot.ErrCorrupt (or ErrVersion), never a panic.
 func Load(dir string, workers int) (*Index, error) {
+	return LoadWithOptions(dir, LoadOptions{Workers: workers})
+}
+
+// LoadWithOptions is Load with the storage tier under caller control.
+func LoadWithOptions(dir string, lo LoadOptions) (*Index, error) {
+	workers := lo.Workers
 	m, err := snapshot.ReadManifest(dir)
 	if err != nil {
 		return nil, err
+	}
+	// Resolve the effective tier before touching shard files: an explicit
+	// option wins, then the tier the snapshot was saved under, then hot.
+	tierName := string(lo.Tiering)
+	if tierName == "" && m.Runtime != nil {
+		tierName = m.Runtime.Tiering
+	}
+	tier, err := ParseTier(tierName)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	autoCold := lo.AutoColdBytes
+	if autoCold <= 0 {
+		autoCold = DefaultAutoColdBytes
 	}
 	var part Partition
 	switch m.Partition {
@@ -368,17 +417,24 @@ func Load(dir string, workers int) (*Index, error) {
 	x.shards = make([]shardBackend, len(m.Shards))
 	errs := make([]error, len(m.Shards))
 	exec.RunItems(exec.EffectiveWorkers(workers), len(m.Shards), func(i int) {
-		x.shards[i], errs[i] = loadShard(filepath.Join(dir, m.Shards[i].File), m.Shards[i], m.Total)
+		path := filepath.Join(dir, m.Shards[i].File)
+		x.shards[i], errs[i] = loadTieredShard(path, m.Shards[i], m.Total, tier, autoCold)
 	})
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			// Name the failing shard file: an unreadable or corrupt shard is
+			// a per-shard condition, not manifest corruption, and the
+			// operator needs to know which file to restore.
+			return nil, fmt.Errorf("shard %q: %w", m.Shards[i].File, err)
 		}
 	}
 	x.metrics = newIndexMetrics(x)
 	for _, sh := range x.shards {
-		if sub, ok := sh.(*subIndex); ok {
-			x.attachCounters(sub.ix)
+		switch b := sh.(type) {
+		case *subIndex:
+			x.attachCounters(b.ix)
+		case *coldShard:
+			b.mapped.SetCounters(&x.metrics.cand)
 		}
 	}
 	// One pass over every physically present id checks the remaining
@@ -425,17 +481,42 @@ func Load(dir string, workers int) (*Index, error) {
 	// Re-apply the runtime configuration the index was saved with, so a
 	// restart restores tuning (layout, cache, auto-compaction) and not just
 	// data. Absent on pre-runtime manifests — defaults then.
-	if m.Runtime != nil {
-		ro := RuntimeOptions{
-			AutoCompact:   m.Runtime.AutoCompact,
-			PointerLayout: m.Runtime.PointerLayout,
-			CacheSize:     m.Runtime.CacheSize,
+	if m.Runtime != nil || tierName != "" {
+		ro := RuntimeOptions{}
+		if m.Runtime != nil {
+			ro.AutoCompact = m.Runtime.AutoCompact
+			ro.PointerLayout = m.Runtime.PointerLayout
+			ro.CacheSize = m.Runtime.CacheSize
 		}
+		// The effective tier (explicit option over manifest) wins, so an
+		// explicit LoadOptions.Tiering is not undone by the saved state;
+		// shards already loaded in the target tier make this re-application
+		// a no-op.
+		ro.Tiering = Tier(tierName)
 		if err := x.Configure(ro); err != nil {
 			return nil, fmt.Errorf("%s: %w: saved runtime options: %v", dir, snapshot.ErrCorrupt, err)
 		}
 	}
 	return x, nil
+}
+
+// loadTieredShard opens one shard file in the tier the policy picks for
+// it: hot fully decodes, cold memory-maps with lazy decode, and auto
+// stats the file — containers of at least autoCold bytes map, smaller
+// ones decode.
+func loadTieredShard(path string, entry snapshot.ShardEntry, total int, tier Tier, autoCold int64) (shardBackend, error) {
+	cold := tier == TierCold
+	if tier == TierAuto {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		cold = fi.Size() >= autoCold
+	}
+	if cold {
+		return openColdShard(path, entry, total)
+	}
+	return loadShard(path, entry, total)
 }
 
 // loadShard reads one per-shard container and cross-checks it against

@@ -483,6 +483,9 @@ func (x *Index) Distribute(peers []string, o *DistributeOptions) error {
 	remotes := make([]*remoteShard, len(shards))
 	errs := make([]error, len(shards))
 	exec.RunItems(exec.EffectiveWorkers(x.opt.Workers), len(shards), func(i int) {
+		// Only hot shards ship: tiering is a local storage decision, and a
+		// cold (mapped) shard stays local — promote it first if it should
+		// move to a peer. Already-remote shards are likewise left in place.
 		sub, ok := shards[i].(*subIndex)
 		if !ok {
 			return

@@ -226,6 +226,11 @@ type subIndex struct {
 	ix  *cpindex.Index
 	ids []int // local id -> global id
 
+	// hits counts queries served since the last retier pass — the
+	// query-frequency gauge the auto-tier demotion policy reads and resets
+	// (see Retier). One atomic add per query; allocation-free.
+	hits atomic.Uint64
+
 	// contain is the shard's containment side (LSH Ensemble candidate
 	// structure over the same sets), built lazily on the first containment
 	// query or encode — similarity-only workloads never pay for it — and
@@ -256,6 +261,7 @@ func (s *subIndex) containIndex(opts contain.Options) *contain.Index {
 }
 
 func (s *subIndex) queryContain(q []uint32, t float64, opts contain.Options) ([]cpindex.Match, error) {
+	s.hits.Add(1)
 	c := s.containIndex(opts)
 	sets := s.ix.Sets()
 	var ms []cpindex.Match
@@ -279,6 +285,7 @@ func (s *subIndex) queryContainBuilt(q []uint32, t float64) ([]cpindex.Match, er
 }
 
 func (s *subIndex) queryBest(q []uint32) (int, float64, bool, error) {
+	s.hits.Add(1)
 	local, sim, ok := s.ix.Query(q)
 	if !ok {
 		return -1, 0, false, nil
@@ -287,6 +294,7 @@ func (s *subIndex) queryBest(q []uint32) (int, float64, bool, error) {
 }
 
 func (s *subIndex) queryAll(q []uint32) ([]cpindex.Match, error) {
+	s.hits.Add(1)
 	ms := s.ix.QueryAll(q)
 	for i := range ms {
 		ms[i].ID = s.ids[ms[i].ID]
@@ -324,6 +332,10 @@ type Index struct {
 	// pass. See compactAsync.
 	autoCompacting atomic.Bool
 	compactPending atomic.Bool
+	// tierIdle counts consecutive zero-hit retier passes per hot shard —
+	// the auto-tier demotion gauge. Touched only under compactMu (retier
+	// passes are serialized with ring replacement).
+	tierIdle map[*subIndex]int
 
 	mu     sync.RWMutex
 	shards []shardBackend
@@ -499,6 +511,11 @@ type RuntimeOptions struct {
 	// CacheSize installs the hot-query result cache with room for that
 	// many entries; 0 removes it. Negative values are rejected.
 	CacheSize int
+	// Tiering selects the ring's storage tier: TierHot (or "", the
+	// default) keeps every shard fully decoded, TierCold memory-maps every
+	// shard with lazy decode, TierAuto lets the retier policy move shards
+	// on query frequency. Answers are byte-identical across tiers.
+	Tiering Tier
 }
 
 // Configure applies the runtime options and remembers them as the
@@ -511,6 +528,10 @@ func (x *Index) Configure(ro RuntimeOptions) error {
 	if ro.CacheSize < 0 {
 		return fmt.Errorf("shard: cache size %d must be >= 0", ro.CacheSize)
 	}
+	tier, err := ParseTier(string(ro.Tiering))
+	if err != nil {
+		return err
+	}
 	l := cpindex.LayoutFlat
 	if ro.PointerLayout {
 		l = cpindex.LayoutPointer
@@ -518,7 +539,11 @@ func (x *Index) Configure(ro RuntimeOptions) error {
 	x.SetLayout(l)
 	x.SetAutoCompact(ro.AutoCompact)
 	x.EnableCache(ro.CacheSize)
-	return nil
+	// Remember the tier exactly as configured ("" stays "", so a runtime
+	// state that never mentioned tiering round-trips unchanged), then move
+	// the ring to it. Idempotent when the ring is already there.
+	x.setTiering(ro.Tiering)
+	return x.applyTiering(tier)
 }
 
 // Runtime returns the runtime options currently applied.
@@ -964,18 +989,26 @@ func (x *Index) queryAllShardwise(shards []shardBackend, sealing []*sideBuffer, 
 		if err := errs[i]; err != nil {
 			return nil, err
 		}
-		sub, isLocal := sh.(*subIndex)
-		if !isLocal {
-			continue
+		switch sub := sh.(type) {
+		case *subIndex:
+			start := time.Now()
+			sub.hits.Add(1)
+			var ms []cpindex.Match
+			ms, stats[i] = sub.ix.AppendAllWithStats(nil, q)
+			for j := range ms {
+				ms[j].ID = sub.ids[ms[j].ID]
+			}
+			extra[i] = ms
+			nss[i] = time.Since(start).Nanoseconds()
+		case *coldShard:
+			start := time.Now()
+			ms, st, err := sub.queryAllStats(q)
+			if err != nil {
+				return nil, err
+			}
+			extra[i], stats[i] = ms, st
+			nss[i] = time.Since(start).Nanoseconds()
 		}
-		start := time.Now()
-		var ms []cpindex.Match
-		ms, stats[i] = sub.ix.AppendAllWithStats(nil, q)
-		for j := range ms {
-			ms[j].ID = sub.ids[ms[j].ID]
-		}
-		extra[i] = ms
-		nss[i] = time.Since(start).Nanoseconds()
 	}
 	for i, sh := range shards {
 		name, kind := shardTraceName(i, sh)
@@ -1517,6 +1550,10 @@ type Stats struct {
 	// replicated via Distribute). Nodes and Leaves cover local structures
 	// only — a remote shard's tree lives on its peer.
 	RemoteShards int `json:"remote_shards"`
+	// HotShards and ColdShards split the local ring by storage tier:
+	// fully decoded versus memory-mapped with lazy decode.
+	HotShards  int `json:"hot_shards"`
+	ColdShards int `json:"cold_shards"`
 	// PlacementEpoch counts placement passes (Distribute calls, manual or
 	// controller-driven); PlacementKeys is the number of distinct shard
 	// keys this coordinator currently believes peers host for it — after a
@@ -1568,10 +1605,17 @@ func (x *Index) Stats() Stats {
 	}
 	for _, sh := range x.shards {
 		st.ShardSizes = append(st.ShardSizes, sh.size())
-		if sub, ok := sh.(*subIndex); ok {
-			st.Nodes += sub.ix.Nodes
-			st.Leaves += sub.ix.Leaves
-		} else {
+		switch b := sh.(type) {
+		case *subIndex:
+			st.HotShards++
+			st.Nodes += b.ix.Nodes
+			st.Leaves += b.ix.Leaves
+		case *coldShard:
+			st.ColdShards++
+			nodes, leaves := b.mapped.Structure()
+			st.Nodes += nodes
+			st.Leaves += leaves
+		default:
 			st.RemoteShards++
 		}
 	}

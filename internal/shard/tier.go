@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/snapshot"
+)
+
+// Storage tiering: every ring shard is either hot — the fully decoded
+// subIndex every query path always used — or cold: the same container
+// bytes memory-mapped with lazy decode (coldShard). The two answer every
+// query byte-identically (the model harness runs its whole grid across
+// tiers); they trade memory for latency. Tier selection happens at load
+// time (LoadOptions.Tiering, the manifest's saved runtime state, or the
+// auto size policy) and at runtime: Configure moves the whole ring,
+// Promote/Demote move one shard, and under TierAuto the placement
+// controller retiers on query frequency — shards whose hit gauge stays at
+// zero across consecutive passes demote, cold shards that keep absorbing
+// hits promote. Transitions swap ring pointers under the compaction
+// invariant (compactMu) with a generation bump and no version bump:
+// moving where a shard's bytes live never changes what it answers.
+
+// Tier names a shard storage tier policy.
+type Tier string
+
+const (
+	// TierHot fully decodes every shard — today's default path.
+	TierHot Tier = "hot"
+	// TierCold memory-maps every shard with lazy decode.
+	TierCold Tier = "cold"
+	// TierAuto picks per shard: shards at or above the auto threshold load
+	// cold, and the placement controller retiers on query frequency.
+	TierAuto Tier = "auto"
+)
+
+// ParseTier validates a tier name from a flag or manifest. The empty
+// string is TierHot: tiering predates nothing — unset always meant hot.
+func ParseTier(s string) (Tier, error) {
+	switch Tier(s) {
+	case "", TierHot:
+		return TierHot, nil
+	case TierCold:
+		return TierCold, nil
+	case TierAuto:
+		return TierAuto, nil
+	}
+	return "", fmt.Errorf("shard: unknown storage tier %q (want hot, cold or auto)", s)
+}
+
+// DefaultAutoColdBytes is TierAuto's load-time size threshold: shard
+// files at least this large open cold, smaller ones decode hot. Small
+// shards dominate query fan-out cost but not memory, so they stay hot.
+const DefaultAutoColdBytes = 1 << 20
+
+// Auto-retier policy: a cold shard that served at least tierPromoteHits
+// queries since the previous pass promotes; a hot shard whose hit gauge
+// read zero for tierDemoteIdlePasses consecutive passes demotes.
+const (
+	tierPromoteHits      = 2
+	tierDemoteIdlePasses = 2
+)
+
+// applyTiering moves the whole ring to the named tier: hot promotes every
+// cold shard, cold demotes every hot one, auto leaves placement to the
+// retier passes. Idempotent — shards already in the target tier are
+// untouched — so re-applying a loaded configuration is free.
+func (x *Index) applyTiering(t Tier) error {
+	switch t {
+	case TierCold:
+		_, err := x.DemoteAll()
+		return err
+	case TierAuto:
+		return nil
+	default:
+		_, err := x.PromoteAll()
+		return err
+	}
+}
+
+// setTiering records the configured tier (under mu, like the other
+// runtime fields).
+func (x *Index) setTiering(t Tier) {
+	x.mu.Lock()
+	x.runtime.Tiering = t
+	x.mu.Unlock()
+}
+
+// PromoteAll decodes every cold ring shard to hot and returns how many
+// moved. Safe on a serving index: the rebuilds run off-lock and the swap
+// is atomic under a generation bump.
+func (x *Index) PromoteAll() (int, error) {
+	return x.retierRing(func(sh shardBackend) (shardBackend, error) {
+		if cold, ok := sh.(*coldShard); ok {
+			return x.hotFromCold(cold)
+		}
+		return nil, nil
+	})
+}
+
+// DemoteAll re-encodes every hot ring shard into a mapped cold shard and
+// returns how many moved. Like PromoteAll, serving-safe.
+func (x *Index) DemoteAll() (int, error) {
+	return x.retierRing(func(sh shardBackend) (shardBackend, error) {
+		if sub, ok := sh.(*subIndex); ok {
+			return x.coldFromSub(sub)
+		}
+		return nil, nil
+	})
+}
+
+// retierRing applies move to a snapshot of the ring (nil result = leave
+// the shard alone) and swaps the replacements in atomically. It holds
+// compactMu across the pass — ring replacement's serialization point —
+// so victim pointer identity stays valid against concurrent compactions
+// and distributions.
+func (x *Index) retierRing(move func(shardBackend) (shardBackend, error)) (int, error) {
+	x.compactMu.Lock()
+	defer x.compactMu.Unlock()
+	x.mu.RLock()
+	shards := append([]shardBackend(nil), x.shards...)
+	x.mu.RUnlock()
+
+	swap := make(map[shardBackend]shardBackend)
+	for _, sh := range shards {
+		next, err := move(sh)
+		if err != nil {
+			return 0, err
+		}
+		if next != nil {
+			swap[sh] = next
+		}
+	}
+	if len(swap) == 0 {
+		return 0, nil
+	}
+	x.mu.Lock()
+	ring := make([]shardBackend, len(x.shards))
+	for i, sh := range x.shards {
+		if next, ok := swap[sh]; ok {
+			ring[i] = next
+		} else {
+			ring[i] = sh
+		}
+	}
+	x.shards = ring
+	// A tier move changes where bytes live, not what queries answer, so
+	// the generation (ring identity) bumps and the version (result cache
+	// key) deliberately does not.
+	x.generation++
+	x.mu.Unlock()
+	x.countTierMoves(swap)
+	return len(swap), nil
+}
+
+// countTierMoves books the promotion/demotion counters for one swap set.
+func (x *Index) countTierMoves(swap map[shardBackend]shardBackend) {
+	m := x.metrics
+	if m == nil {
+		return
+	}
+	for old := range swap {
+		if _, wasCold := old.(*coldShard); wasCold {
+			m.tierPromotions.Inc()
+		} else {
+			m.tierDemotions.Inc()
+		}
+	}
+}
+
+// hotFromCold decodes a cold shard's retained container bytes into a full
+// subIndex — exactly a snapshot load, sharing every decode guard.
+func (x *Index) hotFromCold(c *coldShard) (*subIndex, error) {
+	sub, err := decodeShardBytes(c.raw, snapshot.ShardEntry{Seed: c.seed, Sets: len(c.ids)}, c.total)
+	if err != nil {
+		return nil, fmt.Errorf("promoting cold shard: %w", err)
+	}
+	x.attachCounters(sub.ix)
+	return sub, nil
+}
+
+// coldFromSub re-encodes one hot shard as its canonical container bytes
+// (the same bytes Save would write, so the shard's content identity — and
+// any future ship key — is unchanged), spools them through a temp file,
+// maps it and unlinks it. The unlinked file stays readable through the
+// mapping; nothing is left on disk to clean up.
+func (x *Index) coldFromSub(sub *subIndex) (*coldShard, error) {
+	raw, err := encodeShardBytes(sub, x.containOptions())
+	if err != nil {
+		return nil, fmt.Errorf("demoting shard: %w", err)
+	}
+	x.mu.RLock()
+	total := x.total
+	x.mu.RUnlock()
+	entry := snapshot.ShardEntry{Seed: sub.ix.Options().Seed, Sets: sub.ix.Len()}
+	cold, err := coldFromBytes(raw, entry, total)
+	if err != nil {
+		return nil, fmt.Errorf("demoting shard: %w", err)
+	}
+	if x.metrics != nil {
+		cold.mapped.SetCounters(&x.metrics.cand)
+	}
+	return cold, nil
+}
+
+// coldFromBytes spools container bytes to an unlinked temp file and opens
+// them as a cold shard.
+func coldFromBytes(raw []byte, entry snapshot.ShardEntry, total int) (*coldShard, error) {
+	f, err := os.CreateTemp("", "cpshard-cold-*.cps")
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	// The spool file is removed on every path below; the mapping (or the
+	// fallback build's heap copy) carries the bytes from here.
+	defer os.Remove(path)
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return openColdShard(path, entry, total)
+}
+
+// Retier runs one auto-tier pass and reports how many shards moved in
+// each direction. A no-op unless the configured tiering is TierAuto. The
+// placement controller calls it on its reconciliation cadence; tests (and
+// operators) can drive it directly.
+func (x *Index) Retier() (promoted, demoted int, err error) {
+	x.mu.RLock()
+	tier := x.runtime.Tiering
+	x.mu.RUnlock()
+	if tier != TierAuto {
+		return 0, 0, nil
+	}
+	x.compactMu.Lock()
+	defer x.compactMu.Unlock()
+	x.mu.RLock()
+	shards := append([]shardBackend(nil), x.shards...)
+	x.mu.RUnlock()
+
+	if x.tierIdle == nil {
+		x.tierIdle = make(map[*subIndex]int)
+	}
+	live := make(map[*subIndex]bool)
+	swap := make(map[shardBackend]shardBackend)
+	for _, sh := range shards {
+		switch b := sh.(type) {
+		case *coldShard:
+			if b.hits.Swap(0) >= tierPromoteHits {
+				sub, err := x.hotFromCold(b)
+				if err != nil {
+					return 0, 0, err
+				}
+				swap[sh] = sub
+				promoted++
+			}
+		case *subIndex:
+			live[b] = true
+			if b.hits.Swap(0) == 0 {
+				x.tierIdle[b]++
+				if x.tierIdle[b] >= tierDemoteIdlePasses {
+					cold, err := x.coldFromSub(b)
+					if err != nil {
+						return 0, 0, err
+					}
+					swap[sh] = cold
+					demoted++
+					delete(x.tierIdle, b)
+					delete(live, b)
+				}
+			} else {
+				delete(x.tierIdle, b)
+			}
+		}
+	}
+	// Drop idle bookkeeping for shards that left the ring (compacted,
+	// shipped) so the map is bounded by the live hot shard count.
+	for sub := range x.tierIdle {
+		if !live[sub] {
+			delete(x.tierIdle, sub)
+		}
+	}
+	if len(swap) == 0 {
+		return 0, 0, nil
+	}
+	x.mu.Lock()
+	ring := make([]shardBackend, len(x.shards))
+	for i, sh := range x.shards {
+		if next, ok := swap[sh]; ok {
+			ring[i] = next
+		} else {
+			ring[i] = sh
+		}
+	}
+	x.shards = ring
+	x.generation++
+	x.mu.Unlock()
+	x.countTierMoves(swap)
+	return promoted, demoted, nil
+}

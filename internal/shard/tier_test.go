@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// saveWorkload builds, seals and saves a small multi-shard index and
+// returns the original plus its directory and probe queries.
+func saveWorkload(t *testing.T) (*Index, string, [][]uint32) {
+	t.Helper()
+	sets, _ := workload(600, 0.8, 501)
+	x := Build(sets, 0.5, &Options{Shards: 3, Seed: 11, MergeThreshold: 100, Workers: 2})
+	extra, _ := workload(50, 0.8, 503)
+	x.Add(extra)
+	x.Flush()
+	dir := t.TempDir()
+	if err := x.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	queries := append(append([][]uint32{}, sets[:80]...), extra[:40]...)
+	return x, dir, queries
+}
+
+// assertSameAnswers pins the tentpole contract: y answers every probe
+// byte-identically to x, best-of and all-matches alike.
+func assertSameAnswers(t *testing.T, x, y *Index, queries [][]uint32) {
+	t.Helper()
+	for i, q := range queries {
+		id1, sim1, ok1 := mustQuery(t, x, q)
+		id2, sim2, ok2 := mustQuery(t, y, q)
+		if id1 != id2 || sim1 != sim2 || ok1 != ok2 {
+			t.Fatalf("query %d: best-of diverges: (%d,%v,%v) vs (%d,%v,%v)",
+				i, id1, sim1, ok1, id2, sim2, ok2)
+		}
+		if !equalMatches(t, mustQueryAll(t, x, q), mustQueryAll(t, y, q)) {
+			t.Fatalf("query %d: all-matches diverge across tiers", i)
+		}
+	}
+}
+
+// TestColdTierRoundTrip: a cold-loaded index answers byte-identically to
+// the index it was saved from, reports its tier in Stats, and can be
+// saved again (raw file copy) and reloaded hot without losing anything.
+func TestColdTierRoundTrip(t *testing.T) {
+	x, dir, queries := saveWorkload(t)
+
+	cold, err := LoadWithOptions(dir, LoadOptions{Workers: 2, Tiering: TierCold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.ColdShards == 0 || st.HotShards != 0 {
+		t.Fatalf("cold load produced %d cold / %d hot shards", st.ColdShards, st.HotShards)
+	}
+	assertSameAnswers(t, x, cold, queries)
+
+	// Saving a cold index must not decode it: the shard files are copied
+	// raw, and a hot reload of the copy still matches. The cold load
+	// persisted its tier in the manifest, so hot must be explicit here.
+	dir2 := t.TempDir()
+	if err := cold.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := LoadWithOptions(dir2, LoadOptions{Workers: 2, Tiering: TierHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := hot.Stats(); st.ColdShards != 0 {
+		t.Fatalf("hot reload produced %d cold shards", st.ColdShards)
+	}
+	assertSameAnswers(t, x, hot, queries)
+}
+
+// TestPromoteDemoteAll: explicit tier moves swap every shard, keep
+// answers identical, and bump the tier-move counters.
+func TestPromoteDemoteAll(t *testing.T) {
+	x, dir, queries := saveWorkload(t)
+	y, err := LoadWithOptions(dir, LoadOptions{Workers: 2, Tiering: TierCold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := y.Stats().ColdShards
+
+	promoted, err := y.PromoteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted != total {
+		t.Fatalf("PromoteAll moved %d shards, want %d", promoted, total)
+	}
+	if st := y.Stats(); st.ColdShards != 0 || st.HotShards != total {
+		t.Fatalf("after PromoteAll: %d cold / %d hot, want 0 / %d", st.ColdShards, st.HotShards, total)
+	}
+	assertSameAnswers(t, x, y, queries)
+
+	demoted, err := y.DemoteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demoted != total {
+		t.Fatalf("DemoteAll moved %d shards, want %d", demoted, total)
+	}
+	if st := y.Stats(); st.HotShards != 0 || st.ColdShards != total {
+		t.Fatalf("after DemoteAll: %d cold / %d hot, want %d / 0", st.ColdShards, st.HotShards, total)
+	}
+	assertSameAnswers(t, x, y, queries)
+}
+
+// TestAutoRetier: under TierAuto a cold shard that keeps answering
+// queries is promoted by Retier, and a hot shard that sits idle is
+// demoted — with answers identical throughout.
+func TestAutoRetier(t *testing.T) {
+	x, dir, queries := saveWorkload(t)
+	// AutoColdBytes 1: every sealed shard starts cold.
+	y, err := LoadWithOptions(dir, LoadOptions{Workers: 2, Tiering: TierAuto, AutoColdBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := y.Stats().ColdShards
+	if cold == 0 {
+		t.Fatal("auto load with AutoColdBytes=1 left no shard cold")
+	}
+
+	// Drive traffic into every shard, then retier: the hit counters are
+	// past tierPromoteHits, so every cold shard comes back hot.
+	for i := 0; i < 2*tierPromoteHits; i++ {
+		assertSameAnswers(t, x, y, queries[:4])
+	}
+	promoted, demoted, err := y.Retier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted != cold || demoted != 0 {
+		t.Fatalf("Retier after traffic moved %d up / %d down, want %d / 0", promoted, demoted, cold)
+	}
+	assertSameAnswers(t, x, y, queries)
+
+	// Now leave everything idle for the demotion window: one extra pass
+	// drains the hit counters the equivalence probes just charged, then
+	// tierDemoteIdlePasses zero-hit passes trip the demotion.
+	var down int
+	for i := 0; i < tierDemoteIdlePasses+1; i++ {
+		_, d, err := y.Retier()
+		if err != nil {
+			t.Fatal(err)
+		}
+		down += d
+	}
+	if down != promoted {
+		t.Fatalf("idle Retier demoted %d shards, want %d", down, promoted)
+	}
+	assertSameAnswers(t, x, y, queries)
+}
+
+// TestLoadShardErrorNamesFile is the regression test for the latent Load
+// bug where any unreadable shard file was reported as manifest
+// corruption: the error must name the per-shard file and wrap the
+// underlying cause.
+func TestLoadShardErrorNamesFile(t *testing.T) {
+	x, dir, _ := saveWorkload(t)
+	_ = x
+
+	var shardFile string
+	m, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) == 0 {
+		t.Fatal("saved index has no sealed shards")
+	}
+	shardFile = m.Shards[0].File
+
+	// A dangling symlink fails at open with the real cause even when the
+	// test runs as root (unlike permission bits).
+	path := filepath.Join(dir, shardFile)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink("does-not-exist", path); err != nil {
+		t.Fatal(err)
+	}
+	for _, tier := range []Tier{TierHot, TierCold} {
+		_, err = LoadWithOptions(dir, LoadOptions{Tiering: tier})
+		if err == nil {
+			t.Fatalf("%s load of an unreadable shard succeeded", tier)
+		}
+		if !strings.Contains(err.Error(), shardFile) {
+			t.Fatalf("%s load error %q does not name shard file %q", tier, err, shardFile)
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("%s load error %q does not wrap the underlying open error", tier, err)
+		}
+	}
+}
+
+// TestLoadColdCorruptShard: a truncated shard file must fail a cold load
+// with ErrCorrupt and the shard file's name — never a panic from the
+// mapped decoder.
+func TestLoadColdCorruptShard(t *testing.T) {
+	_, dir, _ := saveWorkload(t)
+	m, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, m.Shards[0].File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadWithOptions(dir, LoadOptions{Tiering: TierCold})
+	if err == nil {
+		t.Fatal("cold load of a truncated shard succeeded")
+	}
+	if !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("cold load error %q does not wrap ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), m.Shards[0].File) {
+		t.Fatalf("cold load error %q does not name shard file %q", err, m.Shards[0].File)
+	}
+}
+
+// TestTieringPersistsInManifest: Configure(Tiering) is saved with the
+// index and re-applied on a plain Load, and an explicit LoadOptions tier
+// overrides the manifest.
+func TestTieringPersistsInManifest(t *testing.T) {
+	x, _, queries := saveWorkload(t)
+	if err := x.Configure(RuntimeOptions{Tiering: TierCold}); err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := x.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(dir2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := y.Stats(); st.ColdShards == 0 {
+		t.Fatalf("manifest tier ignored: %d cold shards after plain Load", st.ColdShards)
+	}
+	assertSameAnswers(t, x, y, queries)
+
+	z, err := LoadWithOptions(dir2, LoadOptions{Tiering: TierHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := z.Stats(); st.ColdShards != 0 {
+		t.Fatalf("explicit hot load overridden by manifest: %d cold shards", st.ColdShards)
+	}
+	assertSameAnswers(t, x, z, queries)
+}

@@ -57,8 +57,11 @@ func (tr *QueryTrace) add(e ShardTrace) {
 
 // shardTraceName names a ring shard for traces.
 func shardTraceName(i int, sh shardBackend) (name, kind string) {
-	if r, ok := sh.(*remoteShard); ok {
-		return r.key, "remote"
+	switch b := sh.(type) {
+	case *remoteShard:
+		return b.key, "remote"
+	case *coldShard:
+		return fmt.Sprintf("cold-%d", i), "cold"
 	}
 	return fmt.Sprintf("local-%d", i), "local"
 }

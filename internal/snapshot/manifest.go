@@ -118,6 +118,10 @@ type RuntimeState struct {
 	AutoCompact   bool `json:"auto_compact,omitempty"`
 	PointerLayout bool `json:"pointer_layout,omitempty"`
 	CacheSize     int  `json:"cache_size,omitempty"`
+	// Tiering is the configured shard storage tier ("hot", "cold" or
+	// "auto"; empty means hot), restored at load so shards reopen in the
+	// tier the service ran with.
+	Tiering string `json:"tiering,omitempty"`
 }
 
 // DroppedIDs decodes the reclaimed-id set, whichever representation the

@@ -46,8 +46,11 @@ import (
 //	1  initial container (cpindex trees + sets, cpshard manifest/ids)
 //	2  cpshard files append a "contain" section (containment-index
 //	   signatures); the manifest gains the persisted runtime options
+//	3  zero padding precedes each section header so every payload starts
+//	   8-byte aligned — the property the mmap-backed cold tier relies on
+//	   to overlay fixed-width views onto mapped pages without copying
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -104,13 +107,33 @@ func NewWriter(w io.Writer, kind string) (*Writer, error) {
 	return sw, nil
 }
 
-// Section appends one named, CRC-protected section.
+// sectionPad returns the number of zero bytes to insert before a section
+// header starting at offset off so the payload (which begins sectionHdrLen
+// bytes after the header starts) is 8-byte aligned.
+func sectionPad(off int64) int {
+	return int((8 - (off+sectionHdrLen)%8) % 8)
+}
+
+// sectionHdrLen is the fixed section header size: name + length + crc.
+const sectionHdrLen = 8 + 8 + 4
+
+// zeroPad is the scratch source for alignment padding (max 7 bytes).
+var zeroPad [8]byte
+
+// Section appends one named, CRC-protected section, preceded (since
+// format v3) by zero padding that 8-aligns the payload.
 func (w *Writer) Section(name string, payload []byte) error {
 	t, err := tag(name)
 	if err != nil {
 		return err
 	}
-	var hdr [8 + 8 + 4]byte
+	if pad := sectionPad(w.n); pad > 0 {
+		if _, err := w.bw.Write(zeroPad[:pad]); err != nil {
+			return err
+		}
+		w.n += int64(pad)
+	}
+	var hdr [sectionHdrLen]byte
 	copy(hdr[:8], t[:])
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(payload, castagnoli))
@@ -134,6 +157,9 @@ func (w *Writer) Flush() error { return w.bw.Flush() }
 type Reader struct {
 	br      *bufio.Reader
 	version uint32
+	// n tracks the stream offset, mirroring Writer.n, so a v3 reader can
+	// reproduce the alignment padding the writer inserted.
+	n int64
 }
 
 // NewReader validates the header: magic, format version, kind. A version
@@ -159,7 +185,7 @@ func NewReader(r io.Reader, kind string) (*Reader, error) {
 	if [8]byte(hdr[12:20]) != k {
 		return nil, fmt.Errorf("%w: snapshot kind %q, want %q", ErrCorrupt, trimTag(hdr[12:20]), kind)
 	}
-	return &Reader{br: br, version: v}, nil
+	return &Reader{br: br, version: v, n: int64(len(hdr))}, nil
 }
 
 // Version returns the container format version read from the header, so
@@ -175,9 +201,24 @@ func trimTag(b []byte) string {
 }
 
 // Section reads the next section, which must carry the given name, and
-// returns its checksum-verified payload.
+// returns its checksum-verified payload. On format v3+ containers it
+// first consumes the alignment padding and requires it to be zero.
 func (r *Reader) Section(name string) ([]byte, error) {
-	var hdr [8 + 8 + 4]byte
+	if r.version >= 3 {
+		if pad := sectionPad(r.n); pad > 0 {
+			var p [8]byte
+			if _, err := io.ReadFull(r.br, p[:pad]); err != nil {
+				return nil, fmt.Errorf("%w: section %q: truncated padding: %v", ErrCorrupt, name, err)
+			}
+			for _, b := range p[:pad] {
+				if b != 0 {
+					return nil, fmt.Errorf("%w: section %q: nonzero alignment padding", ErrCorrupt, name)
+				}
+			}
+			r.n += int64(pad)
+		}
+	}
+	var hdr [sectionHdrLen]byte
 	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: section %q: truncated header: %v", ErrCorrupt, name, err)
 	}
@@ -193,6 +234,7 @@ func (r *Reader) Section(name string) ([]byte, error) {
 	if got := crc32.Checksum(payload, castagnoli); got != want {
 		return nil, fmt.Errorf("%w: section %q: checksum mismatch (file %08x, data %08x)", ErrCorrupt, name, want, got)
 	}
+	r.n += int64(len(hdr)) + int64(len(payload))
 	return payload, nil
 }
 

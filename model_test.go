@@ -18,7 +18,8 @@ import (
 // (Add / Delete / Query / QueryBatch / Flush / Compact / Save / Load) as
 // a real ShardedIndex, and every op's result is checked for byte-identical
 // agreement, across partition schemes × shard counts × worker counts ×
-// topologies × query layouts (flat and pointer) × result cache on/off.
+// topologies × query layouts (flat and pointer) × result cache on/off ×
+// storage tiers (hot, cold, auto).
 // Containment queries ride the same sequences: every returned match must
 // be in the model's brute-force containment truth with the exact score
 // (the candidate structure is approximate, so recall is gated in
@@ -239,9 +240,22 @@ func modelOps() int {
 // cache is deliberately small (it evicts constantly) and neither knob
 // survives a snapshot, so every save/load cycle also checks that
 // re-applying them to a freshly loaded index changes no answer.
+//
+// The storage-tier dimension crosses the whole grid with hot, cold and
+// auto tiers: every save/load round trip reopens the snapshot in the
+// configuration's tier (cold memory-maps every shard with lazy decode;
+// auto uses a threshold small enough that real shard files land on both
+// sides of it, and Retier passes move shards between tiers mid-sequence),
+// and every subsequent answer must still be byte-identical to the model.
+// Cold shards deliberately stay local on Distribute, so the remote×cold
+// combinations degrade to local serving after the first round trip —
+// remote coverage comes from the hot rows of the grid.
 func TestShardedIndexMatchesModel(t *testing.T) {
 	const lambda = 0.5
 	const cacheEntries = 48
+	// autoColdBytes sizes TierAuto's threshold so the harness's small
+	// shard files genuinely split across tiers.
+	const autoColdBytes = 2048
 	type config struct {
 		hash    bool
 		shards  int
@@ -249,14 +263,15 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 		remote  bool
 		pointer bool
 		cache   bool
+		tier    Tier
 	}
-	var configs []config
+	var base []config
 	for _, hash := range []bool{false, true} {
 		for _, shards := range []int{1, 3} {
 			for _, workers := range []int{0, 4} {
-				combo := len(configs) % 4
-				configs = append(configs, config{hash, shards, workers, false,
-					combo&1 != 0, combo&2 != 0})
+				combo := len(base) % 4
+				base = append(base, config{hash, shards, workers, false,
+					combo&1 != 0, combo&2 != 0, TierHot})
 			}
 		}
 	}
@@ -265,15 +280,22 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 	// cycling through the layout × cache combinations.
 	for _, hash := range []bool{false, true} {
 		for _, workers := range []int{0, 4} {
-			combo := len(configs) % 4
-			configs = append(configs, config{hash, 3, workers, true,
-				combo&1 != 0, combo&2 != 0})
+			combo := len(base) % 4
+			base = append(base, config{hash, 3, workers, true,
+				combo&1 != 0, combo&2 != 0, TierHot})
+		}
+	}
+	var configs []config
+	for _, tier := range []Tier{TierHot, TierCold, TierAuto} {
+		for _, c := range base {
+			c.tier = tier
+			configs = append(configs, c)
 		}
 	}
 	for ci, cfg := range configs {
 		cfg := cfg
-		name := fmt.Sprintf("hash=%v/shards=%d/workers=%d/remote=%v/pointer=%v/cache=%v",
-			cfg.hash, cfg.shards, cfg.workers, cfg.remote, cfg.pointer, cfg.cache)
+		name := fmt.Sprintf("hash=%v/shards=%d/workers=%d/remote=%v/pointer=%v/cache=%v/tier=%s",
+			cfg.hash, cfg.shards, cfg.workers, cfg.remote, cfg.pointer, cfg.cache, cfg.tier)
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			seed := int64(0xC0FFEE + 1000*ci)
@@ -350,6 +372,7 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 				if err := ix.Configure(RuntimeOptions{
 					PointerLayout: cfg.pointer,
 					CacheSize:     cacheSize,
+					Tiering:       cfg.tier,
 				}); err != nil {
 					t.Fatalf("Configure: %v", err)
 				}
@@ -463,8 +486,11 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 							fail(op, "QueryBatch[%d](%v) = %v, model says %v", i, q, got[i], want)
 						}
 					}
-				case k < 85: // Flush
+				case k < 85: // Flush (+ one auto-tier pass, a no-op off TierAuto)
 					ix.Flush()
+					if _, _, err := ix.Retier(); err != nil {
+						fail(op, "Retier: %v", err)
+					}
 				case k < 93: // Compact
 					res := ix.Compact()
 					if res.Merged > 0 {
@@ -486,7 +512,11 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 					if err := ix.Save(dir); err != nil {
 						fail(op, "Save: %v", err)
 					}
-					loaded, err := LoadShardedIndex(dir, cfg.workers)
+					loaded, err := LoadShardedIndexWithOptions(dir, LoadOptions{
+						Workers:       cfg.workers,
+						Tiering:       cfg.tier,
+						AutoColdBytes: autoColdBytes,
+					})
 					if err != nil {
 						fail(op, "Load: %v", err)
 					}
@@ -524,7 +554,11 @@ func TestShardedIndexMatchesModel(t *testing.T) {
 			if err := ix.Save(dir); err != nil {
 				t.Fatalf("final Save: %v", err)
 			}
-			loaded, err := LoadShardedIndex(dir, cfg.workers)
+			loaded, err := LoadShardedIndexWithOptions(dir, LoadOptions{
+				Workers:       cfg.workers,
+				Tiering:       cfg.tier,
+				AutoColdBytes: autoColdBytes,
+			})
 			if err != nil {
 				t.Fatalf("final Load: %v", err)
 			}

@@ -164,6 +164,20 @@ func rankLimit(ms []Match, limit int) []Match {
 // changing its answers. See ShardedIndex.Configure.
 type RuntimeOptions = shard.RuntimeOptions
 
+// Tier names a shard storage tier for RuntimeOptions.Tiering and
+// LoadOptions.Tiering: TierHot fully decodes every shard, TierCold
+// memory-maps shards with lazy decode, TierAuto picks per shard by size
+// and retiers on query frequency. Answers are byte-identical across
+// tiers; only memory and latency differ.
+type Tier = shard.Tier
+
+// Storage tiers (see Tier).
+const (
+	TierHot  = shard.TierHot
+	TierCold = shard.TierCold
+	TierAuto = shard.TierAuto
+)
+
 // Configure applies the runtime configuration in one validated call —
 // the replacement for the SetAutoCompact / SetPointerLayout /
 // EnableCache setter sprawl. It is idempotent, and the applied state is
